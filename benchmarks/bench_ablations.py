@@ -1,0 +1,349 @@
+"""Ablation benchmarks: attribute M3R's speedups to its mechanisms.
+
+The paper identifies five sources of performance gain (Section 1) and
+attributes effects informally in Section 6 ("we assume this is due to ...").
+These ablations make each attribution quantitative by switching one
+mechanism off at a time:
+
+* ABL-CACHE — input/output cache on vs off across an iterative sequence;
+* ABL-PSTAB — partition stability vs salted (Hadoop-like) placement;
+* ABL-DEDUP — de-duplicating serialization on vs off for the
+  broadcast-heavy matvec multiply job;
+* ABL-IMMUT — ImmutableOutput vs default defensive cloning (same job
+  class, marker removed);
+* ABL-STARTUP — where the stock Hadoop engine's time goes on a small job
+  (start-up and scheduling vs actual work), the "small HMR jobs run
+  essentially instantly on M3R" claim;
+* ABL-SYSML-OPT — the paper's future-work claim: an ImmutableOutput-aware
+  SystemML code generator speeds up M3R without touching Hadoop numbers;
+* ABL-RESIL — the price of the Section 7 resilience extension: buddy
+  replication overhead in steady state, and the proportional cost of one
+  recovery episode.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import BENCH_NODES, format_table, fresh_engine, publish
+from repro.apps import matvec
+from repro.apps.microbenchmark import run_microbenchmark
+from repro.apps.wordcount import generate_text, wordcount_job
+from repro.sysml import run_script
+from repro.sysml import scripts as dml
+
+
+def _matvec_total(engine, rows: int = 4000, iterations: int = 2) -> float:
+    block = 200
+    num_row_blocks = (rows + block - 1) // block
+    g_pairs = matvec.generate_blocked_matrix(rows, block, sparsity=0.05)
+    v_pairs = matvec.generate_blocked_vector(rows, block)
+    matvec.write_partitioned(engine.filesystem, "/G", g_pairs, num_row_blocks, BENCH_NODES)
+    matvec.write_partitioned(engine.filesystem, "/V0", v_pairs, num_row_blocks, BENCH_NODES)
+    engine.warm_cache_from("/G")
+    engine.warm_cache_from("/V0")
+    total = 0.0
+    current = "/V0"
+    for iteration in range(iterations):
+        nxt = f"/V{iteration + 1}"
+        seq = matvec.iteration_jobs(
+            "/G", current, nxt, "/scratch", iteration, num_row_blocks, BENCH_NODES
+        )
+        total += sum(r.simulated_seconds for r in seq.run_all(engine))
+        current = nxt
+    return total
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_cache(benchmark, capfd):
+    """ABL-CACHE: the iterative microbenchmark with the cache disabled."""
+    data = {}
+
+    def run():
+        on = run_microbenchmark(fresh_engine("m3r"), 0, num_pairs=2000,
+                                value_bytes=4096, num_reducers=BENCH_NODES)
+        off = run_microbenchmark(fresh_engine("m3r", enable_cache=False), 0,
+                                 num_pairs=2000, value_bytes=4096,
+                                 num_reducers=BENCH_NODES)
+        data["rows"] = [
+            ("cache on", *on.iteration_seconds),
+            ("cache off", *off.iteration_seconds),
+        ]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(
+        "ablation_cache",
+        format_table("ABL-CACHE: M3R iterative microbenchmark",
+                     ["config", "iter 1 (s)", "iter 2 (s)", "iter 3 (s)"],
+                     data["rows"]),
+        capfd,
+    )
+    on_row, off_row = data["rows"]
+    # Iteration 2+ benefit from the cache; without it they pay the read again.
+    assert on_row[2] < off_row[2], data["rows"]
+    assert on_row[3] < off_row[3], data["rows"]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_partition_stability(benchmark, capfd):
+    """ABL-PSTAB: matvec with partition → place stability off."""
+    data = {}
+
+    def run():
+        stable = _matvec_total(fresh_engine("m3r"))
+        unstable = _matvec_total(
+            fresh_engine("m3r", enable_partition_stability=False)
+        )
+        data["rows"] = [("stable", stable), ("salted per job", unstable)]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(
+        "ablation_partition_stability",
+        format_table("ABL-PSTAB: matvec, partition stability",
+                     ["partition placement", "total (s)"], data["rows"]),
+        capfd,
+    )
+    stable = data["rows"][0][1]
+    unstable = data["rows"][1][1]
+    assert stable < unstable, data["rows"]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_dedup(benchmark, capfd):
+    """ABL-DEDUP: broadcasting one value to many co-located reducers.
+
+    Paper Section 3.2.2.3: each place hosts several reducers, so a naive
+    shuffle sends k copies of a broadcast value to every place.  The job
+    here broadcasts 100 KB payloads to 4 partitions per place.
+    """
+    from repro.api.conf import JobConf
+    from repro.api.extensions import ImmutableOutput
+    from repro.api.formats import SequenceFileInputFormat, SequenceFileOutputFormat
+    from repro.api.mapred import IdentityMapper, OutputCollector, Reporter
+    from repro.api.writables import BytesWritable, IntWritable, Text
+    from repro.apps.microbenchmark import IdentityImmutableReducer, ModPartitioner
+
+    class BroadcastMapper(IdentityMapper, ImmutableOutput):
+        def __init__(self):
+            self.payload = BytesWritable(bytes(100_000))
+
+        def map(self, key, value, output: OutputCollector, reporter: Reporter):
+            for partition in range(4 * BENCH_NODES):  # 4 reducers per place
+                output.collect(IntWritable(partition), self.payload)
+
+    def broadcast_seconds(engine) -> float:
+        engine.filesystem.write_pairs(
+            "/in/part-00000", [(IntWritable(i), Text("seed")) for i in range(8)],
+            at_node=0,
+        )
+        conf = JobConf()
+        conf.set_job_name("broadcast")
+        conf.set_input_paths("/in")
+        conf.set_input_format(SequenceFileInputFormat)
+        conf.set_mapper_class(BroadcastMapper)
+        conf.set_reducer_class(IdentityImmutableReducer)
+        conf.set_partitioner_class(ModPartitioner)
+        conf.set_output_format(SequenceFileOutputFormat)
+        conf.set_output_path("/work/temp-bcast")
+        conf.set_num_reduce_tasks(4 * BENCH_NODES)
+        result = engine.run_job(conf)
+        assert result.succeeded, result.error
+        return result.simulated_seconds
+
+    data = {}
+
+    def run():
+        with_dedup = broadcast_seconds(fresh_engine("m3r"))
+        without = broadcast_seconds(fresh_engine("m3r", enable_dedup=False))
+        data["rows"] = [("dedup on", with_dedup), ("dedup off", without)]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(
+        "ablation_dedup",
+        format_table("ABL-DEDUP: 100 KB broadcast to 4 reducers/place",
+                     ["serializer", "job time (s)"], data["rows"]),
+        capfd,
+    )
+    with_dedup, without = data["rows"][0][1], data["rows"][1][1]
+    assert with_dedup < without * 0.6, data["rows"]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_immutable_output(benchmark, capfd):
+    """ABL-IMMUT: the identity job over 10 KB values, marked vs unmarked."""
+    from repro.api.mapred import IdentityReducer
+    from repro.apps.microbenchmark import (
+        RemoteFractionMapperMutable,
+        generate_input,
+        microbenchmark_job,
+    )
+
+    def run_variant(immutable: bool):
+        engine = fresh_engine("m3r")
+        generate_input(engine.filesystem, "/m/in", 4000, 10_000, BENCH_NODES)
+        conf = microbenchmark_job("/m/in", "/m/out", 0, BENCH_NODES)
+        if not immutable:
+            conf.set_mapper_class(RemoteFractionMapperMutable)
+            conf.set_reducer_class(IdentityReducer)
+        result = engine.run_job(conf)
+        assert result.succeeded, result.error
+        return result
+
+    data = {}
+
+    def run():
+        rows = []
+        for immutable in (True, False):
+            result = run_variant(immutable)
+            rows.append((
+                "immutable" if immutable else "mutating (cloned)",
+                result.simulated_seconds,
+                result.metrics.get("cloned_records"),
+            ))
+        data["rows"] = rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(
+        "ablation_immutable",
+        format_table("ABL-IMMUT: M3R identity job over 10 KB values",
+                     ["variant", "time (s)", "records cloned"], data["rows"]),
+        capfd,
+    )
+    immutable_row, mutating_row = data["rows"]
+    assert immutable_row[2] == 0, "immutable variant must not clone"
+    assert mutating_row[2] > 0, "mutating variant must clone"
+    assert immutable_row[1] < mutating_row[1], data["rows"]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_startup_breakdown(benchmark, capfd):
+    """ABL-STARTUP: where a small Hadoop job's time goes."""
+    data = {}
+
+    def run():
+        engine = fresh_engine("hadoop", block_size=256 * 1024)
+        engine.filesystem.write_text("/c/in.txt", generate_text(500))
+        result = engine.run_job(wordcount_job("/c/in.txt", "/out", BENCH_NODES))
+        assert result.succeeded
+        breakdown = result.metrics.time.as_dict()
+        overhead = (
+            breakdown.get("jvm_startup", 0.0)
+            + breakdown.get("scheduling", 0.0)
+            + breakdown.get("job_submit", 0.0)
+        )
+        data["total"] = result.simulated_seconds
+        data["overhead_work"] = overhead
+        data["rows"] = sorted(breakdown.items(), key=lambda kv: -kv[1])
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(
+        "ablation_startup",
+        format_table(
+            f"ABL-STARTUP: small Hadoop WordCount "
+            f"(wall {data['total']:.2f}s; start-up+scheduling work "
+            f"{data['overhead_work']:.2f}s across parallel lanes)",
+            ["category", "seconds of work"],
+            data["rows"],
+        ),
+        capfd,
+    )
+    # Start-up/scheduling dominates a small job's time budget.
+    work_total = sum(v for _, v in data["rows"])
+    assert data["overhead_work"] > 0.6 * work_total, data["rows"]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_sysml_optimized(benchmark, capfd):
+    """ABL-SYSML-OPT: ImmutableOutput-aware code generation (future work)."""
+    data = {}
+
+    def run():
+        rows = []
+        for optimized in (False, True):
+            engine = fresh_engine("m3r")
+            inputs = dml.pagerank_inputs(
+                engine.filesystem, 4000, 200, sparsity=0.05,
+                num_partitions=BENCH_NODES,
+            )
+            script = dml.with_iterations(dml.PAGERANK_SCRIPT, 2)
+            _, runtime = run_script(
+                script, engine, inputs=inputs, block_size=200,
+                num_reducers=BENCH_NODES, optimized=optimized,
+            )
+            rows.append((
+                "optimized codegen" if optimized else "stock codegen",
+                runtime.total_seconds,
+            ))
+        data["rows"] = rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(
+        "ablation_sysml_optimized",
+        format_table("ABL-SYSML-OPT: PageRank on M3R, code generation",
+                     ["compiler", "total (s)"], data["rows"]),
+        capfd,
+    )
+    stock, optimized = data["rows"][0][1], data["rows"][1][1]
+    assert optimized < stock, data["rows"]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_resilience(benchmark, capfd):
+    """ABL-RESIL: replication overhead and recovery cost of resilient M3R."""
+    from repro.apps.microbenchmark import run_microbenchmark, microbenchmark_job, generate_input
+    from repro.core import ResilientM3REngine
+    from repro.fs import SimulatedHDFS
+    from repro.sim import Cluster, paper_cluster_cost_model
+
+    def resilient_engine():
+        cluster = Cluster(BENCH_NODES)
+        fs = SimulatedHDFS(cluster, block_size=1 << 22, replication=1)
+        return ResilientM3REngine(
+            cluster=cluster, filesystem=fs,
+            cost_model=paper_cluster_cost_model(),
+        )
+
+    data = {}
+
+    def run():
+        stock = run_microbenchmark(
+            fresh_engine("m3r"), 0, num_pairs=4000, value_bytes=10_000,
+            num_reducers=BENCH_NODES,
+        )
+        resilient = run_microbenchmark(
+            resilient_engine(), 0, num_pairs=4000, value_bytes=10_000,
+            num_reducers=BENCH_NODES,
+        )
+        # One recovery episode: load, kill a node, run the next step.
+        engine = resilient_engine()
+        generate_input(engine.filesystem, "/r/in", 4000, 10_000, BENCH_NODES)
+        first = engine.run_job(microbenchmark_job("/r/in", "/r/temp-a", 0, BENCH_NODES))
+        assert first.succeeded
+        engine.fail_nodes.add(1)
+        second = engine.run_job(
+            microbenchmark_job("/r/temp-a", "/r/temp-b", 0, BENCH_NODES)
+        )
+        assert second.succeeded
+        data["rows"] = [
+            ("stock M3R", sum(stock.iteration_seconds)),
+            ("resilient M3R (replication)", sum(resilient.iteration_seconds)),
+        ]
+        data["recovery"] = engine.recovery_log[0]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report = data["recovery"]
+    text = format_table(
+        "ABL-RESIL: 3-iteration microbenchmark, 8 nodes",
+        ["engine", "total (s)"], data["rows"],
+    ) + (
+        f"\n\none recovery episode: {report.promoted_entries} entries / "
+        f"{report.promoted_bytes} bytes promoted from buddies in "
+        f"{report.simulated_seconds:.3f} simulated s "
+        f"(proportional to the dead node's data, not to job history)"
+    )
+    publish("ablation_resilience", text, capfd)
+    stock_s = data["rows"][0][1]
+    resilient_s = data["rows"][1][1]
+    assert stock_s < resilient_s  # resilience is not free
+    assert resilient_s < stock_s * 2.5  # ...but far cheaper than HMR checkpointing
+    assert report.promoted_entries > 0

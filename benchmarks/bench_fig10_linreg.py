@@ -1,0 +1,68 @@
+"""Figure 10 — SystemML linear regression (conjugate gradient).
+
+The CG linreg DML script runs on both engines, sweeping the number of
+sample points with the variable count fixed — the paper's experiment
+shape.  CG produces many small jobs per iteration (matvecs, dot products,
+axpys), which is exactly where the stock engine's per-job fixed costs
+dominate and M3R's near-zero submission cost pays off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import (
+    BENCH_NODES,
+    assert_monotone_nondecreasing,
+    format_table,
+    fresh_engine,
+    publish,
+    scaled_cost_model,
+)
+from repro.sysml import run_script
+from repro.sysml import scripts as dml
+
+#: Scaled down from the paper's 1M-5M points x 10k variables.
+POINTS_SWEEP = (1000, 2000, 4000)
+VARIABLES = 800
+BLOCK = 200
+SPARSITY = 0.05
+ITERATIONS = 2
+
+
+def run_linreg(kind: str, points: int) -> float:
+    engine = fresh_engine(kind, cost_model=scaled_cost_model())
+    inputs = dml.linreg_inputs(
+        engine.filesystem, points, VARIABLES, BLOCK,
+        sparsity=SPARSITY, num_partitions=BENCH_NODES,
+    )
+    script = dml.with_iterations(dml.LINREG_SCRIPT, ITERATIONS)
+    _, runtime = run_script(
+        script, engine, inputs=inputs, block_size=BLOCK, num_reducers=BENCH_NODES
+    )
+    return runtime.total_seconds
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_linreg(benchmark, capfd):
+    data = {}
+
+    def run():
+        data["rows"] = [
+            (points, run_linreg("hadoop", points), run_linreg("m3r", points))
+            for points in POINTS_SWEEP
+        ]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [(p, h, m, h / m) for p, h, m in data["rows"]]
+    text = format_table(
+        "Figure 10: SystemML linear regression (Hadoop vs M3R)",
+        ["points", "Hadoop (s)", "M3R (s)", "speedup"],
+        rows,
+    )
+    publish("fig10_linreg", text, capfd)
+
+    assert_monotone_nondecreasing([h for _, h, _, _ in rows])
+    assert_monotone_nondecreasing([m for _, _, m, _ in rows])
+    assert all(s > 3 for *_, s in rows), f"M3R should win clearly: {rows}"

@@ -1,0 +1,65 @@
+"""Figure 11 — SystemML PageRank.
+
+The power-iteration PageRank DML script runs on both engines, sweeping the
+graph size (the side of the square sparse link matrix G) — the paper's
+experiment shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import (
+    BENCH_NODES,
+    assert_monotone_nondecreasing,
+    format_table,
+    fresh_engine,
+    publish,
+    scaled_cost_model,
+)
+from repro.sysml import run_script
+from repro.sysml import scripts as dml
+
+#: Scaled down from the paper's 50k-400k node graphs.
+GRAPH_SWEEP = (1000, 2000, 4000)
+BLOCK = 200
+SPARSITY = 0.05
+ITERATIONS = 3
+
+
+def run_pagerank(kind: str, nodes: int) -> float:
+    engine = fresh_engine(kind, cost_model=scaled_cost_model())
+    inputs = dml.pagerank_inputs(
+        engine.filesystem, nodes, BLOCK,
+        sparsity=SPARSITY, num_partitions=BENCH_NODES,
+    )
+    script = dml.with_iterations(dml.PAGERANK_SCRIPT, ITERATIONS)
+    _, runtime = run_script(
+        script, engine, inputs=inputs, block_size=BLOCK, num_reducers=BENCH_NODES
+    )
+    return runtime.total_seconds
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_pagerank(benchmark, capfd):
+    data = {}
+
+    def run():
+        data["rows"] = [
+            (nodes, run_pagerank("hadoop", nodes), run_pagerank("m3r", nodes))
+            for nodes in GRAPH_SWEEP
+        ]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [(n, h, m, h / m) for n, h, m in data["rows"]]
+    text = format_table(
+        "Figure 11: SystemML PageRank (Hadoop vs M3R)",
+        ["graph size (nodes)", "Hadoop (s)", "M3R (s)", "speedup"],
+        rows,
+    )
+    publish("fig11_pagerank", text, capfd)
+
+    assert_monotone_nondecreasing([h for _, h, _, _ in rows])
+    assert_monotone_nondecreasing([m for _, _, m, _ in rows])
+    assert all(s > 3 for *_, s in rows), f"M3R should win clearly: {rows}"

@@ -1,0 +1,108 @@
+"""Figure 6 — the shuffle microbenchmark (paper Section 6.1).
+
+Three iterations of an identity job over N (int key, byte-array value)
+pairs, sweeping the fraction of pairs re-keyed to a remote partition.
+Reproduced series:
+
+* **Hadoop panel**: running time flat in the remote fraction and identical
+  across iterations — no partition stability, disk-based shuffle, no cache;
+* **M3R panel**: linear in the remote fraction; iterations 2–3 carry a
+  smaller constant (cache hits replace the HDFS read + deserialize); even
+  100 %-remote M3R beats Hadoop;
+* the Section 6.1.1 repartitioning job as a one-off cost (83 s in the
+  paper; scaled here with everything else).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import (
+    BENCH_NODES,
+    assert_roughly_flat,
+    format_table,
+    fresh_engine,
+    publish,
+)
+from repro.apps.microbenchmark import (
+    generate_input,
+    run_microbenchmark,
+)
+from repro.apps.repartition import repartition_job
+from repro.apps.microbenchmark import ModPartitioner
+
+REMOTE_SWEEP = (0, 20, 40, 60, 80, 100)
+#: Scaled down from the paper's 1M pairs x 10 KB; the 10 KB payload is kept
+#: so the shuffle is value-dominated exactly as in Section 6.1.
+NUM_PAIRS = 4000
+VALUE_BYTES = 10000
+
+
+def _sweep(kind: str):
+    rows = []
+    for remote in REMOTE_SWEEP:
+        engine = fresh_engine(kind)
+        result = run_microbenchmark(
+            engine, remote, num_pairs=NUM_PAIRS, value_bytes=VALUE_BYTES,
+            num_reducers=BENCH_NODES,
+        )
+        rows.append((remote, *result.iteration_seconds))
+    return rows
+
+
+def _repartition_cost() -> float:
+    engine = fresh_engine("m3r")
+    generate_input(
+        engine.filesystem, "/micro/scrambled", NUM_PAIRS, VALUE_BYTES,
+        BENCH_NODES, partition_aligned=False,
+    )
+    conf = repartition_job(
+        "/micro/scrambled", "/micro/aligned", BENCH_NODES,
+        partitioner_class=ModPartitioner,
+    )
+    result = engine.run_job(conf)
+    assert result.succeeded, result.error
+    return result.simulated_seconds
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_microbenchmark(benchmark, capfd):
+    data = {}
+
+    def run():
+        data["hadoop"] = _sweep("hadoop")
+        data["m3r"] = _sweep("m3r")
+        data["repartition"] = _repartition_cost()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    headers = ["remote %", "iter 1 (s)", "iter 2 (s)", "iter 3 (s)"]
+    text = "\n\n".join(
+        [
+            format_table("Figure 6 (left): Hadoop", headers, data["hadoop"]),
+            format_table("Figure 6 (right): M3R", headers, data["m3r"]),
+            f"Section 6.1.1 repartitioning one-off cost: "
+            f"{data['repartition']:.2f} simulated s",
+        ]
+    )
+    publish("fig6_microbenchmark", text, capfd)
+
+    # --- paper-shape assertions ----------------------------------------- #
+    hadoop = data["hadoop"]
+    m3r = data["m3r"]
+    for iteration in (1, 2, 3):
+        # Hadoop: flat in remote fraction, same every iteration.
+        assert_roughly_flat([row[iteration] for row in hadoop])
+    for row in hadoop:
+        assert_roughly_flat(list(row[1:]), tolerance=0.1)
+
+    # M3R: increasing in the remote fraction, iteration 2 cheaper than 1.
+    iter1 = [row[1] for row in m3r]
+    iter2 = [row[2] for row in m3r]
+    assert iter1[-1] > iter1[0] * 1.3, f"no remote-fraction slope: {iter1}"
+    assert iter2[-1] > iter2[0] * 1.3, f"no remote-fraction slope: {iter2}"
+    for one, two in zip(iter1, iter2):
+        assert two < one, "cache hit must lower the constant"
+
+    # Even at 100% remote, M3R beats Hadoop by a wide margin.
+    assert m3r[-1][1] < hadoop[-1][1] / 3

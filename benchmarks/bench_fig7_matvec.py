@@ -1,0 +1,93 @@
+"""Figure 7 — sparse matrix × dense vector multiply (paper Section 6.2).
+
+Three iterations of the two-job blocked multiply, sweeping the matrix row
+count.  Reproduced series: both engines linear in rows, with M3R faster by
+a factor in the tens (the paper reports up to ~45× at some sizes); the M3R
+detail panel is the same data restricted to the M3R column.
+
+Methodology follows the paper: row-chunk partitioner, ImmutableOutput
+everywhere, partial products marked temporary, and the M3R cache
+pre-populated so the amortized initial load is excluded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import (
+    BENCH_NODES,
+    assert_monotone_nondecreasing,
+    format_table,
+    fresh_engine,
+    publish,
+    scaled_cost_model,
+)
+from repro.apps import matvec
+
+#: Scaled down ~100x from the paper's 100k-1.6M rows; the scale-model cost
+#: model (see common.scaled_cost_model) keeps the fixed-to-data ratio.
+ROW_SWEEP = (4000, 8000, 12000, 16000)
+BLOCK = 200
+SPARSITY = 0.05
+ITERATIONS = 3
+
+
+def run_matvec(kind: str, rows: int) -> float:
+    engine = fresh_engine(kind, cost_model=scaled_cost_model())
+    num_row_blocks = (rows + BLOCK - 1) // BLOCK
+    g_pairs = matvec.generate_blocked_matrix(rows, BLOCK, sparsity=SPARSITY)
+    v_pairs = matvec.generate_blocked_vector(rows, BLOCK)
+    matvec.write_partitioned(engine.filesystem, "/G", g_pairs, num_row_blocks, BENCH_NODES)
+    matvec.write_partitioned(engine.filesystem, "/V0", v_pairs, num_row_blocks, BENCH_NODES)
+    if kind == "m3r":
+        engine.warm_cache_from("/G")
+        engine.warm_cache_from("/V0")
+    total = 0.0
+    current = "/V0"
+    for iteration in range(ITERATIONS):
+        nxt = f"/V{iteration + 1}"
+        sequence = matvec.iteration_jobs(
+            "/G", current, nxt, "/scratch", iteration, num_row_blocks, BENCH_NODES
+        )
+        for result in sequence.run_all(engine):
+            total += result.simulated_seconds
+        current = nxt
+    return total
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_matvec(benchmark, capfd):
+    data = {}
+
+    def run():
+        data["rows"] = [
+            (rows, run_matvec("hadoop", rows), run_matvec("m3r", rows))
+            for rows in ROW_SWEEP
+        ]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        (r, hadoop_s, m3r_s, hadoop_s / m3r_s)
+        for r, hadoop_s, m3r_s in data["rows"]
+    ]
+    text = format_table(
+        "Figure 7: sparse matrix x dense vector multiply (3 iterations)",
+        ["rows", "Hadoop (s)", "M3R (s)", "speedup"],
+        rows,
+    )
+    text += "\n\n" + format_table(
+        "Figure 7 (detail): M3R only",
+        ["rows", "M3R (s)"],
+        [(r, m) for r, _, m, _ in rows],
+    )
+    publish("fig7_matvec", text, capfd)
+
+    # --- paper-shape assertions ----------------------------------------- #
+    hadoop = [h for _, h, _, _ in rows]
+    m3r = [m for _, _, m, _ in rows]
+    speedups = [s for _, _, _, s in rows]
+    assert_monotone_nondecreasing(hadoop)
+    assert_monotone_nondecreasing(m3r)
+    # The paper's headline: speedups in the tens (45x at some sizes).
+    assert min(speedups) > 10, f"speedups too small: {speedups}"

@@ -1,0 +1,89 @@
+"""Figure 8 — WordCount (paper Section 6.3).
+
+WordCount is M3R's adversarial case: no iteration (no cache value), no
+partition-stability exploitation, nearly all pairs shuffled remotely.
+Reproduced series over input size:
+
+* ``Hadoop new TextWritable()`` — the ImmutableOutput-compatible variant,
+  slower on Hadoop at small sizes (allocation/GC churn) with the gap
+  closing as size grows;
+* ``Hadoop re-use TextWritable`` — the stock mutating idiom;
+* ``M3R`` — roughly 2× faster than Hadoop once input size amortizes the
+  stock engine's fixed costs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import (
+    BENCH_NODES,
+    assert_monotone_nondecreasing,
+    format_table,
+    fresh_engine,
+    publish,
+    scaled_cost_model,
+)
+from repro.apps.wordcount import generate_text, wordcount_job
+
+#: Scaled down ~300x from the paper's 0.5-4.5 GB corpora; the scale-model
+#: cost model keeps the fixed-to-data ratio (see common.scaled_cost_model).
+LINE_SWEEP = (8000, 16000, 32000, 64000)
+WORDS_PER_LINE = 12
+
+
+def run_wordcount(kind: str, lines: int, immutable: bool) -> float:
+    engine = fresh_engine(kind, block_size=256 * 1024,
+                          cost_model=scaled_cost_model())
+    engine.filesystem.write_text("/corpus/in.txt", generate_text(lines, WORDS_PER_LINE))
+    conf = wordcount_job("/corpus/in.txt", "/out", BENCH_NODES, immutable=immutable)
+    result = engine.run_job(conf)
+    assert result.succeeded, result.error
+    return result.simulated_seconds
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_wordcount(benchmark, capfd):
+    data = {}
+
+    def run():
+        rows = []
+        for lines in LINE_SWEEP:
+            megabytes = lines * WORDS_PER_LINE * 8 / 1e6
+            rows.append(
+                (
+                    round(megabytes, 2),
+                    run_wordcount("hadoop", lines, immutable=True),
+                    run_wordcount("hadoop", lines, immutable=False),
+                    run_wordcount("m3r", lines, immutable=True),
+                )
+            )
+        data["rows"] = rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    text = format_table(
+        "Figure 8: WordCount",
+        ["text (MB)", "Hadoop new Text (s)", "Hadoop reuse Text (s)", "M3R (s)"],
+        data["rows"],
+    )
+    publish("fig8_wordcount", text, capfd)
+
+    # --- paper-shape assertions ----------------------------------------- #
+    new_text = [row[1] for row in data["rows"]]
+    reuse_text = [row[2] for row in data["rows"]]
+    m3r = [row[3] for row in data["rows"]]
+    assert_monotone_nondecreasing(new_text)
+    assert_monotone_nondecreasing(reuse_text)
+    assert_monotone_nondecreasing(m3r)
+
+    # new-Text costs at least as much as reuse-Text on Hadoop, and the
+    # *relative* gap shrinks as input grows.
+    gaps = [(n - r) / r for n, r in zip(new_text, reuse_text)]
+    assert all(g >= -0.01 for g in gaps), gaps
+    assert gaps[-1] <= gaps[0] + 1e-9, f"gap did not close: {gaps}"
+
+    # M3R beats Hadoop throughout, in the paper's "approximately twice as
+    # fast for these input sizes" band.
+    ratios = [h / m for h, m in zip(new_text, m3r)]
+    assert all(1.4 <= r <= 2.6 for r in ratios), ratios

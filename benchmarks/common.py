@@ -1,0 +1,118 @@
+"""Shared benchmark harness utilities.
+
+Every benchmark module regenerates one of the paper's evaluation artefacts
+(Figures 6–11) at laptop scale: the engines execute the real user code and
+report *simulated* seconds from the calibrated cost model, so the series
+printed here should match the paper's **shape** (who wins, linearity,
+where the constant offsets sit), not its absolute values.
+
+Results are printed live (bypassing pytest capture) and archived under
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence
+
+from repro import hadoop_engine, m3r_engine
+from repro.fs import SimulatedHDFS
+from repro.sim import Cluster, CostModel, paper_cluster_cost_model
+
+#: Cluster shape for benchmarks: scaled down from the paper's 20 nodes so
+#: the Python-level execution stays fast; the engines' relative behaviour
+#: does not depend on the node count.
+BENCH_NODES = 8
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def fresh_engine(
+    kind: str,
+    num_nodes: int = BENCH_NODES,
+    replication: int = 1,
+    block_size: int = 1 << 22,
+    cost_model: Optional[CostModel] = None,
+    **engine_kwargs,
+):
+    """A new engine over a new simulated cluster + HDFS.
+
+    ``replication=1`` matches a benchmark-tuned HDFS (output replication on
+    the critical path would otherwise dominate small runs on both engines
+    equally).
+    """
+    cluster = Cluster(num_nodes)
+    fs = SimulatedHDFS(cluster, block_size=block_size, replication=replication)
+    model = cost_model if cost_model is not None else paper_cluster_cost_model()
+    if kind == "hadoop":
+        return hadoop_engine(filesystem=fs, cost_model=model, **engine_kwargs)
+    if kind == "m3r":
+        return m3r_engine(filesystem=fs, cost_model=model, **engine_kwargs)
+    raise ValueError(f"unknown engine kind {kind!r}")
+
+
+def scaled_cost_model(shrink: float = 50.0) -> CostModel:
+    """A scale-model cost model for data-dominated figures.
+
+    The paper's data-dominated experiments (Figures 7–11) run gigabytes per
+    node; this reproduction runs ~1000× less so the Python-level execution
+    stays fast.  Shrinking only the data would leave every series flat under
+    the full-size fixed costs (job submission, heartbeat scheduling, JVM
+    start-up), so those per-job/per-task constants are shrunk by ``shrink``
+    to restore the paper's fixed-to-data cost ratio.  The per-byte and
+    per-record rates — the terms that create the figures' slopes and
+    crossovers — are untouched, as is the per-task GC-churn constant (it
+    models heap behaviour, not cluster management overhead).
+    """
+    base = paper_cluster_cost_model()
+    return base.evolve(
+        jvm_startup=base.jvm_startup / shrink,
+        task_scheduling=base.task_scheduling / shrink,
+        hadoop_job_submit=base.hadoop_job_submit / shrink,
+        hadoop_job_cleanup=base.hadoop_job_cleanup / shrink,
+        m3r_job_submit=base.m3r_job_submit / shrink,
+        m3r_barrier=base.m3r_barrier / shrink,
+    )
+
+
+def format_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render one aligned results table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered_rows.append([
+            f"{cell:.2f}" if isinstance(cell, float) else str(cell) for cell in row
+        ])
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(h.rjust(widths[i]) for i, h in enumerate(headers)))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def publish(name: str, text: str, capfd=None) -> None:
+    """Print a results table live and archive it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+    if capfd is not None:
+        with capfd.disabled():
+            print("\n" + text)
+    else:
+        print("\n" + text)
+
+
+def assert_monotone_nondecreasing(values: Sequence[float], slack: float = 0.05) -> None:
+    """Series should not decrease beyond ``slack`` relative jitter."""
+    for left, right in zip(values, values[1:]):
+        assert right >= left * (1 - slack), f"series decreased: {values}"
+
+
+def assert_roughly_flat(values: Sequence[float], tolerance: float = 0.15) -> None:
+    """Max deviation from the mean stays within ``tolerance`` (Figure 6 Hadoop)."""
+    mean = sum(values) / len(values)
+    for value in values:
+        assert abs(value - mean) <= tolerance * mean, f"series not flat: {values}"

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The resilience trade-off, demonstrated.
+
+M3R's design point (paper Section 1): "No resilience: the engine will fail
+if any node goes down — it does not recover from node failure."  The stock
+Hadoop engine, by contrast, reschedules the dead node's tasks and finishes
+the job, at a time cost.  This example kills one node under each engine
+and shows both behaviours, plus integrated mode's per-job escape hatch
+(``m3r.force.hadoop.engine``, Section 5.3).
+
+Run:  python examples/failure_semantics.py
+"""
+
+from repro import hadoop_engine, m3r_engine
+from repro.apps.wordcount import generate_text, wordcount_job
+from repro.api.extensions import FORCE_HADOOP_ENGINE_KEY
+from repro.core import IntegratedJobClient
+from repro.engine_common import JobFailedError
+from repro.fs import SimulatedHDFS
+from repro.sim import Cluster
+
+NODES = 8
+
+
+def fresh(engine_name: str):
+    fs = SimulatedHDFS(Cluster(NODES), block_size=64 * 1024)
+    engine = (
+        hadoop_engine(filesystem=fs)
+        if engine_name == "hadoop"
+        else m3r_engine(filesystem=fs)
+    )
+    engine.filesystem.write_text("/corpus/in.txt", generate_text(800))
+    return engine
+
+
+def main() -> None:
+    # --- healthy baseline -------------------------------------------------- #
+    baseline = {}
+    for engine_name in ("hadoop", "m3r"):
+        engine = fresh(engine_name)
+        result = engine.run_job(wordcount_job("/corpus/in.txt", "/out", 8))
+        baseline[engine_name] = result.simulated_seconds
+        print(f"{engine_name:>6} healthy: {result.simulated_seconds:7.2f}s")
+
+    # --- kill node 3 -------------------------------------------------------- #
+    engine = fresh("hadoop")
+    engine.fail_nodes.add(3)
+    result = engine.run_job(wordcount_job("/corpus/in.txt", "/out", 8))
+    assert result.succeeded
+    print(f"hadoop with node 3 dead: {result.simulated_seconds:7.2f}s "
+          f"(+{result.simulated_seconds - baseline['hadoop']:.2f}s, "
+          f"{result.metrics.get('map_task_failovers')} map failovers, "
+          f"{result.metrics.get('reduce_task_failovers')} reduce failovers)")
+
+    engine = fresh("m3r")
+    engine.fail_nodes.add(3)
+    try:
+        engine.run_job(wordcount_job("/corpus/in.txt", "/out", 8))
+        raise AssertionError("M3R must not survive a node failure")
+    except JobFailedError as exc:
+        print(f"m3r with node 3 dead: JobFailedError — {exc}")
+
+    # --- integrated mode escape hatch ----------------------------------------- #
+    fs = SimulatedHDFS(Cluster(NODES), block_size=64 * 1024)
+    m3r = m3r_engine(filesystem=fs)
+    hmr = hadoop_engine(filesystem=fs)
+    m3r.filesystem.write_text("/corpus/in.txt", generate_text(800))
+    client = IntegratedJobClient(m3r, hadoop=hmr)
+
+    fast = client.submit_job(wordcount_job("/corpus/in.txt", "/out/fast", 8))
+    pinned = wordcount_job("/corpus/in.txt", "/out/pinned", 8)
+    pinned.set_boolean(FORCE_HADOOP_ENGINE_KEY, True)
+    slow = client.submit_job(pinned)
+    print(f"\nintegrated mode: default -> {fast.engine} ({fast.simulated_seconds:.2f}s), "
+          f"opted-out job -> {slow.engine} ({slow.simulated_seconds:.2f}s)")
+
+
+if __name__ == "__main__":
+    main()

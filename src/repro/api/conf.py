@@ -1,0 +1,249 @@
+"""Job configuration: Hadoop's ``Configuration`` and ``JobConf``.
+
+The configuration object is the job's side-channel: the client sets classes
+and parameters on it, the framework threads it through every user class, and
+(as the paper notes in Section 4.2.3) adding custom settings to it is "common
+practice in Hadoop for communicating additional information to jobs" — M3R's
+temp-output prefix and cache controls ride on exactly that convention.
+
+Because both engines run in-process, class-valued settings store the actual
+Python class objects (Hadoop stores class names and reflects; the observable
+semantics are identical).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List, Optional
+
+
+class Configuration:
+    """A typed view over a string-keyed settings map."""
+
+    def __init__(self, other: Optional["Configuration"] = None):
+        self._props: Dict[str, Any] = dict(other._props) if other is not None else {}
+
+    # -- raw access ------------------------------------------------------- #
+
+    def set(self, key: str, value: Any) -> None:
+        self._props[key] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._props.get(key, default)
+
+    def unset(self, key: str) -> None:
+        self._props.pop(key, None)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._props
+
+    def keys(self) -> List[str]:
+        return list(self._props)
+
+    # -- typed getters ------------------------------------------------------ #
+
+    def get_int(self, key: str, default: int = 0) -> int:
+        value = self._props.get(key)
+        return default if value is None else int(value)
+
+    def set_int(self, key: str, value: int) -> None:
+        self._props[key] = int(value)
+
+    def get_long(self, key: str, default: int = 0) -> int:
+        return self.get_int(key, default)
+
+    def get_float(self, key: str, default: float = 0.0) -> float:
+        value = self._props.get(key)
+        return default if value is None else float(value)
+
+    def set_float(self, key: str, value: float) -> None:
+        self._props[key] = float(value)
+
+    def get_boolean(self, key: str, default: bool = False) -> bool:
+        value = self._props.get(key)
+        if value is None:
+            return default
+        if isinstance(value, bool):
+            return value
+        return str(value).strip().lower() in ("true", "1", "yes")
+
+    def set_boolean(self, key: str, value: bool) -> None:
+        self._props[key] = bool(value)
+
+    def get_strings(self, key: str, default: Optional[List[str]] = None) -> List[str]:
+        value = self._props.get(key)
+        if value is None:
+            return list(default) if default is not None else []
+        if isinstance(value, str):
+            return [part for part in value.split(",") if part]
+        return list(value)
+
+    def set_strings(self, key: str, values: List[str]) -> None:
+        self._props[key] = ",".join(values)
+
+    def get_class(self, key: str, default: Optional[type] = None) -> Optional[type]:
+        value = self._props.get(key)
+        if value is None:
+            return default
+        if not isinstance(value, type):
+            raise TypeError(f"configuration key {key!r} holds {value!r}, not a class")
+        return value
+
+    def set_class(self, key: str, cls: type) -> None:
+        if not isinstance(cls, type):
+            raise TypeError(f"{cls!r} is not a class")
+        self._props[key] = cls
+
+    def copy(self) -> "Configuration":
+        return type(self)(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({len(self._props)} props)"
+
+
+# Canonical configuration keys (Hadoop 0.22 names where they exist).
+MAPPER_CLASS_KEY = "mapred.mapper.class"
+REDUCER_CLASS_KEY = "mapred.reducer.class"
+COMBINER_CLASS_KEY = "mapred.combiner.class"
+MAP_RUNNER_CLASS_KEY = "mapred.map.runner.class"
+PARTITIONER_CLASS_KEY = "mapred.partitioner.class"
+INPUT_FORMAT_KEY = "mapred.input.format.class"
+OUTPUT_FORMAT_KEY = "mapred.output.format.class"
+INPUT_DIR_KEY = "mapred.input.dir"
+OUTPUT_DIR_KEY = "mapred.output.dir"
+NUM_REDUCES_KEY = "mapred.reduce.tasks"
+NUM_MAPS_HINT_KEY = "mapred.map.tasks"
+JOB_NAME_KEY = "mapred.job.name"
+OUTPUT_KEY_CLASS_KEY = "mapred.output.key.class"
+OUTPUT_VALUE_CLASS_KEY = "mapred.output.value.class"
+MAP_OUTPUT_KEY_CLASS_KEY = "mapred.mapoutput.key.class"
+MAP_OUTPUT_VALUE_CLASS_KEY = "mapred.mapoutput.value.class"
+SORT_COMPARATOR_KEY = "mapred.output.key.comparator.class"
+GROUPING_COMPARATOR_KEY = "mapred.output.value.groupfn.class"
+SPECULATIVE_KEY = "mapred.map.tasks.speculative.execution"
+USE_NEW_API_KEY = "mapred.mapper.new-api"
+JOB_END_NOTIFICATION_URL_KEY = "job.end.notification.url"
+JOB_QUEUE_NAME_KEY = "mapred.job.queue.name"
+
+
+class JobConf(Configuration):
+    """The old-style job configuration, with the usual convenience setters.
+
+    Works for both API generations: new-API :class:`repro.api.mapreduce.Job`
+    wraps one of these, exactly as Hadoop's ``Job`` wraps a ``JobConf``.
+    """
+
+    def __init__(self, other: Optional[Configuration] = None):
+        super().__init__(other)
+
+    # -- identity --------------------------------------------------------- #
+
+    def set_job_name(self, name: str) -> None:
+        self.set(JOB_NAME_KEY, name)
+
+    def get_job_name(self) -> str:
+        return self.get(JOB_NAME_KEY, "(unnamed job)")
+
+    # -- user classes ---------------------------------------------------- #
+
+    def set_mapper_class(self, cls: type) -> None:
+        self.set_class(MAPPER_CLASS_KEY, cls)
+
+    def get_mapper_class(self) -> Optional[type]:
+        return self.get_class(MAPPER_CLASS_KEY)
+
+    def set_reducer_class(self, cls: type) -> None:
+        self.set_class(REDUCER_CLASS_KEY, cls)
+
+    def get_reducer_class(self) -> Optional[type]:
+        return self.get_class(REDUCER_CLASS_KEY)
+
+    def set_combiner_class(self, cls: type) -> None:
+        self.set_class(COMBINER_CLASS_KEY, cls)
+
+    def get_combiner_class(self) -> Optional[type]:
+        return self.get_class(COMBINER_CLASS_KEY)
+
+    def set_map_runner_class(self, cls: type) -> None:
+        self.set_class(MAP_RUNNER_CLASS_KEY, cls)
+
+    def get_map_runner_class(self) -> Optional[type]:
+        return self.get_class(MAP_RUNNER_CLASS_KEY)
+
+    def set_partitioner_class(self, cls: type) -> None:
+        self.set_class(PARTITIONER_CLASS_KEY, cls)
+
+    def get_partitioner_class(self) -> Optional[type]:
+        return self.get_class(PARTITIONER_CLASS_KEY)
+
+    def set_input_format(self, cls: type) -> None:
+        self.set_class(INPUT_FORMAT_KEY, cls)
+
+    def get_input_format(self) -> Optional[type]:
+        return self.get_class(INPUT_FORMAT_KEY)
+
+    def set_output_format(self, cls: type) -> None:
+        self.set_class(OUTPUT_FORMAT_KEY, cls)
+
+    def get_output_format(self) -> Optional[type]:
+        return self.get_class(OUTPUT_FORMAT_KEY)
+
+    def set_output_key_class(self, cls: type) -> None:
+        self.set_class(OUTPUT_KEY_CLASS_KEY, cls)
+
+    def set_output_value_class(self, cls: type) -> None:
+        self.set_class(OUTPUT_VALUE_CLASS_KEY, cls)
+
+    def set_map_output_key_class(self, cls: type) -> None:
+        self.set_class(MAP_OUTPUT_KEY_CLASS_KEY, cls)
+
+    def set_map_output_value_class(self, cls: type) -> None:
+        self.set_class(MAP_OUTPUT_VALUE_CLASS_KEY, cls)
+
+    def set_output_key_comparator_class(self, cls: type) -> None:
+        self.set_class(SORT_COMPARATOR_KEY, cls)
+
+    def get_output_key_comparator_class(self) -> Optional[type]:
+        return self.get_class(SORT_COMPARATOR_KEY)
+
+    def set_output_value_grouping_comparator(self, cls: type) -> None:
+        self.set_class(GROUPING_COMPARATOR_KEY, cls)
+
+    def get_output_value_grouping_comparator(self) -> Optional[type]:
+        return self.get_class(GROUPING_COMPARATOR_KEY)
+
+    # -- shape ------------------------------------------------------------ #
+
+    def set_num_reduce_tasks(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("reduce task count cannot be negative")
+        self.set_int(NUM_REDUCES_KEY, n)
+
+    def get_num_reduce_tasks(self) -> int:
+        return self.get_int(NUM_REDUCES_KEY, 1)
+
+    def set_num_map_tasks(self, n: int) -> None:
+        """A *hint* only, exactly as in Hadoop — splits decide the real count."""
+        self.set_int(NUM_MAPS_HINT_KEY, n)
+
+    def get_num_map_tasks(self) -> int:
+        return self.get_int(NUM_MAPS_HINT_KEY, 1)
+
+    # -- paths -------------------------------------------------------------- #
+
+    def set_input_paths(self, *paths: str) -> None:
+        self.set_strings(INPUT_DIR_KEY, list(paths))
+
+    def add_input_path(self, path: str) -> None:
+        existing = self.get_strings(INPUT_DIR_KEY)
+        existing.append(path)
+        self.set_strings(INPUT_DIR_KEY, existing)
+
+    def get_input_paths(self) -> List[str]:
+        return self.get_strings(INPUT_DIR_KEY)
+
+    def set_output_path(self, path: str) -> None:
+        self.set(OUTPUT_DIR_KEY, path)
+
+    def get_output_path(self) -> Optional[str]:
+        return self.get(OUTPUT_DIR_KEY)

@@ -1,0 +1,70 @@
+"""The Hadoop distributed cache.
+
+Jobs register read-only side files on the configuration; the framework makes
+them available to every task.  In real Hadoop that means copying files to
+each tasktracker's local disk; in M3R (and in both engines here) the files
+are already reachable through the shared filesystem, so "localization" is a
+metadata operation — but the API shape and the simulated localization cost
+are preserved (the paper lists the distributed cache among the supported
+HMR features).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.api.conf import JobConf
+
+CACHE_FILES_KEY = "mapred.cache.files"
+CACHE_ARCHIVES_KEY = "mapred.cache.archives"
+LOCALIZED_PREFIX_KEY = "mapred.cache.localized.prefix"
+
+
+class DistributedCache:
+    """Static helpers mirroring ``org.apache.hadoop.filecache.DistributedCache``."""
+
+    @staticmethod
+    def add_cache_file(uri: str, conf: JobConf) -> None:
+        """Register ``uri`` as a cached side file for every task of the job."""
+        files = conf.get_strings(CACHE_FILES_KEY)
+        if uri not in files:
+            files.append(uri)
+            conf.set_strings(CACHE_FILES_KEY, files)
+
+    @staticmethod
+    def add_cache_archive(uri: str, conf: JobConf) -> None:
+        """Register an archive (treated as an opaque file in this model)."""
+        archives = conf.get_strings(CACHE_ARCHIVES_KEY)
+        if uri not in archives:
+            archives.append(uri)
+            conf.set_strings(CACHE_ARCHIVES_KEY, archives)
+
+    @staticmethod
+    def get_cache_files(conf: JobConf) -> List[str]:
+        """The registered cache file URIs."""
+        return conf.get_strings(CACHE_FILES_KEY)
+
+    @staticmethod
+    def get_cache_archives(conf: JobConf) -> List[str]:
+        return conf.get_strings(CACHE_ARCHIVES_KEY)
+
+    @staticmethod
+    def get_local_cache_files(conf: JobConf) -> List[str]:
+        """Paths tasks read the cached files from.
+
+        Both engines expose the original paths (the shared in-memory
+        filesystem is visible from every place, as HDFS is from every
+        tasktracker); the prefix hook lets tests observe localization.
+        """
+        prefix = conf.get(LOCALIZED_PREFIX_KEY, "")
+        return [prefix + path for path in DistributedCache.get_cache_files(conf)]
+
+    @staticmethod
+    def total_cache_bytes(conf: JobConf, fs: Any) -> int:
+        """Total bytes of registered cache files (engines charge the copy)."""
+        total = 0
+        for path in DistributedCache.get_cache_files(conf):
+            status = fs.get_file_status(path)
+            if status is not None:
+                total += status.length
+        return total

@@ -1,0 +1,123 @@
+"""M3R's backward-compatible extensions to the HMR API (paper Section 4).
+
+Every name here is designed so that the stock Hadoop engine can simply
+*ignore* it: they are marker interfaces, optional interfaces on user types,
+or plain configuration keys.  The same job class therefore runs unmodified
+on both engines — only M3R changes behaviour.
+
+* :class:`ImmutableOutput` — "this mapper/reducer/map-runner promises not to
+  mutate keys or values after emitting them"; M3R skips defensive cloning.
+* :class:`NamedSplit` — a user-defined split declares the name under which
+  its data should be cached.
+* :class:`DelegatingSplit` — a wrapper split tells M3R how to reach the
+  underlying split (used by MultipleInputs' ``TaggedInputSplit``).
+* :class:`PlacedSplit` — a split declares which partition (and therefore,
+  via partition stability, which place) should map it.
+* :class:`CacheFS` — the extra interface M3R-created FileSystem objects
+  implement: ``get_raw_cache()`` yields a synthetic FileSystem whose
+  operations touch only the cache, and ``get_cache_record_reader`` exposes
+  the cached key/value sequence for a path.
+* Temporary outputs — an output path whose last component starts with the
+  configured prefix (default ``"temp"``) is never flushed to the real
+  filesystem.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple
+
+
+class ImmutableOutput:
+    """Marker: the implementing mapper/reducer/map-runner never mutates
+    objects it has already emitted, so the engine may alias instead of clone.
+
+    Hadoop ignores this interface entirely (paper Figure 4 shows the same
+    WordCount running on both engines).
+    """
+
+
+def is_immutable_output(obj_or_cls: Any) -> bool:
+    """True when the object or class carries the :class:`ImmutableOutput` marker."""
+    cls = obj_or_cls if isinstance(obj_or_cls, type) else type(obj_or_cls)
+    return issubclass(cls, ImmutableOutput)
+
+
+class NamedSplit:
+    """A user split that can name its data for the M3R cache (Section 4.2.1)."""
+
+    def get_name(self) -> str:
+        """The cache name for the data associated with this split."""
+        raise NotImplementedError
+
+
+class DelegatingSplit:
+    """A wrapper split that exposes the split it wraps (Section 4.2.1)."""
+
+    def get_delegate(self) -> Any:
+        """The underlying split whose naming/caching rules should apply."""
+        raise NotImplementedError
+
+
+class PlacedSplit:
+    """A split that declares its home partition (Section 4.3).
+
+    M3R sends such a split to a mapper running at the place that partition
+    maps to under the partition-stability guarantee, so data lands in the
+    right place from the very beginning of a job sequence.
+    """
+
+    def get_partition(self) -> int:
+        """The partition this split's data belongs to."""
+        raise NotImplementedError
+
+
+class CacheFS:
+    """The cache-management interface of M3R FileSystem objects (Section 4.2.3/4).
+
+    ``get_raw_cache()`` returns a *synthetic* FileSystem: operations on it
+    (delete, rename, get_file_status) touch only the cache, never the
+    underlying filesystem — that is how jobs evict data they know will not
+    be read again.
+    """
+
+    def get_raw_cache(self) -> Any:
+        """A FileSystem view whose operations affect only the cache."""
+        raise NotImplementedError
+
+    def get_cache_record_reader(
+        self, path: str
+    ) -> Optional[Iterator[Tuple[Any, Any]]]:
+        """An iterator over the cached key/value sequence for ``path``,
+        or ``None`` when the path is not cached."""
+        raise NotImplementedError
+
+
+#: Configuration key customizing the temporary-output prefix (Section 4.2.3).
+TEMP_OUTPUT_PREFIX_KEY = "m3r.temp.output.prefix"
+
+#: Default: output paths whose basename starts with this are not flushed.
+DEFAULT_TEMP_OUTPUT_PREFIX = "temp"
+
+#: Configuration key listing explicit temporary paths (comma separated).
+TEMP_OUTPUT_PATHS_KEY = "m3r.temp.output.paths"
+
+#: Configuration key: set truthy to force a job to bypass M3R and run on
+#: the Hadoop engine even in integrated mode (paper Section 5.3).
+FORCE_HADOOP_ENGINE_KEY = "m3r.force.hadoop.engine"
+
+
+def is_temporary_output(path: str, conf: Any) -> bool:
+    """Does ``path`` follow the temporary-output convention of Section 4.2.3?
+
+    True when the last path component starts with the configured prefix, or
+    when the path is listed in :data:`TEMP_OUTPUT_PATHS_KEY`.
+    """
+    prefix = DEFAULT_TEMP_OUTPUT_PREFIX
+    explicit: Tuple[str, ...] = ()
+    if conf is not None:
+        prefix = conf.get(TEMP_OUTPUT_PREFIX_KEY, DEFAULT_TEMP_OUTPUT_PREFIX)
+        explicit = tuple(conf.get_strings(TEMP_OUTPUT_PATHS_KEY))
+    if path in explicit:
+        return True
+    basename = path.rstrip("/").rsplit("/", 1)[-1]
+    return basename.startswith(prefix)

@@ -1,0 +1,156 @@
+"""Byte-level I/O: Hadoop's ``DataOutput`` / ``DataInput`` in Python.
+
+Writables serialize themselves through these buffers using Hadoop's wire
+conventions (big-endian fixed-width primitives, zero-compressed VInt/VLong,
+length-prefixed UTF-8).  Getting the wire format right matters because the
+cost model charges per serialized byte — ``serialized_size()`` on every
+Writable is computed from the same encoders used here.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_INT = struct.Struct(">i")
+_LONG = struct.Struct(">q")
+_FLOAT = struct.Struct(">f")
+_DOUBLE = struct.Struct(">d")
+
+
+def vint_size(value: int) -> int:
+    """The encoded size of ``value`` under Hadoop's zero-compressed VLong."""
+    if -112 <= value <= 127:
+        return 1
+    magnitude = value if value >= 0 else -(value + 1)
+    nbytes = 0
+    while magnitude:
+        magnitude >>= 8
+        nbytes += 1
+    return 1 + max(1, nbytes)
+
+
+class DataOutputBuffer:
+    """An append-only byte buffer with Hadoop ``DataOutput`` methods."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def write_boolean(self, value: bool) -> None:
+        self._buf.append(1 if value else 0)
+
+    def write_byte(self, value: int) -> None:
+        self._buf.append(value & 0xFF)
+
+    def write_int(self, value: int) -> None:
+        self._buf += _INT.pack(value)
+
+    def write_long(self, value: int) -> None:
+        self._buf += _LONG.pack(value)
+
+    def write_float(self, value: float) -> None:
+        self._buf += _FLOAT.pack(value)
+
+    def write_double(self, value: float) -> None:
+        self._buf += _DOUBLE.pack(value)
+
+    def write_vlong(self, value: int) -> None:
+        """Hadoop ``WritableUtils.writeVLong``: zero-compressed encoding."""
+        if -112 <= value <= 127:
+            self._buf.append(value & 0xFF)
+            return
+        length = -112
+        magnitude = value
+        if value < 0:
+            length = -120
+            magnitude = -(value + 1)
+        probe = magnitude
+        while probe:
+            probe >>= 8
+            length -= 1
+        self._buf.append(length & 0xFF)
+        length = -(length + 120) if length < -120 else -(length + 112)
+        for shift in range(8 * (length - 1), -1, -8):
+            self._buf.append((magnitude >> shift) & 0xFF)
+
+    def write_vint(self, value: int) -> None:
+        self.write_vlong(value)
+
+    def write_bytes(self, data: bytes) -> None:
+        self._buf += data
+
+    def write_utf(self, text: str) -> None:
+        """Length-prefixed UTF-8 (Hadoop ``Text`` convention: VInt length)."""
+        encoded = text.encode("utf-8")
+        self.write_vint(len(encoded))
+        self._buf += encoded
+
+    def to_bytes(self) -> bytes:
+        return bytes(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+
+class DataInputBuffer:
+    """A cursor over bytes with Hadoop ``DataInput`` methods."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def _take(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise EOFError(
+                f"need {n} bytes at offset {self._pos}, only {self.remaining} left"
+            )
+        chunk = self._data[self._pos : self._pos + n]
+        self._pos += n
+        return chunk
+
+    def read_boolean(self) -> bool:
+        return self._take(1)[0] != 0
+
+    def read_byte(self) -> int:
+        return self._take(1)[0]
+
+    def read_int(self) -> int:
+        return _INT.unpack(self._take(4))[0]
+
+    def read_long(self) -> int:
+        return _LONG.unpack(self._take(8))[0]
+
+    def read_float(self) -> float:
+        return _FLOAT.unpack(self._take(4))[0]
+
+    def read_double(self) -> float:
+        return _DOUBLE.unpack(self._take(8))[0]
+
+    def read_vlong(self) -> int:
+        """Inverse of :meth:`DataOutputBuffer.write_vlong`."""
+        first = self._take(1)[0]
+        if first > 127:
+            first -= 256  # interpret as signed byte
+        if first >= -112:
+            return first
+        # Markers -113..-120 are positive payloads of 1..8 bytes; markers
+        # -121..-128 are one's-complemented negatives of 1..8 bytes.
+        negative = first < -120
+        length = -(first + 120) if negative else -(first + 112)
+        magnitude = 0
+        for byte in self._take(length):
+            magnitude = (magnitude << 8) | byte
+        return -(magnitude + 1) if negative else magnitude
+
+    def read_vint(self) -> int:
+        return self.read_vlong()
+
+    def read_bytes(self, n: int) -> bytes:
+        return self._take(n)
+
+    def read_utf(self) -> str:
+        length = self.read_vint()
+        return self._take(length).decode("utf-8")

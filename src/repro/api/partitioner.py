@@ -1,0 +1,88 @@
+"""Partitioners: mapping map-output keys to reduce partitions.
+
+The HMR API gives the programmer control over *which partition* a key lands
+in but deliberately no control over *where* that partition's reducer runs
+(Hadoop wants the freedom to restart reducers anywhere).  M3R's partition
+stability guarantee (paper Section 3.2.2.2) is layered on top of this
+interface: for a fixed reducer count, partition *i* always executes at the
+same place — so a careful partitioner becomes a locality tool.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Generic, List, Sequence, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class Partitioner(Generic[K, V]):
+    """Maps a key (and value) to a partition in ``[0, num_partitions)``."""
+
+    def configure(self, conf: Any) -> None:
+        """Hook for JobConfigurable partitioners; default does nothing."""
+
+    def get_partition(self, key: K, value: V, num_partitions: int) -> int:
+        raise NotImplementedError
+
+
+class HashPartitioner(Partitioner[K, V]):
+    """Hadoop's default: ``(hash(key) & MAX_INT) % numPartitions``."""
+
+    def get_partition(self, key: K, value: V, num_partitions: int) -> int:
+        if num_partitions <= 0:
+            raise ValueError("need at least one partition")
+        return (hash(key) & 0x7FFFFFFF) % num_partitions
+
+
+class TotalOrderPartitioner(Partitioner[K, V]):
+    """Range partitioner for globally sorted output (Hadoop's TeraSort trick).
+
+    Given ``n - 1`` sorted cut points, keys below the first cut go to
+    partition 0, keys in ``[cut[i-1], cut[i])`` to partition ``i``, and so
+    on.  Cut points are normally sampled from the input; tests build them
+    directly.
+    """
+
+    def __init__(self, cut_points: Sequence[K] = ()):
+        self._cuts: List[K] = list(cut_points)
+        self._validate()
+
+    def _validate(self) -> None:
+        for left, right in zip(self._cuts, self._cuts[1:]):
+            if not left < right:  # type: ignore[operator]
+                raise ValueError("cut points must be strictly increasing")
+
+    def configure(self, conf: Any) -> None:
+        cuts = None if conf is None else conf.get("total.order.partitioner.cuts")
+        if cuts is not None:
+            self._cuts = list(cuts)
+            self._validate()
+
+    def get_partition(self, key: K, value: V, num_partitions: int) -> int:
+        if num_partitions <= 0:
+            raise ValueError("need at least one partition")
+        if len(self._cuts) != num_partitions - 1:
+            raise ValueError(
+                f"{len(self._cuts)} cut points cannot define {num_partitions} partitions"
+            )
+        return bisect.bisect_right(self._cuts, key)
+
+    @staticmethod
+    def sample_cut_points(sample: Sequence[K], num_partitions: int) -> List[K]:
+        """Derive evenly-spaced cut points from a sorted-able key sample."""
+        if num_partitions <= 0:
+            raise ValueError("need at least one partition")
+        ordered = sorted(sample)  # type: ignore[type-var]
+        cuts: List[K] = []
+        for i in range(1, num_partitions):
+            index = min(len(ordered) - 1, i * len(ordered) // num_partitions)
+            cuts.append(ordered[index])
+        # De-duplicate while preserving order; duplicate cuts would create
+        # empty ranges and violate the strictly-increasing contract.
+        unique: List[K] = []
+        for cut in cuts:
+            if not unique or unique[-1] < cut:  # type: ignore[operator]
+                unique.append(cut)
+        return unique

@@ -1,0 +1,74 @@
+"""Input splits: the metadata describing where each chunk of input resides.
+
+An :class:`InputSplit` does not carry data — it tells the engine how much
+data there is (``get_length``) and which hosts hold it (``get_locations``),
+which is what both engines use for locality-aware scheduling.  The concrete
+:class:`FileSplit` is the one M3R "understands" natively for caching (paper
+Section 4.2.1: given a FileSplit, M3R derives a cache name from the file
+name and offset); user-defined splits opt into caching through
+:class:`~repro.api.extensions.NamedSplit` / ``DelegatingSplit``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class InputSplit:
+    """One schedulable chunk of job input."""
+
+    def get_length(self) -> int:
+        """The number of bytes this split covers."""
+        raise NotImplementedError
+
+    def get_locations(self) -> List[str]:
+        """Hostnames holding the data (best effort; may be empty)."""
+        raise NotImplementedError
+
+
+class FileSplit(InputSplit):
+    """A contiguous byte range of one file, plus the hosts storing it."""
+
+    def __init__(
+        self,
+        path: str,
+        start: int,
+        length: int,
+        hosts: Sequence[str] = (),
+    ):
+        if start < 0 or length < 0:
+            raise ValueError("split start/length must be non-negative")
+        self.path = path
+        self.start = start
+        self.length = length
+        self.hosts = list(hosts)
+
+    def get_path(self) -> str:
+        return self.path
+
+    def get_start(self) -> int:
+        return self.start
+
+    def get_length(self) -> int:
+        return self.length
+
+    def get_locations(self) -> List[str]:
+        return list(self.hosts)
+
+    def cache_name(self) -> str:
+        """The name under which M3R caches this split's key/value sequence."""
+        return f"{self.path}@{self.start}+{self.length}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FileSplit)
+            and other.path == self.path
+            and other.start == self.start
+            and other.length == self.length
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.path, self.start, self.length))
+
+    def __repr__(self) -> str:
+        return f"FileSplit({self.path!r}, start={self.start}, length={self.length})"

@@ -1,0 +1,671 @@
+"""Hadoop Writable types.
+
+Hadoop moves every key and value through the ``Writable`` interface
+(``write``/``readFields``); keys additionally implement
+``WritableComparable`` so the shuffle can sort them.  Two Hadoop-isms matter
+for the M3R story and are reproduced faithfully:
+
+* **Writables are mutable.** ``IntWritable.set`` / ``Text.set`` exist so job
+  code can reuse one object for millions of records.  Hadoop encourages this
+  because it serializes output immediately; M3R must defensively ``clone()``
+  unless the job implements :class:`~repro.api.extensions.ImmutableOutput`.
+  (This is the whole subject of paper Section 4.1 and Figure 4.)
+* **Exact wire sizes.** ``serialized_size()`` reports the Hadoop wire size;
+  the simulation charges serialization, disk and network time per byte, so
+  these sizes drive the reproduced performance numbers.
+
+Besides the standard scalar types, this module provides the blocked-matrix
+writables the paper's Section 6.2 describes: a two-int block index key, a
+compressed-sparse-column matrix block, and a dense vector block.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+from scipy import sparse
+
+from repro.api.io_util import DataInputBuffer, DataOutputBuffer, vint_size
+
+
+class Writable:
+    """Base of all Hadoop-serializable types."""
+
+    def write(self, out: DataOutputBuffer) -> None:
+        """Serialize this object into ``out``."""
+        raise NotImplementedError
+
+    def read_fields(self, inp: DataInputBuffer) -> None:
+        """Overwrite this object's fields from ``inp`` (Hadoop reuses objects)."""
+        raise NotImplementedError
+
+    def serialized_size(self) -> int:
+        """Exact wire size in bytes (drives the simulation's cost accounting)."""
+        raise NotImplementedError
+
+    def clone(self) -> "Writable":
+        """A deep copy (Hadoop's ``WritableUtils.clone`` equivalent)."""
+        out = DataOutputBuffer()
+        self.write(out)
+        fresh = type(self)()
+        fresh.read_fields(DataInputBuffer(out.to_bytes()))
+        return fresh
+
+
+class WritableComparable(Writable):
+    """A Writable with a total order — required of shuffle keys."""
+
+    def compare_to(self, other: "WritableComparable") -> int:
+        """Negative / zero / positive like Java's ``compareTo``."""
+        raise NotImplementedError
+
+    def __lt__(self, other: "WritableComparable") -> bool:
+        return self.compare_to(other) < 0
+
+    def __le__(self, other: "WritableComparable") -> bool:
+        return self.compare_to(other) <= 0
+
+    def __gt__(self, other: "WritableComparable") -> bool:
+        return self.compare_to(other) > 0
+
+    def __ge__(self, other: "WritableComparable") -> bool:
+        return self.compare_to(other) >= 0
+
+
+class IntWritable(WritableComparable):
+    """A boxed 32-bit int (fixed 4-byte encoding)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0):
+        self.value = int(value)
+
+    def get(self) -> int:
+        return self.value
+
+    def set(self, value: int) -> None:
+        self.value = int(value)
+
+    def write(self, out: DataOutputBuffer) -> None:
+        out.write_int(self.value)
+
+    def read_fields(self, inp: DataInputBuffer) -> None:
+        self.value = inp.read_int()
+
+    def serialized_size(self) -> int:
+        return 4
+
+    def compare_to(self, other: "IntWritable") -> int:
+        return (self.value > other.value) - (self.value < other.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntWritable) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __repr__(self) -> str:
+        return f"IntWritable({self.value})"
+
+
+class LongWritable(WritableComparable):
+    """A boxed 64-bit long (fixed 8-byte encoding)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0):
+        self.value = int(value)
+
+    def get(self) -> int:
+        return self.value
+
+    def set(self, value: int) -> None:
+        self.value = int(value)
+
+    def write(self, out: DataOutputBuffer) -> None:
+        out.write_long(self.value)
+
+    def read_fields(self, inp: DataInputBuffer) -> None:
+        self.value = inp.read_long()
+
+    def serialized_size(self) -> int:
+        return 8
+
+    def compare_to(self, other: "LongWritable") -> int:
+        return (self.value > other.value) - (self.value < other.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LongWritable) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __repr__(self) -> str:
+        return f"LongWritable({self.value})"
+
+
+class VIntWritable(WritableComparable):
+    """A zero-compressed variable-length int."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0):
+        self.value = int(value)
+
+    def get(self) -> int:
+        return self.value
+
+    def set(self, value: int) -> None:
+        self.value = int(value)
+
+    def write(self, out: DataOutputBuffer) -> None:
+        out.write_vint(self.value)
+
+    def read_fields(self, inp: DataInputBuffer) -> None:
+        self.value = inp.read_vint()
+
+    def serialized_size(self) -> int:
+        return vint_size(self.value)
+
+    def compare_to(self, other: "VIntWritable") -> int:
+        return (self.value > other.value) - (self.value < other.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VIntWritable) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __repr__(self) -> str:
+        return f"VIntWritable({self.value})"
+
+
+class FloatWritable(WritableComparable):
+    """A boxed 32-bit float."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0):
+        self.value = float(value)
+
+    def get(self) -> float:
+        return self.value
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def write(self, out: DataOutputBuffer) -> None:
+        out.write_float(self.value)
+
+    def read_fields(self, inp: DataInputBuffer) -> None:
+        self.value = inp.read_float()
+
+    def serialized_size(self) -> int:
+        return 4
+
+    def compare_to(self, other: "FloatWritable") -> int:
+        return (self.value > other.value) - (self.value < other.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FloatWritable) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __repr__(self) -> str:
+        return f"FloatWritable({self.value})"
+
+
+class DoubleWritable(WritableComparable):
+    """A boxed 64-bit double."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0):
+        self.value = float(value)
+
+    def get(self) -> float:
+        return self.value
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def write(self, out: DataOutputBuffer) -> None:
+        out.write_double(self.value)
+
+    def read_fields(self, inp: DataInputBuffer) -> None:
+        self.value = inp.read_double()
+
+    def serialized_size(self) -> int:
+        return 8
+
+    def compare_to(self, other: "DoubleWritable") -> int:
+        return (self.value > other.value) - (self.value < other.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DoubleWritable) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __repr__(self) -> str:
+        return f"DoubleWritable({self.value})"
+
+
+class BooleanWritable(WritableComparable):
+    """A boxed boolean."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool = False):
+        self.value = bool(value)
+
+    def get(self) -> bool:
+        return self.value
+
+    def set(self, value: bool) -> None:
+        self.value = bool(value)
+
+    def write(self, out: DataOutputBuffer) -> None:
+        out.write_boolean(self.value)
+
+    def read_fields(self, inp: DataInputBuffer) -> None:
+        self.value = inp.read_boolean()
+
+    def serialized_size(self) -> int:
+        return 1
+
+    def compare_to(self, other: "BooleanWritable") -> int:
+        return int(self.value) - int(other.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BooleanWritable) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __repr__(self) -> str:
+        return f"BooleanWritable({self.value})"
+
+
+class Text(WritableComparable):
+    """Hadoop ``Text``: a mutable UTF-8 string (VInt length prefix)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: str = ""):
+        self._value = str(value)
+
+    def to_string(self) -> str:
+        return self._value
+
+    def get(self) -> str:
+        return self._value
+
+    def set(self, value: str) -> None:
+        self._value = str(value)
+
+    def write(self, out: DataOutputBuffer) -> None:
+        out.write_utf(self._value)
+
+    def read_fields(self, inp: DataInputBuffer) -> None:
+        self._value = inp.read_utf()
+
+    def serialized_size(self) -> int:
+        encoded = len(self._value.encode("utf-8"))
+        return vint_size(encoded) + encoded
+
+    def compare_to(self, other: "Text") -> int:
+        # Hadoop compares the UTF-8 bytes, not the code points.
+        a, b = self._value.encode("utf-8"), other._value.encode("utf-8")
+        return (a > b) - (a < b)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Text) and other._value == self._value
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __str__(self) -> str:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Text({self._value!r})"
+
+
+class BytesWritable(WritableComparable):
+    """A mutable byte buffer (4-byte length prefix, like Hadoop)."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: bytes = b""):
+        self._data = bytes(data)
+
+    def get_bytes(self) -> bytes:
+        return self._data
+
+    def get_length(self) -> int:
+        return len(self._data)
+
+    def set(self, data: bytes) -> None:
+        self._data = bytes(data)
+
+    def write(self, out: DataOutputBuffer) -> None:
+        out.write_int(len(self._data))
+        out.write_bytes(self._data)
+
+    def read_fields(self, inp: DataInputBuffer) -> None:
+        length = inp.read_int()
+        self._data = inp.read_bytes(length)
+
+    def serialized_size(self) -> int:
+        return 4 + len(self._data)
+
+    def compare_to(self, other: "BytesWritable") -> int:
+        return (self._data > other._data) - (self._data < other._data)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BytesWritable) and other._data == self._data
+
+    def __hash__(self) -> int:
+        return hash(self._data)
+
+    def __repr__(self) -> str:
+        preview = self._data[:8]
+        return f"BytesWritable(len={len(self._data)}, head={preview!r})"
+
+
+class NullWritable(WritableComparable):
+    """The zero-byte singleton placeholder."""
+
+    _instance: Optional["NullWritable"] = None
+
+    def __new__(cls) -> "NullWritable":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    @classmethod
+    def get(cls) -> "NullWritable":
+        return cls()
+
+    def write(self, out: DataOutputBuffer) -> None:
+        pass
+
+    def read_fields(self, inp: DataInputBuffer) -> None:
+        pass
+
+    def serialized_size(self) -> int:
+        return 0
+
+    def clone(self) -> "NullWritable":
+        return self
+
+    def compare_to(self, other: "NullWritable") -> int:
+        return 0
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NullWritable)
+
+    def __hash__(self) -> int:
+        return hash("NullWritable")
+
+    def __repr__(self) -> str:
+        return "NullWritable()"
+
+
+class ArrayWritable(Writable):
+    """A homogeneous array of writables of a declared element class."""
+
+    def __init__(
+        self,
+        element_class: Type[Writable] = IntWritable,
+        values: Optional[Sequence[Writable]] = None,
+    ):
+        self.element_class = element_class
+        self.values: List[Writable] = list(values) if values is not None else []
+
+    def get(self) -> List[Writable]:
+        return self.values
+
+    def set(self, values: Sequence[Writable]) -> None:
+        self.values = list(values)
+
+    def write(self, out: DataOutputBuffer) -> None:
+        out.write_int(len(self.values))
+        for value in self.values:
+            value.write(out)
+
+    def read_fields(self, inp: DataInputBuffer) -> None:
+        length = inp.read_int()
+        self.values = []
+        for _ in range(length):
+            element = self.element_class()
+            element.read_fields(inp)
+            self.values.append(element)
+
+    def serialized_size(self) -> int:
+        return 4 + sum(v.serialized_size() for v in self.values)
+
+    def clone(self) -> "ArrayWritable":
+        return ArrayWritable(self.element_class, [v.clone() for v in self.values])
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ArrayWritable) and other.values == self.values
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.values))
+
+    def __repr__(self) -> str:
+        return f"ArrayWritable({self.element_class.__name__}, n={len(self.values)})"
+
+
+class PairWritable(WritableComparable):
+    """A generic (first, second) pair of writables, ordered lexicographically."""
+
+    def __init__(
+        self,
+        first: Optional[WritableComparable] = None,
+        second: Optional[WritableComparable] = None,
+        first_class: Type[WritableComparable] = IntWritable,
+        second_class: Type[WritableComparable] = IntWritable,
+    ):
+        self.first = first if first is not None else first_class()
+        self.second = second if second is not None else second_class()
+
+    def write(self, out: DataOutputBuffer) -> None:
+        self.first.write(out)
+        self.second.write(out)
+
+    def read_fields(self, inp: DataInputBuffer) -> None:
+        self.first.read_fields(inp)
+        self.second.read_fields(inp)
+
+    def serialized_size(self) -> int:
+        return self.first.serialized_size() + self.second.serialized_size()
+
+    def clone(self) -> "PairWritable":
+        return PairWritable(self.first.clone(), self.second.clone())
+
+    def compare_to(self, other: "PairWritable") -> int:
+        first_cmp = self.first.compare_to(other.first)
+        if first_cmp != 0:
+            return first_cmp
+        return self.second.compare_to(other.second)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PairWritable)
+            and other.first == self.first
+            and other.second == self.second
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.first, self.second))
+
+    def __repr__(self) -> str:
+        return f"PairWritable({self.first!r}, {self.second!r})"
+
+
+class BlockIndexWritable(WritableComparable):
+    """The matvec key of paper Section 6.2: a pair of ints indexing a block.
+
+    A matrix block is addressed ``(row, col)``; vector blocks reuse the type
+    with ``col == 0`` ("a redundant column value of 0").  Row-major order.
+    """
+
+    __slots__ = ("row", "col")
+
+    def __init__(self, row: int = 0, col: int = 0):
+        self.row = int(row)
+        self.col = int(col)
+
+    def set(self, row: int, col: int) -> None:
+        self.row = int(row)
+        self.col = int(col)
+
+    def write(self, out: DataOutputBuffer) -> None:
+        out.write_int(self.row)
+        out.write_int(self.col)
+
+    def read_fields(self, inp: DataInputBuffer) -> None:
+        self.row = inp.read_int()
+        self.col = inp.read_int()
+
+    def serialized_size(self) -> int:
+        return 8
+
+    def clone(self) -> "BlockIndexWritable":
+        return BlockIndexWritable(self.row, self.col)
+
+    def compare_to(self, other: "BlockIndexWritable") -> int:
+        if self.row != other.row:
+            return -1 if self.row < other.row else 1
+        if self.col != other.col:
+            return -1 if self.col < other.col else 1
+        return 0
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BlockIndexWritable)
+            and other.row == self.row
+            and other.col == self.col
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.row, self.col))
+
+    def __repr__(self) -> str:
+        return f"BlockIndexWritable({self.row}, {self.col})"
+
+
+class MatrixBlockWritable(Writable):
+    """A sparse matrix block in compressed-sparse-column form.
+
+    This is the value type of paper Section 6.2 ("the value of such pairs is
+    a compressed sparse column (CSC) representation of the sparse block").
+    Backed by ``scipy.sparse.csc_matrix``; the wire format is shape + nnz +
+    the three CSC arrays.
+    """
+
+    def __init__(self, matrix: Optional[sparse.spmatrix] = None):
+        if matrix is None:
+            matrix = sparse.csc_matrix((0, 0), dtype=np.float64)
+        self.matrix = sparse.csc_matrix(matrix, dtype=np.float64)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.matrix.shape
+
+    @property
+    def nnz(self) -> int:
+        return self.matrix.nnz
+
+    def write(self, out: DataOutputBuffer) -> None:
+        rows, cols = self.matrix.shape
+        out.write_int(rows)
+        out.write_int(cols)
+        out.write_int(self.matrix.nnz)
+        out.write_bytes(self.matrix.indptr.astype(">i4").tobytes())
+        out.write_bytes(self.matrix.indices.astype(">i4").tobytes())
+        out.write_bytes(self.matrix.data.astype(">f8").tobytes())
+
+    def read_fields(self, inp: DataInputBuffer) -> None:
+        rows = inp.read_int()
+        cols = inp.read_int()
+        nnz = inp.read_int()
+        indptr = np.frombuffer(inp.read_bytes(4 * (cols + 1)), dtype=">i4").astype(
+            np.int32
+        )
+        indices = np.frombuffer(inp.read_bytes(4 * nnz), dtype=">i4").astype(np.int32)
+        data = np.frombuffer(inp.read_bytes(8 * nnz), dtype=">f8").astype(np.float64)
+        self.matrix = sparse.csc_matrix((data, indices, indptr), shape=(rows, cols))
+
+    def serialized_size(self) -> int:
+        rows, cols = self.matrix.shape
+        return 12 + 4 * (cols + 1) + 4 * self.matrix.nnz + 8 * self.matrix.nnz
+
+    def clone(self) -> "MatrixBlockWritable":
+        return MatrixBlockWritable(self.matrix.copy())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MatrixBlockWritable):
+            return False
+        if self.matrix.shape != other.matrix.shape:
+            return False
+        return (self.matrix != other.matrix).nnz == 0
+
+    def __repr__(self) -> str:
+        rows, cols = self.matrix.shape
+        return f"MatrixBlockWritable({rows}x{cols}, nnz={self.matrix.nnz})"
+
+
+class VectorBlockWritable(Writable):
+    """A dense vector block ("each value is an array of double")."""
+
+    def __init__(self, values: Optional[np.ndarray] = None):
+        if values is None:
+            values = np.zeros(0, dtype=np.float64)
+        self.values = np.asarray(values, dtype=np.float64).reshape(-1)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def write(self, out: DataOutputBuffer) -> None:
+        out.write_int(len(self.values))
+        out.write_bytes(self.values.astype(">f8").tobytes())
+
+    def read_fields(self, inp: DataInputBuffer) -> None:
+        length = inp.read_int()
+        self.values = np.frombuffer(inp.read_bytes(8 * length), dtype=">f8").astype(
+            np.float64
+        )
+
+    def serialized_size(self) -> int:
+        return 4 + 8 * len(self.values)
+
+    def clone(self) -> "VectorBlockWritable":
+        return VectorBlockWritable(self.values.copy())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VectorBlockWritable) and np.array_equal(
+            self.values, other.values
+        )
+
+    def __repr__(self) -> str:
+        return f"VectorBlockWritable(n={len(self.values)})"
+
+
+def writable_to_bytes(value: Writable) -> bytes:
+    """Serialize one writable to raw bytes."""
+    out = DataOutputBuffer()
+    value.write(out)
+    return out.to_bytes()
+
+
+def writable_from_bytes(cls: Type[Writable], data: bytes) -> Writable:
+    """Deserialize one writable of class ``cls`` from raw bytes."""
+    value = cls()
+    value.read_fields(DataInputBuffer(data))
+    return value

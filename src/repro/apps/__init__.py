@@ -1,0 +1,21 @@
+"""HMR application library.
+
+Every application here is written against the Hadoop API exactly as the
+paper's benchmarks were, including the "modest M3R-specific additions" of
+Section 4 (``ImmutableOutput`` markers, temporary outputs, cache deletes,
+locality-aware partitioners).  The same job classes run unchanged on both
+engines — that API-compatibility claim is the paper's headline, and the
+test suite asserts output equivalence on every app.
+"""
+
+from repro.apps import wordcount, matvec, microbenchmark, repartition, sortapp, grep, join
+
+__all__ = [
+    "wordcount",
+    "matvec",
+    "microbenchmark",
+    "repartition",
+    "sortapp",
+    "grep",
+    "join",
+]

@@ -1,0 +1,142 @@
+"""Distributed grep — the second classic Hadoop example.
+
+Job 1 counts the occurrences of a regex across the corpus; job 2 (optional)
+sorts the counts descending by frequency, exactly as Hadoop's bundled
+``Grep`` example chains two jobs.  Exercises regex configuration through
+the JobConf, a combiner, and a two-job sequence whose intermediate output
+M3R serves from cache.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.api.conf import JobConf
+from repro.api.extensions import ImmutableOutput
+from repro.api.formats import (
+    SequenceFileInputFormat,
+    SequenceFileOutputFormat,
+    TextInputFormat,
+)
+from repro.api.job import JobSequence
+from repro.api.mapred import Mapper, OutputCollector, Reducer, Reporter
+from repro.api.writables import LongWritable, Text
+
+PATTERN_KEY = "grep.pattern"
+GROUP_KEY = "grep.group"
+
+
+class GrepMapper(Mapper, ImmutableOutput):
+    """Emits (match, 1) for every regex match in every line."""
+
+    def __init__(self) -> None:
+        self._pattern = re.compile("")
+        self._group = 0
+
+    def configure(self, conf: JobConf) -> None:
+        self._pattern = re.compile(conf.get(PATTERN_KEY, ""))
+        self._group = conf.get_int(GROUP_KEY, 0)
+
+    def map(
+        self, key: LongWritable, value: Text, output: OutputCollector, reporter: Reporter
+    ) -> None:
+        for match in self._pattern.finditer(value.to_string()):
+            output.collect(Text(match.group(self._group)), LongWritable(1))
+
+
+class LongSumReducer(Reducer, ImmutableOutput):
+    """Sums LongWritable counts (doubles as the combiner)."""
+
+    def reduce(
+        self,
+        key: Text,
+        values: Iterator[LongWritable],
+        output: OutputCollector,
+        reporter: Reporter,
+    ) -> None:
+        total = 0
+        for value in values:
+            total += value.get()
+        output.collect(key, LongWritable(total))
+
+
+class InvertMapper(Mapper, ImmutableOutput):
+    """Swaps (match, count) to (count, match) for the sort job."""
+
+    def map(
+        self, key: Text, value: LongWritable, output: OutputCollector, reporter: Reporter
+    ) -> None:
+        output.collect(value, key)
+
+
+class _DescendingLongComparator:
+    """Sorts counts descending so the hottest match comes first."""
+
+    def compare(self, a: LongWritable, b: LongWritable) -> int:
+        return -a.compare_to(b)
+
+
+class IdentitySortReducer(Reducer, ImmutableOutput):
+    def reduce(
+        self, key: LongWritable, values: Iterator[Text], output: OutputCollector,
+        reporter: Reporter,
+    ) -> None:
+        for value in values:
+            output.collect(key, value)
+
+
+def grep_count_job(
+    input_path: str, output_path: str, pattern: str, num_reducers: int = 4,
+    group: int = 0,
+) -> JobConf:
+    """Job 1: count regex matches."""
+    conf = JobConf()
+    conf.set_job_name(f"grep-count[{pattern}]")
+    conf.set(PATTERN_KEY, pattern)
+    conf.set_int(GROUP_KEY, group)
+    conf.set_input_paths(input_path)
+    conf.set_input_format(TextInputFormat)
+    conf.set_mapper_class(GrepMapper)
+    conf.set_combiner_class(LongSumReducer)
+    conf.set_reducer_class(LongSumReducer)
+    conf.set_output_format(SequenceFileOutputFormat)
+    conf.set_output_path(output_path)
+    conf.set_num_reduce_tasks(num_reducers)
+    return conf
+
+
+def grep_sort_job(input_path: str, output_path: str) -> JobConf:
+    """Job 2: one reducer, counts descending — Hadoop's Grep second job."""
+    conf = JobConf()
+    conf.set_job_name("grep-sort")
+    conf.set_input_paths(input_path)
+    conf.set_input_format(SequenceFileInputFormat)
+    conf.set_mapper_class(InvertMapper)
+    conf.set_reducer_class(IdentitySortReducer)
+    conf.set_output_key_comparator_class(_DescendingLongComparator)
+    conf.set_output_format(SequenceFileOutputFormat)
+    conf.set_output_path(output_path)
+    conf.set_num_reduce_tasks(1)
+    return conf
+
+
+def grep_sequence(
+    input_path: str,
+    output_path: str,
+    pattern: str,
+    temp_dir: str = "/tmp-grep",
+    num_reducers: int = 4,
+) -> JobSequence:
+    """The classic two-job grep pipeline (count, then sort descending).
+
+    The intermediate path uses the temporary-output convention so M3R keeps
+    it purely in memory.
+    """
+    intermediate = f"{temp_dir.rstrip('/')}/temp-grep-counts"
+    return JobSequence(
+        [
+            grep_count_job(input_path, intermediate, pattern, num_reducers),
+            grep_sort_job(intermediate, output_path),
+        ]
+    )

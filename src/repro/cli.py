@@ -1,0 +1,267 @@
+"""Command-line interface: run the paper's workloads from a shell.
+
+::
+
+    python -m repro wordcount --lines 2000 --engine both
+    python -m repro micro --remote 60 --engine m3r
+    python -m repro matvec --rows 800 --iterations 3 --engine both
+    python -m repro sysml --algorithm pagerank --size 400 --engine m3r
+    python -m repro pig --script my_script.pig --engine both
+
+Each command builds a fresh simulated cluster, generates the workload,
+runs it on the selected engine(s) and prints simulated seconds plus the
+headline metrics.  ``--engine both`` also verifies output equivalence,
+which is the paper's own methodology.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro import hadoop_engine, m3r_engine
+from repro.fs import SimulatedHDFS
+from repro.sim import Cluster
+
+
+def _engines(args: argparse.Namespace):
+    kinds = ("hadoop", "m3r") if args.engine == "both" else (args.engine,)
+    for kind in kinds:
+        cluster = Cluster(args.nodes)
+        fs = SimulatedHDFS(cluster, block_size=256 * 1024, replication=1)
+        if kind == "hadoop":
+            yield kind, hadoop_engine(filesystem=fs)
+        else:
+            yield kind, m3r_engine(filesystem=fs)
+
+
+def _report(kind: str, seconds: float, extra: str = "") -> None:
+    print(f"  {kind:>6}: {seconds:10.2f} simulated s{extra}")
+
+
+def cmd_wordcount(args: argparse.Namespace) -> int:
+    from repro.apps.wordcount import generate_text, wordcount_job
+
+    text = generate_text(args.lines)
+    outputs: Dict[str, Dict[str, int]] = {}
+    print(f"wordcount over {len(text)} bytes, {args.nodes} nodes:")
+    for kind, engine in _engines(args):
+        engine.filesystem.write_text("/in.txt", text)
+        result = engine.run_job(
+            wordcount_job("/in.txt", "/out", args.reducers,
+                          immutable=not args.mutating)
+        )
+        if not result.succeeded:
+            print(f"  {kind}: FAILED — {result.error}")
+            return 1
+        outputs[kind] = {
+            str(k): v.get() for k, v in engine.filesystem.read_kv_pairs("/out")
+        }
+        _report(kind, result.simulated_seconds,
+                f"  ({len(outputs[kind])} distinct words)")
+    return _check_equivalence(outputs)
+
+
+def cmd_micro(args: argparse.Namespace) -> int:
+    from repro.apps.microbenchmark import run_microbenchmark
+
+    print(f"shuffle microbenchmark, remote={args.remote}%, "
+          f"{args.pairs} pairs x {args.value_bytes} B:")
+    for kind, engine in _engines(args):
+        result = run_microbenchmark(
+            engine, args.remote, num_pairs=args.pairs,
+            value_bytes=args.value_bytes, num_reducers=args.nodes,
+        )
+        iters = " / ".join(f"{t:.2f}" for t in result.iteration_seconds)
+        _report(kind, sum(result.iteration_seconds), f"  (iterations: {iters})")
+    return 0
+
+
+def cmd_matvec(args: argparse.Namespace) -> int:
+    from repro.apps import matvec
+
+    block = max(1, args.rows // 8)
+    num_row_blocks = (args.rows + block - 1) // block
+    print(f"sparse matvec, {args.rows} rows, {args.iterations} iterations:")
+    checksums: Dict[str, float] = {}
+    for kind, engine in _engines(args):
+        g = matvec.generate_blocked_matrix(args.rows, block, sparsity=args.sparsity)
+        v = matvec.generate_blocked_vector(args.rows, block)
+        matvec.write_partitioned(engine.filesystem, "/G", g, num_row_blocks,
+                                 args.nodes)
+        matvec.write_partitioned(engine.filesystem, "/V0", v, num_row_blocks,
+                                 args.nodes)
+        if kind == "m3r":
+            engine.warm_cache_from("/G")
+            engine.warm_cache_from("/V0")
+        total = 0.0
+        current = "/V0"
+        for iteration in range(args.iterations):
+            nxt = f"/V{iteration + 1}"
+            sequence = matvec.iteration_jobs(
+                "/G", current, nxt, "/scratch", iteration, num_row_blocks,
+                args.nodes,
+            )
+            total += sum(r.simulated_seconds for r in sequence.run_all(engine))
+            current = nxt
+        checksum = sum(
+            float(value.values.sum())
+            for _, value in engine.filesystem.read_kv_pairs(current)
+        )
+        checksums[kind] = round(checksum, 9)
+        _report(kind, total, f"  (checksum {checksum:+.6e})")
+    if len(checksums) == 2 and len(set(checksums.values())) != 1:
+        print("  ERROR: engines disagree on the result")
+        return 1
+    return 0
+
+
+def cmd_sysml(args: argparse.Namespace) -> int:
+    from repro.sysml import run_script
+    from repro.sysml import scripts as dml
+
+    builders = {
+        "pagerank": lambda fs: dml.pagerank_inputs(
+            fs, args.size, args.block, sparsity=args.sparsity,
+            num_partitions=args.nodes),
+        "linreg": lambda fs: dml.linreg_inputs(
+            fs, args.size, max(10, args.size // 4), args.block,
+            sparsity=args.sparsity, num_partitions=args.nodes),
+        "gnmf": lambda fs: dml.gnmf_inputs(
+            fs, args.size, max(10, args.size // 2), 10, args.block,
+            sparsity=args.sparsity, num_partitions=args.nodes),
+    }
+    scripts = {"pagerank": dml.PAGERANK_SCRIPT, "linreg": dml.LINREG_SCRIPT,
+               "gnmf": dml.GNMF_SCRIPT}
+    print(f"SystemML {args.algorithm}, size {args.size}, "
+          f"{args.iterations} iterations:")
+    for kind, engine in _engines(args):
+        inputs = builders[args.algorithm](engine.filesystem)
+        script = dml.with_iterations(scripts[args.algorithm], args.iterations)
+        _, runtime = run_script(
+            script, engine, inputs=inputs, block_size=args.block,
+            num_reducers=args.nodes,
+        )
+        _report(kind, runtime.total_seconds,
+                f"  ({runtime.jobs_run} generated jobs)")
+    return 0
+
+
+def cmd_jaql(args: argparse.Namespace) -> int:
+    from repro.jaql import JaqlRunner
+
+    with open(args.script) as handle:
+        source = handle.read()
+    data: Optional[str] = None
+    if args.data:
+        with open(args.data) as handle:
+            data = handle.read()
+    print(f"jaql pipeline {args.script}:")
+    outputs: Dict[str, List[object]] = {}
+    for kind, engine in _engines(args):
+        if data is not None:
+            engine.filesystem.write_text(args.data_path, data)
+        runner = JaqlRunner(engine, num_reducers=args.nodes)
+        sink = runner.run(source)
+        _report(kind, runner.total_seconds, f"  ({runner.jobs_run} jobs)")
+        outputs[kind] = runner.read_output(sink)
+    return _check_equivalence(outputs)
+
+
+def cmd_pig(args: argparse.Namespace) -> int:
+    from repro.pig import PigRunner
+
+    with open(args.script) as handle:
+        source = handle.read()
+    data: Optional[str] = None
+    if args.data:
+        with open(args.data) as handle:
+            data = handle.read()
+    print(f"pig script {args.script}:")
+    outputs: Dict[str, List[str]] = {}
+    for kind, engine in _engines(args):
+        if data is not None:
+            engine.filesystem.write_text(args.data_path, data)
+        runner = PigRunner(engine, num_reducers=args.nodes)
+        stored = runner.run(source)
+        _report(kind, runner.total_seconds, f"  ({runner.jobs_run} jobs)")
+        outputs[kind] = sorted(
+            row for path in stored for row in runner.read_output(path)
+        )
+    return _check_equivalence(outputs)
+
+
+def _check_equivalence(outputs: Dict[str, object]) -> int:
+    if len(outputs) == 2:
+        hadoop_out, m3r_out = outputs.get("hadoop"), outputs.get("m3r")
+        if hadoop_out != m3r_out:
+            print("  ERROR: engines disagree on the output")
+            return 1
+        print("  outputs verified identical across engines")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="M3R reproduction: run the paper's workloads on the "
+                    "simulated cluster",
+    )
+    parser.add_argument("--engine", choices=("m3r", "hadoop", "both"),
+                        default="both")
+    parser.add_argument("--nodes", type=int, default=8,
+                        help="cluster size (default 8)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("wordcount", help="Figure 8 workload")
+    p.add_argument("--lines", type=int, default=2000)
+    p.add_argument("--reducers", type=int, default=8)
+    p.add_argument("--mutating", action="store_true",
+                   help="use the object-reusing (non-ImmutableOutput) variant")
+    p.set_defaults(func=cmd_wordcount)
+
+    p = sub.add_parser("micro", help="Figure 6 workload")
+    p.add_argument("--remote", type=int, default=50)
+    p.add_argument("--pairs", type=int, default=2000)
+    p.add_argument("--value-bytes", type=int, default=4096)
+    p.set_defaults(func=cmd_micro)
+
+    p = sub.add_parser("matvec", help="Figure 7 workload")
+    p.add_argument("--rows", type=int, default=800)
+    p.add_argument("--iterations", type=int, default=3)
+    p.add_argument("--sparsity", type=float, default=0.01)
+    p.set_defaults(func=cmd_matvec)
+
+    p = sub.add_parser("sysml", help="Figures 9-11 workloads")
+    p.add_argument("--algorithm", choices=("gnmf", "linreg", "pagerank"),
+                   default="pagerank")
+    p.add_argument("--size", type=int, default=400)
+    p.add_argument("--block", type=int, default=100)
+    p.add_argument("--sparsity", type=float, default=0.02)
+    p.add_argument("--iterations", type=int, default=2)
+    p.set_defaults(func=cmd_sysml)
+
+    p = sub.add_parser("jaql", help="run a Jaql JSON pipeline")
+    p.add_argument("--script", required=True, help="path to the pipeline file")
+    p.add_argument("--data", help="local jsonl file to stage into the cluster")
+    p.add_argument("--data-path", default="/data/input.json",
+                   help="cluster path for --data (default /data/input.json)")
+    p.set_defaults(func=cmd_jaql)
+
+    p = sub.add_parser("pig", help="run a Pig Latin script")
+    p.add_argument("--script", required=True, help="path to the .pig file")
+    p.add_argument("--data", help="local file to stage into the cluster")
+    p.add_argument("--data-path", default="/data/input.txt",
+                   help="cluster path for --data (default /data/input.txt)")
+    p.set_defaults(func=cmd_pig)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""The M3R engine — the paper's primary contribution.
+
+Main Memory Map Reduce (M3R) implements the Hadoop MapReduce APIs on a
+family of long-lived places, trading resilience for performance:
+
+* one engine instance owns a fixed set of places for its whole life; every
+  job in the submitted sequence runs on the same places, sharing heap state
+  (:class:`~repro.core.cache.KeyValueCache`, built on the Section 5.2
+  key/value store);
+* job inputs and outputs are cached in memory under their file names;
+  subsequent jobs that read the same names skip the filesystem and
+  (de)serialization entirely, and outputs matching the temporary-naming
+  convention are never flushed to disk;
+* the shuffle is in-memory: co-located map→reduce traffic is a pointer
+  hand-off, and cross-place traffic rides the X10 serializer, whose
+  per-message memo de-duplicates repeated objects (the broadcast win);
+* partition stability: partition *i* of an *R*-reducer job always executes
+  at place ``i % P``, so carefully partitioned job sequences shuffle almost
+  nothing;
+* ``ImmutableOutput`` jobs skip the defensive cloning that the mutable
+  Writable contract otherwise forces;
+* there is **no resilience**: a failed place fails the whole engine
+  (:class:`~repro.engine_common.JobFailedError`), exactly as the paper
+  specifies.
+"""
+
+from repro.core.cache import KeyValueCache, CacheEntry
+from repro.core.cachefs import M3RFileSystem, CacheOnlyFileSystem
+from repro.core.engine import M3REngine
+from repro.core.jobclient import IntegratedJobClient, M3RServer
+from repro.core.resilience import RecoveryReport, ResilientM3REngine
+from repro.core.admin import (
+    JobEndNotifier,
+    JobQueueManager,
+    ProgressEvent,
+    ProgressTracker,
+)
+
+__all__ = [
+    "KeyValueCache",
+    "CacheEntry",
+    "M3RFileSystem",
+    "CacheOnlyFileSystem",
+    "M3REngine",
+    "IntegratedJobClient",
+    "M3RServer",
+    "ResilientM3REngine",
+    "RecoveryReport",
+    "JobEndNotifier",
+    "JobQueueManager",
+    "ProgressEvent",
+    "ProgressTracker",
+]

@@ -1,0 +1,200 @@
+"""Hadoop administrative interfaces (paper Section 5.3).
+
+"M3R also supports many Hadoop administrative interfaces including job
+queues, job end notification urls, and asynchronous progress and counter
+updates."  This module provides those three, engine-agnostically:
+
+* :class:`JobEndNotifier` — Hadoop's ``job.end.notification.url``: when a
+  job finishes, the URL configured on its JobConf is invoked with the job's
+  outcome.  Handlers are registered per URL prefix (in this in-process
+  reproduction a handler is a callable; in Hadoop it is an HTTP GET).
+* :class:`JobQueueManager` — named FIFO queues with per-queue accounting,
+  honouring the standard ``mapred.job.queue.name`` property.
+* :class:`ProgressTracker` — asynchronous progress/counter updates: a
+  polling view of a running submission that an interactive front-end (the
+  paper's BigSheets) would refresh.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.api.conf import JOB_END_NOTIFICATION_URL_KEY, JOB_QUEUE_NAME_KEY, JobConf
+from repro.engine_common import EngineResult
+
+#: The default queue, as in stock Hadoop.
+DEFAULT_QUEUE = "default"
+
+NotificationHandler = Callable[[str, EngineResult], None]
+
+
+class JobEndNotifier:
+    """Job-end notification URLs.
+
+    Handlers are registered for URL prefixes; a finishing job's configured
+    URL (with Hadoop's ``$jobId``/``$jobStatus`` placeholders substituted)
+    is delivered to the longest matching prefix.
+    """
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, NotificationHandler] = {}
+        self._lock = threading.Lock()
+        #: (url, result) pairs with no matching handler — kept for
+        #: inspection instead of being silently dropped.
+        self.undeliverable: List[str] = []
+
+    def register(self, url_prefix: str, handler: NotificationHandler) -> None:
+        with self._lock:
+            self._handlers[url_prefix] = handler
+
+    def unregister(self, url_prefix: str) -> None:
+        with self._lock:
+            self._handlers.pop(url_prefix, None)
+
+    def notify(self, conf: JobConf, result: EngineResult) -> Optional[str]:
+        """Deliver the notification for a finished job, if configured.
+
+        Returns the substituted URL that was (or would have been) called,
+        or ``None`` when the job has no notification URL.
+        """
+        template = conf.get(JOB_END_NOTIFICATION_URL_KEY)
+        if not template:
+            return None
+        status = "SUCCEEDED" if result.succeeded else "FAILED"
+        url = template.replace("$jobId", result.job_name).replace(
+            "$jobStatus", status
+        )
+        with self._lock:
+            candidates = sorted(
+                (prefix for prefix in self._handlers if url.startswith(prefix)),
+                key=len,
+                reverse=True,
+            )
+            handler = self._handlers[candidates[0]] if candidates else None
+        if handler is None:
+            self.undeliverable.append(url)
+        else:
+            handler(url, result)
+        return url
+
+
+@dataclass
+class QueueStats:
+    """Per-queue accounting."""
+
+    submitted: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    simulated_seconds: float = 0.0
+
+
+class JobQueueManager:
+    """Named FIFO job queues in front of one engine.
+
+    Jobs are enqueued with :meth:`submit` (the queue name comes from the
+    job's ``mapred.job.queue.name``, defaulting to ``"default"``) and run in
+    FIFO order per queue by :meth:`drain`.  Queues must be declared before
+    use, like Hadoop's configured queue ACLs.
+    """
+
+    def __init__(self, engine: Any, queues: Optional[List[str]] = None,
+                 notifier: Optional[JobEndNotifier] = None):
+        self.engine = engine
+        self.notifier = notifier
+        names = queues if queues is not None else [DEFAULT_QUEUE]
+        self._queues: Dict[str, List[JobConf]] = {name: [] for name in names}
+        self._stats: Dict[str, QueueStats] = {name: QueueStats() for name in names}
+        self._lock = threading.Lock()
+
+    @property
+    def queue_names(self) -> List[str]:
+        return sorted(self._queues)
+
+    def submit(self, conf: JobConf) -> str:
+        """Enqueue a job; returns the queue it landed in."""
+        queue = conf.get(JOB_QUEUE_NAME_KEY, DEFAULT_QUEUE)
+        with self._lock:
+            if queue not in self._queues:
+                raise KeyError(
+                    f"unknown queue {queue!r}; declared queues: {self.queue_names}"
+                )
+            self._queues[queue].append(conf)
+            self._stats[queue].submitted += 1
+        return queue
+
+    def pending(self, queue: str = DEFAULT_QUEUE) -> int:
+        with self._lock:
+            return len(self._queues[queue])
+
+    def stats(self, queue: str = DEFAULT_QUEUE) -> QueueStats:
+        with self._lock:
+            return self._stats[queue]
+
+    def drain(self, queue: str = DEFAULT_QUEUE) -> List[EngineResult]:
+        """Run every queued job of one queue in FIFO order."""
+        results: List[EngineResult] = []
+        while True:
+            with self._lock:
+                if not self._queues[queue]:
+                    break
+                conf = self._queues[queue].pop(0)
+            result = self.engine.run_job(conf)
+            results.append(result)
+            with self._lock:
+                stats = self._stats[queue]
+                if result.succeeded:
+                    stats.succeeded += 1
+                else:
+                    stats.failed += 1
+                stats.simulated_seconds += result.simulated_seconds
+            if self.notifier is not None:
+                self.notifier.notify(conf, result)
+        return results
+
+    def drain_all(self) -> Dict[str, List[EngineResult]]:
+        """Drain every queue (queue-name order)."""
+        return {name: self.drain(name) for name in self.queue_names}
+
+
+@dataclass
+class ProgressEvent:
+    """One asynchronous progress update."""
+
+    job_name: str
+    phase: str  # submitted | map | shuffle | reduce | done
+    fraction: float
+
+
+class ProgressTracker:
+    """Asynchronous progress and counter updates for interactive clients.
+
+    Attach to an engine with :meth:`attach`; the engine reports phase
+    transitions through the standard ``progress_listener`` hook and clients
+    poll :meth:`snapshot` (or read :attr:`events`) without blocking the
+    job — the shape of Hadoop's ``JobClient.monitorAndPrintJob``.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[ProgressEvent] = []
+        self._lock = threading.Lock()
+        self._latest: Dict[str, ProgressEvent] = {}
+
+    def __call__(self, job_name: str, phase: str, fraction: float) -> None:
+        event = ProgressEvent(job_name, phase, min(1.0, max(0.0, fraction)))
+        with self._lock:
+            self.events.append(event)
+            self._latest[job_name] = event
+
+    def attach(self, engine: Any) -> "ProgressTracker":
+        engine.progress_listener = self
+        return self
+
+    def snapshot(self, job_name: str) -> Optional[ProgressEvent]:
+        with self._lock:
+            return self._latest.get(job_name)
+
+    def phases_seen(self, job_name: str) -> List[str]:
+        with self._lock:
+            return [e.phase for e in self.events if e.job_name == job_name]

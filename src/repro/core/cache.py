@@ -1,0 +1,218 @@
+"""M3R's input/output key/value cache (paper Section 3.2.1), layered on the
+distributed key/value store of Section 5.2.
+
+The cache associates key/value sequences with *names*:
+
+* a whole output file (``/out/part-00000``) written by a reducer is cached
+  under its path, at the place where the reducer ran;
+* an input split read by a mapper is cached under ``path + range`` (M3R
+  derives this from ``FileSplit``; user splits provide it via
+  ``NamedSplit``/``DelegatingSplit``);
+* later lookups match either form — a split covering a whole cached file
+  hits the whole-file entry.
+
+Entries carry the place that holds them; the engine schedules mappers to
+that place, which together with partition stability is what keeps iterative
+job sequences communication-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.fs.filesystem import normalize_path
+from repro.kvstore.store import BlockInfo, KeyValueStore
+from repro.x10.places import Place
+
+
+#: Separator between a path and a split range in internal cache names.
+#: '#' never appears in normalized paths, so the two namespaces cannot clash.
+RANGE_SEP = "#"
+
+
+def split_cache_name(path: str, start: int, length: int) -> str:
+    """The internal cache name for one split of one file."""
+    return f"{normalize_path(path)}{RANGE_SEP}{start}+{length}"
+
+
+@dataclass
+class CacheEntry:
+    """One cached key/value sequence."""
+
+    name: str
+    path: str
+    place_id: int
+    pairs: List[Tuple[Any, Any]]
+    nbytes: int
+
+    @property
+    def records(self) -> int:
+        return len(self.pairs)
+
+
+class KeyValueCache:
+    """The engine-wide cache: one instance per M3R engine, distributed over
+    the engine's places through the key/value store."""
+
+    def __init__(self, places: Sequence[Place]):
+        self._store = KeyValueStore(places)
+        # name -> (path, place_id); the store holds the data blocks.  This
+        # index exists because lookups arrive by path *or* by split name.
+        self._index: Dict[str, CacheEntry] = {}
+
+    # -- writes ------------------------------------------------------------- #
+
+    def put_file(
+        self, path: str, place_id: int, pairs: List[Tuple[Any, Any]], nbytes: int
+    ) -> CacheEntry:
+        """Cache a whole file's pair sequence at ``place_id``."""
+        return self._put(normalize_path(path), normalize_path(path), place_id, pairs, nbytes)
+
+    def put_split(
+        self,
+        path: str,
+        start: int,
+        length: int,
+        place_id: int,
+        pairs: List[Tuple[Any, Any]],
+        nbytes: int,
+    ) -> CacheEntry:
+        """Cache the pair sequence of one split of ``path``."""
+        name = split_cache_name(path, start, length)
+        return self._put(name, normalize_path(path), place_id, pairs, nbytes)
+
+    def put_named(
+        self, name: str, place_id: int, pairs: List[Tuple[Any, Any]], nbytes: int
+    ) -> CacheEntry:
+        """Cache under a user-provided name (the ``NamedSplit`` path)."""
+        if not name.startswith("/"):
+            name = "/" + name
+        return self._put(name, name, place_id, pairs, nbytes)
+
+    def _put(
+        self,
+        name: str,
+        path: str,
+        place_id: int,
+        pairs: List[Tuple[Any, Any]],
+        nbytes: int,
+    ) -> CacheEntry:
+        if name in self._index:
+            self._store.delete(name)
+            del self._index[name]
+        # The store keeps the list reference — this is an in-memory cache,
+        # the whole point is that nothing is copied or serialized here.
+        stored = self._store.put_block(name, BlockInfo(place_id=place_id), pairs, nbytes)
+        entry = CacheEntry(
+            name=name, path=path, place_id=place_id, pairs=stored, nbytes=nbytes
+        )
+        self._index[name] = entry
+        return entry
+
+    # -- lookups --------------------------------------------------------- #
+
+    def get_file(self, path: str) -> Optional[CacheEntry]:
+        """The whole-file entry for ``path``, if cached."""
+        return self._index.get(normalize_path(path))
+
+    def get_split(
+        self, path: str, start: int, length: int, file_length: Optional[int] = None
+    ) -> Optional[CacheEntry]:
+        """An entry serving the given split: exact range match, or the
+        whole-file entry when the split covers the entire file."""
+        entry = self._index.get(split_cache_name(path, start, length))
+        if entry is not None:
+            return entry
+        whole = self.get_file(path)
+        if whole is not None and start == 0:
+            if file_length is None or length >= file_length or length >= whole.nbytes:
+                return whole
+        return None
+
+    def get_named(self, name: str) -> Optional[CacheEntry]:
+        if not name.startswith("/"):
+            name = "/" + name
+        return self._index.get(name)
+
+    def contains_path(self, path: str) -> bool:
+        """Is anything cached for ``path`` — the file itself, one of its
+        splits, or (for directories) anything beneath it?"""
+        path = normalize_path(path)
+        if path in self._index:
+            return True
+        range_prefix = path + RANGE_SEP
+        child_prefix = path + "/"
+        return any(
+            name.startswith(range_prefix) or entry.path.startswith(child_prefix)
+            for name, entry in self._index.items()
+        )
+
+    def paths_under(self, directory: str) -> List[str]:
+        """Whole-file cache paths at or under ``directory`` (for listing)."""
+        directory = normalize_path(directory)
+        prefix = "/" if directory == "/" else directory + "/"
+        return sorted(
+            {
+                entry.path
+                for entry in self._index.values()
+                if entry.name == entry.path
+                and (entry.path == directory or entry.path.startswith(prefix))
+            }
+        )
+
+    # -- invalidation (mirrors filesystem mutation) --------------------------- #
+
+    def delete_path(self, path: str) -> bool:
+        """Drop every entry for ``path`` (and, for directories, below it)."""
+        path = normalize_path(path)
+        doomed = [
+            name
+            for name, entry in self._index.items()
+            if entry.path == path
+            or entry.path.startswith(path + "/")
+            or name.startswith(path + RANGE_SEP)
+        ]
+        for name in doomed:
+            self._store.delete(name)
+            del self._index[name]
+        return bool(doomed)
+
+    def rename_path(self, src: str, dst: str) -> None:
+        """Re-key every entry for ``src`` to ``dst`` (data stays in place)."""
+        src = normalize_path(src)
+        dst = normalize_path(dst)
+        moves: List[Tuple[str, str, CacheEntry]] = []
+        for name, entry in list(self._index.items()):
+            if entry.path == src or entry.path.startswith(src + "/"):
+                new_path = dst + entry.path[len(src):]
+                new_name = new_path + name[len(entry.path):]
+                moves.append((name, new_name, entry))
+        for old_name, new_name, entry in moves:
+            self._store.rename(old_name, new_name)
+            del self._index[old_name]
+            entry.name = new_name
+            entry.path = dst + entry.path[len(src):]
+            self._index[new_name] = entry
+
+    def clear(self) -> None:
+        """Flush the whole cache."""
+        for name in list(self._index):
+            self._store.delete(name)
+        self._index.clear()
+
+    # -- accounting ---------------------------------------------------------- #
+
+    def total_bytes(self) -> int:
+        return sum(entry.nbytes for entry in self._index.values())
+
+    def bytes_at_place(self, place_id: int) -> int:
+        return sum(
+            entry.nbytes for entry in self._index.values() if entry.place_id == place_id
+        )
+
+    def entries(self) -> Iterator[CacheEntry]:
+        return iter(self._index.values())
+
+    def __len__(self) -> int:
+        return len(self._index)

@@ -1,0 +1,257 @@
+"""M3R's FileSystem interposition (paper Sections 3.2.1, 4.2.3, 4.2.4).
+
+"The cache in M3R is mostly transparent to the user ... M3R intercepts
+calls to the base Hadoop filesystem and attempts to keep the cache up to
+date."  :class:`M3RFileSystem` is that interception layer:
+
+* mutation operations (``delete``, ``rename``, ``write_*``) are sent to
+  **both** the cache and the underlying filesystem;
+* metadata queries (``get_file_status``, ``exists``, ``list_status``) see
+  the union — a cached temporary output that was never flushed still looks
+  like a file, so the next job's InputFormat can find it;
+* ``read_pairs``/``read_kv_pairs`` are served from the cache when possible;
+* the :class:`~repro.api.extensions.CacheFS` interface is implemented:
+  ``get_raw_cache()`` returns a :class:`CacheOnlyFileSystem` whose
+  operations touch *only* the cache (so a job can evict data it knows is
+  dead without touching durable storage), and ``get_cache_record_reader``
+  exposes cached sequences directly (the hook the paper added for
+  SystemML's byte-level HDFS accesses).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.api.extensions import CacheFS
+from repro.core.cache import KeyValueCache
+from repro.fs.filesystem import FileStatus, FileSystem, normalize_path
+
+
+class M3RFileSystem(FileSystem, CacheFS):
+    """The filesystem view M3R hands to jobs: underlying FS + cache overlay."""
+
+    def __init__(self, inner: FileSystem, cache: KeyValueCache):
+        # No super().__init__(): this view owns no storage of its own.
+        self.inner = inner
+        self.cache = cache
+
+    # -- CacheFS ------------------------------------------------------------- #
+
+    def get_raw_cache(self) -> "CacheOnlyFileSystem":
+        return CacheOnlyFileSystem(self.cache)
+
+    def get_cache_record_reader(
+        self, path: str
+    ) -> Optional[Iterator[Tuple[Any, Any]]]:
+        entry = self.cache.get_file(path)
+        if entry is None:
+            return None
+        return iter(entry.pairs)
+
+    # -- namespace: union of cache and underlying --------------------------- #
+
+    def exists(self, path: str) -> bool:
+        return self.inner.exists(path) or self.cache.contains_path(path)
+
+    def is_directory(self, path: str) -> bool:
+        if self.inner.exists(path):
+            return self.inner.is_directory(path)
+        # A cache-only path is a directory iff cached files live below it.
+        path = normalize_path(path)
+        if self.cache.get_file(path) is not None:
+            return False
+        return any(p != path for p in self.cache.paths_under(path))
+
+    def mkdirs(self, path: str) -> bool:
+        return self.inner.mkdirs(path)
+
+    def get_file_status(self, path: str) -> Optional[FileStatus]:
+        status = self.inner.get_file_status(path)
+        if status is not None:
+            return status
+        entry = self.cache.get_file(path)
+        if entry is not None:
+            return FileStatus(entry.path, entry.nbytes, is_dir=False)
+        if self.is_directory(path):
+            return FileStatus(normalize_path(path), 0, is_dir=True)
+        return None
+
+    def list_status(self, path: str) -> List[FileStatus]:
+        try:
+            children = {s.path: s for s in self.inner.list_status(path)}
+        except FileNotFoundError:
+            if not self.cache.paths_under(path):
+                raise
+            children = {}
+        path = normalize_path(path)
+        prefix = "/" if path == "/" else path + "/"
+        for cached in self.cache.paths_under(path):
+            remainder = cached[len(prefix):]
+            if not remainder:
+                continue
+            direct_child = prefix + remainder.split("/", 1)[0]
+            if direct_child not in children:
+                status = self.get_file_status(direct_child)
+                if status is not None:
+                    children[direct_child] = status
+        return sorted(children.values(), key=lambda s: s.path)
+
+    def list_files_recursive(self, path: str) -> List[FileStatus]:
+        found = {s.path: s for s in self.inner.list_files_recursive(path)} if (
+            self.inner.exists(path)
+        ) else {}
+        for cached in self.cache.paths_under(path):
+            if cached not in found:
+                entry = self.cache.get_file(cached)
+                if entry is not None:
+                    found[cached] = FileStatus(cached, entry.nbytes, is_dir=False)
+        return sorted(found.values(), key=lambda s: s.path)
+
+    # -- mutations: sent to BOTH cache and underlying FS -------------------- #
+
+    def delete(self, path: str, recursive: bool = False) -> bool:
+        removed_cache = self.cache.delete_path(path)
+        removed_inner = self.inner.delete(path, recursive=recursive) if (
+            self.inner.exists(path)
+        ) else False
+        return removed_cache or removed_inner
+
+    def rename(self, src: str, dst: str) -> bool:
+        had_cache = self.cache.contains_path(src)
+        renamed_inner = False
+        if self.inner.exists(src):
+            renamed_inner = self.inner.rename(src, dst)
+        if had_cache:
+            self.cache.rename_path(src, dst)
+        return renamed_inner or had_cache
+
+    def write_bytes(self, path: str, data: bytes, at_node: Optional[int] = None) -> None:
+        # New bytes invalidate any cached sequence for the old contents.
+        self.cache.delete_path(path)
+        self.inner.write_bytes(path, data, at_node=at_node)
+
+    def write_text(self, path: str, text: str, at_node: Optional[int] = None) -> None:
+        self.write_bytes(path, text.encode("utf-8"), at_node=at_node)
+
+    def write_pairs(
+        self, path: str, pairs: List[Tuple[Any, Any]], at_node: Optional[int] = None
+    ) -> None:
+        self.cache.delete_path(path)
+        self.inner.write_pairs(path, pairs, at_node=at_node)
+
+    # -- reads: cache first where the data model allows ---------------------- #
+
+    def read_bytes(self, path: str) -> bytes:
+        return self.inner.read_bytes(path)
+
+    def read_text(self, path: str) -> str:
+        return self.inner.read_text(path)
+
+    def read_pairs(self, path: str) -> List[Tuple[Any, Any]]:
+        entry = self.cache.get_file(path)
+        if entry is not None:
+            return list(entry.pairs)
+        return self.inner.read_pairs(path)
+
+    def read_kv_pairs(self, path_or_dir: str) -> List[Tuple[Any, Any]]:
+        status = self.get_file_status(path_or_dir)
+        if status is not None and status.is_file:
+            return self.read_pairs(path_or_dir)
+        pairs: List[Tuple[Any, Any]] = []
+        for child in self.list_files_recursive(path_or_dir):
+            basename = child.path.rsplit("/", 1)[-1]
+            if basename.startswith((".", "_")):
+                continue
+            pairs.extend(self.read_pairs(child.path))
+        return pairs
+
+    # -- locality ------------------------------------------------------------ #
+
+    def get_block_locations(self, path: str, start: int, length: int) -> List[str]:
+        if self.inner.exists(path):
+            return self.inner.get_block_locations(path, start, length)
+        entry = self.cache.get_file(path)
+        if entry is not None:
+            return [f"node{entry.place_id:02d}"]
+        return []
+
+    def total_bytes(self) -> int:
+        return self.inner.total_bytes()
+
+
+class CacheOnlyFileSystem(FileSystem):
+    """The synthetic filesystem returned by ``get_raw_cache()``.
+
+    Operations affect only the cache: ``delete`` evicts, ``rename`` re-keys,
+    status/reads observe cached entries, and nothing ever reaches the
+    underlying filesystem (paper Section 4.2.3).
+    """
+
+    def __init__(self, cache: KeyValueCache):
+        self.cache = cache
+
+    def exists(self, path: str) -> bool:
+        return self.cache.contains_path(path)
+
+    def is_directory(self, path: str) -> bool:
+        path = normalize_path(path)
+        if self.cache.get_file(path) is not None:
+            return False
+        return bool(self.cache.paths_under(path))
+
+    def mkdirs(self, path: str) -> bool:
+        raise NotImplementedError("the raw cache has no independent namespace")
+
+    def get_file_status(self, path: str) -> Optional[FileStatus]:
+        entry = self.cache.get_file(path)
+        if entry is not None:
+            return FileStatus(entry.path, entry.nbytes, is_dir=False)
+        if self.is_directory(path):
+            return FileStatus(normalize_path(path), 0, is_dir=True)
+        return None
+
+    def list_status(self, path: str) -> List[FileStatus]:
+        statuses = []
+        for cached in self.cache.paths_under(path):
+            entry = self.cache.get_file(cached)
+            if entry is not None:
+                statuses.append(FileStatus(cached, entry.nbytes, is_dir=False))
+        return statuses
+
+    def list_files_recursive(self, path: str) -> List[FileStatus]:
+        return self.list_status(path)
+
+    def delete(self, path: str, recursive: bool = False) -> bool:
+        return self.cache.delete_path(path)
+
+    def rename(self, src: str, dst: str) -> bool:
+        if not self.cache.contains_path(src):
+            return False
+        self.cache.rename_path(src, dst)
+        return True
+
+    def read_pairs(self, path: str) -> List[Tuple[Any, Any]]:
+        entry = self.cache.get_file(path)
+        if entry is None:
+            raise FileNotFoundError(path)
+        return list(entry.pairs)
+
+    def read_bytes(self, path: str) -> bytes:
+        raise NotImplementedError("the cache stores key/value pairs, not bytes")
+
+    def write_bytes(self, path: str, data: bytes, at_node: Optional[int] = None) -> None:
+        raise NotImplementedError("write through the real filesystem instead")
+
+    def write_pairs(
+        self, path: str, pairs: List[Tuple[Any, Any]], at_node: Optional[int] = None
+    ) -> None:
+        raise NotImplementedError("write through the real filesystem instead")
+
+    def get_block_locations(self, path: str, start: int, length: int) -> List[str]:
+        entry = self.cache.get_file(path)
+        if entry is None:
+            return []
+        return [f"node{entry.place_id:02d}"]
+
+    def total_bytes(self) -> int:
+        return self.cache.total_bytes()

@@ -1,0 +1,789 @@
+"""The M3R engine (paper Section 3.2): in-memory execution of HMR jobs.
+
+Execution flow per job::
+
+    submit (in-process, milliseconds) →
+    map    (cache-or-filesystem input, user code, clone-or-alias output) →
+    shuffle (pointer hand-off when co-located; de-duplicated X10
+             serialization when crossing places; team barrier) →
+    reduce (in-memory sort, user code) →
+    output (cached at the reducer's place; flushed to the filesystem
+            unless the path follows the temporary-output convention)
+
+Compared to the Hadoop engine there is **no jobtracker, no heartbeat, no
+per-task JVM start-up and no disk in the shuffle** — the five advantages of
+paper Section 1 are each visible as an absent cost term.
+
+The engine is deliberately fail-fast: if any place's node is marked failed,
+the job raises :class:`~repro.engine_common.JobFailedError` ("the engine
+will fail if any node goes down — it does not recover from node failure").
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.api.conf import JobConf, NUM_MAPS_HINT_KEY
+from repro.api.counters import Counters, JobCounter, TaskCounter
+from repro.api.extensions import (
+    DelegatingSplit,
+    NamedSplit,
+    PlacedSplit,
+    is_immutable_output,
+    is_temporary_output,
+)
+from repro.api.formats import FileOutputFormat
+from repro.api.job import JobSequence, JobSpec
+from repro.api.mapred import Reporter
+from repro.api.multiple_io import TASK_FS_KEY, TASK_PARTITION_KEY
+from repro.api.splits import FileSplit, InputSplit
+from repro.core.cache import KeyValueCache
+from repro.core.cachefs import M3RFileSystem
+from repro.engine_common import (
+    CollectorSink,
+    CountingReader,
+    EngineResult,
+    JobFailedError,
+    MaterializedReader,
+    PartitionBuffer,
+    pairs_bytes,
+    run_combiner_if_any,
+)
+from repro.fs.filesystem import FileSystem
+from repro.fs.hdfs import SimulatedHDFS
+from repro.fs.instrumented import FsTally, InstrumentedFileSystem
+from repro.hadoop_engine.scheduler import SlotLanes
+from repro.sim.clock import PhaseTimer
+from repro.sim.cluster import Cluster
+from repro.sim.cost_model import CostModel
+from repro.sim.metrics import Metrics
+from repro.x10.runtime import X10Runtime
+
+
+class M3REngine:
+    """A long-lived family of places executing HMR job sequences in memory."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        filesystem: FileSystem,
+        cost_model: CostModel,
+        num_places: Optional[int] = None,
+        workers_per_place: int = 8,
+        enable_cache: bool = True,
+        enable_dedup: bool = True,
+        enable_partition_stability: bool = True,
+    ):
+        self.cluster = cluster
+        self.cost_model = cost_model
+        self.num_places = num_places if num_places is not None else cluster.num_nodes
+        if self.num_places <= 0:
+            raise ValueError("need at least one place")
+        self.workers_per_place = workers_per_place
+        self.runtime = X10Runtime(self.num_places, workers_per_place)
+        self.cache = KeyValueCache(self.runtime.places)
+        #: The filesystem view jobs see: cache overlay on the real FS.
+        self.filesystem = M3RFileSystem(filesystem, self.cache)
+        self.raw_filesystem = filesystem
+        self.enable_cache = enable_cache
+        self.enable_dedup = enable_dedup
+        self.enable_partition_stability = enable_partition_stability
+        #: Failure injection: any entry here makes every job fail (no resilience).
+        self.fail_nodes: Set[int] = set()
+        #: Optional asynchronous progress hook: callable(job_name, phase,
+        #: fraction) — see repro.core.admin.ProgressTracker.
+        self.progress_listener = None
+        self._job_counter = 0
+        self._host_to_node = {n.hostname: n.node_id for n in cluster}
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def shutdown(self) -> None:
+        """Release the place family (ends the engine instance's life)."""
+        self.runtime.shutdown()
+
+    def partition_place(self, partition: int) -> int:
+        """The partition-stability guarantee: a deterministic partition →
+        place mapping (paper Section 3.2.2.2).
+
+        With stability disabled (ablation), the mapping is salted per job,
+        mimicking Hadoop's arbitrary reducer placement.
+        """
+        if partition < 0:
+            raise ValueError("negative partition")
+        if self.enable_partition_stability:
+            return partition % self.num_places
+        digest = hashlib.md5(
+            f"{self._job_counter}/{partition}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:4], "big") % self.num_places
+
+    def place_node(self, place_id: int) -> int:
+        """The cluster node a place runs on (one place per host)."""
+        return place_id % self.cluster.num_nodes
+
+    def run_job(self, conf: JobConf) -> EngineResult:
+        """Execute one job; user-code failures are reported, not raised.
+
+        Node failures *are* raised (:class:`JobFailedError`) — that is the
+        paper's no-resilience design point.
+        """
+        self._job_counter += 1
+        spec = JobSpec.from_conf(conf)
+        counters = Counters()
+        metrics = Metrics()
+        self._check_alive()
+        try:
+            seconds = self._execute(spec, conf, counters, metrics)
+        except JobFailedError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+            return EngineResult(
+                job_name=spec.name,
+                engine="m3r",
+                succeeded=False,
+                simulated_seconds=0.0,
+                counters=counters,
+                metrics=metrics,
+                output_path=spec.output_path,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        return EngineResult(
+            job_name=spec.name,
+            engine="m3r",
+            succeeded=True,
+            simulated_seconds=seconds,
+            counters=counters,
+            metrics=metrics,
+            output_path=spec.output_path,
+        )
+
+    def run_sequence(self, sequence: JobSequence) -> List[EngineResult]:
+        """Run a job pipeline on the shared places (cache persists across jobs)."""
+        results: List[EngineResult] = []
+        for conf in sequence:
+            result = self.run_job(conf)
+            results.append(result)
+            if not result.succeeded:
+                break
+        return results
+
+    def warm_cache_from(self, path: str) -> int:
+        """Pre-populate the cache from an on-disk directory of part files.
+
+        Reproduces the paper's Section 6.2 methodology ("we pre-populated
+        our cache with the input data" so the amortized initial load is not
+        measured).  Each ``part-NNNNN`` lands at the place its partition
+        number maps to.  Returns the number of files cached.
+        """
+        cached = 0
+        for status in self.raw_filesystem.list_files_recursive(path):
+            basename = status.path.rsplit("/", 1)[-1]
+            if basename.startswith((".", "_")):
+                continue
+            partition = _part_index(basename)
+            place = self.partition_place(partition if partition is not None else cached)
+            pairs = self.raw_filesystem.read_pairs(status.path)
+            self.cache.put_file(status.path, place, pairs, status.length)
+            cached += 1
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def _check_alive(self) -> None:
+        for place_id in range(self.num_places):
+            if self.place_node(place_id) in self.fail_nodes:
+                raise JobFailedError(
+                    f"place {place_id} lost its node — M3R does not support "
+                    "resilience; the engine instance is dead"
+                )
+
+    def _execute(
+        self, spec: JobSpec, conf: JobConf, counters: Counters, metrics: Metrics
+    ) -> float:
+        model = self.cost_model
+
+        spec.output_format.check_output_specs(self.filesystem, conf)
+        committer = spec.output_format.get_output_committer()
+        job_is_temp = spec.output_path is not None and is_temporary_output(
+            spec.output_path, conf
+        )
+        if not (job_is_temp and self.enable_cache):
+            committer.setup_job(self.filesystem, conf)
+
+        clock = model.m3r_job_submit
+        metrics.time.charge("job_submit", model.m3r_job_submit)
+        self._report_progress(spec.name, "submitted", 0.0)
+
+        hint = conf.get_int(NUM_MAPS_HINT_KEY, 0) or (
+            self.num_places * self.workers_per_place
+        )
+        splits = spec.input_format.get_splits(self.filesystem, conf, hint)
+        metrics.incr("map_tasks", len(splits))
+        counters.increment(JobCounter.TOTAL_LAUNCHED_MAPS, len(splits))
+
+        placements = [
+            self._place_for_split(split, index, spec)
+            for index, split in enumerate(splits)
+        ]
+
+        # --- map phase (multi-threaded within each place) ------------------ #
+        map_lanes = SlotLanes(self.num_places, self.workers_per_place)
+        map_outputs: List[List[PartitionBuffer]] = []
+        map_places: List[int] = []
+        for index, split in enumerate(splits):
+            place = placements[index]
+            duration, buffers = self._run_map_task(
+                spec, conf, split, index, place, counters, metrics
+            )
+            map_lanes.add_task(place, duration)
+            map_outputs.append(buffers)
+            map_places.append(place)
+        clock += map_lanes.makespan()
+        self._report_progress(spec.name, "map", 0.5)
+
+        if spec.is_map_only:
+            clock += model.m3r_barrier
+            metrics.time.charge("barrier", model.m3r_barrier)
+            if not (job_is_temp and self.enable_cache):
+                committer.commit_job(self.filesystem.inner, conf)
+            self._report_progress(spec.name, "done", 1.0)
+            return clock
+
+        # --- shuffle: in-memory, de-duplicated, barrier-terminated -------- #
+        counters.increment(JobCounter.TOTAL_LAUNCHED_REDUCES, spec.num_reducers)
+        shuffle_time, reduce_inputs = self._shuffle(
+            spec, map_outputs, map_places, counters, metrics
+        )
+        clock += shuffle_time + model.m3r_barrier
+        metrics.time.charge("barrier", model.m3r_barrier)
+        self._report_progress(spec.name, "shuffle", 0.7)
+
+        # --- reduce phase ---------------------------------------------------- #
+        reduce_lanes = SlotLanes(self.num_places, self.workers_per_place)
+        temp_output = job_is_temp
+        for partition in range(spec.num_reducers):
+            place = self.partition_place(partition)
+            duration = self._run_reduce_task(
+                spec, conf, partition, place, reduce_inputs[partition],
+                temp_output, counters, metrics,
+            )
+            reduce_lanes.add_task(place, duration)
+        clock += reduce_lanes.makespan() + model.m3r_barrier
+        metrics.time.charge("barrier", model.m3r_barrier)
+        if not (job_is_temp and self.enable_cache):
+            committer.commit_job(self.filesystem.inner, conf)
+        self._report_progress(spec.name, "done", 1.0)
+        return clock
+
+    def _report_progress(self, job_name: str, phase: str, fraction: float) -> None:
+        if self.progress_listener is not None:
+            self.progress_listener(job_name, phase, fraction)
+
+    # ------------------------------------------------------------------ #
+    # split placement & cache identity
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _unwrap(split: InputSplit) -> InputSplit:
+        seen: Set[int] = set()
+        current = split
+        while isinstance(current, DelegatingSplit) and id(current) not in seen:
+            seen.add(id(current))
+            current = current.get_delegate()
+        return current
+
+    def _split_cache_identity(
+        self, split: InputSplit
+    ) -> Optional[Tuple[str, Any]]:
+        """How this split names its data for the cache, if it can.
+
+        Returns ``("file", FileSplit)`` or ``("named", name)`` or ``None``
+        (unknown split type → the cache is bypassed, paper Section 4.2.1).
+        """
+        inner = self._unwrap(split)
+        if isinstance(inner, FileSplit):
+            return ("file", inner)
+        if isinstance(inner, NamedSplit):
+            return ("named", inner.get_name())
+        if isinstance(split, NamedSplit):
+            return ("named", split.get_name())
+        return None
+
+    def _cache_lookup(self, split: InputSplit):
+        identity = self._split_cache_identity(split)
+        if identity is None or not self.enable_cache:
+            return None
+        kind, payload = identity
+        if kind == "file":
+            file_split: FileSplit = payload
+            status = self.filesystem.get_file_status(file_split.path)
+            file_length = status.length if status is not None else None
+            return self.cache.get_split(
+                file_split.path, file_split.start, file_split.length, file_length
+            )
+        return self.cache.get_named(payload)
+
+    def _place_for_split(self, split: InputSplit, index: int, spec: JobSpec) -> int:
+        """Where to run the mapper for ``split``.
+
+        Priority: PlacedSplit declaration → cached location → block
+        locality → round robin.  (PlacedSplit first, per Section 4.3: it
+        exists to *override* M3R's preference for local splits.)
+        """
+        for candidate in (split, self._unwrap(split)):
+            if isinstance(candidate, PlacedSplit):
+                return self.partition_place(candidate.get_partition())
+        entry = self._cache_lookup(split)
+        if entry is not None:
+            return entry.place_id
+        for host in self._unwrap(split).get_locations():
+            node = self._host_to_node.get(host)
+            if node is not None:
+                return node % self.num_places
+        return index % self.num_places
+
+    # ------------------------------------------------------------------ #
+    # map tasks
+    # ------------------------------------------------------------------ #
+
+    def _run_map_task(
+        self,
+        spec: JobSpec,
+        conf: JobConf,
+        split: InputSplit,
+        task_index: int,
+        place: int,
+        counters: Counters,
+        metrics: Metrics,
+    ) -> Tuple[float, List[PartitionBuffer]]:
+        model = self.cost_model
+        duration = 0.0
+        node = self.place_node(place)
+
+        tally = FsTally()
+        task_fs = InstrumentedFileSystem(self.filesystem, tally, at_node=node)
+        task_conf = JobConf(conf)
+        task_conf.set(TASK_FS_KEY, task_fs)
+        task_conf.set(TASK_PARTITION_KEY, task_index)
+        reporter = Reporter(counters)
+
+        mapper_class = spec.resolve_mapper_class(split)
+        mapper_immutable = is_immutable_output(mapper_class)
+
+        # --- input: cache, or filesystem + cache insert ------------------- #
+        entry = self._cache_lookup(split)
+        if entry is not None:
+            metrics.incr("cache_hits")
+            pairs = entry.pairs
+            nbytes = entry.nbytes
+            if entry.place_id != place:
+                # A PlacedSplit overrode the cache's location: the sequence
+                # crosses places once, with full serialization cost.
+                wire = self.runtime.serializer.measure_pairs(pairs)
+                cost = (
+                    model.serialize_time(wire.wire_bytes, len(pairs))
+                    + model.net_transfer_time(wire.wire_bytes)
+                    + model.deserialize_time(wire.wire_bytes, len(pairs))
+                )
+                metrics.time.charge("network", cost)
+                duration += cost
+                pairs = copy.deepcopy(pairs)
+            if mapper_immutable:
+                feed = model.handoff_time(len(pairs))
+                metrics.time.charge("framework", feed)
+            else:
+                feed = model.clone_time(nbytes, len(pairs))
+                metrics.time.charge("clone", feed)
+                metrics.incr("cloned_records", len(pairs))
+            duration += feed
+            reader = CountingReader(
+                MaterializedReader(pairs, clone=not mapper_immutable), counters
+            )
+            stream_reader = None
+        else:
+            metrics.incr("cache_misses")
+            raw_reader = spec.input_format.get_record_reader(
+                task_fs, split, task_conf, reporter
+            )
+            identity = self._split_cache_identity(split)
+            if identity is not None and self.enable_cache:
+                pairs = [pair for pair in iter(raw_reader.next_pair, None)]
+                nbytes = tally.bytes_read
+                self._cache_insert(identity, place, pairs, nbytes)
+                metrics.incr("cache_inserts")
+                if mapper_immutable:
+                    feed = model.handoff_time(len(pairs))
+                    metrics.time.charge("framework", feed)
+                else:
+                    feed = model.clone_time(nbytes, len(pairs))
+                    metrics.time.charge("clone", feed)
+                    metrics.incr("cloned_records", len(pairs))
+                duration += feed
+                reader = CountingReader(
+                    MaterializedReader(pairs, clone=not mapper_immutable), counters
+                )
+                stream_reader = None
+            else:
+                # Unknown split type (or cache disabled): stream straight
+                # through without caching.
+                reader = CountingReader(raw_reader, counters)
+                stream_reader = raw_reader
+            read_time = model.disk_read_time(
+                tally.bytes_read, seeks=max(1, tally.read_ops)
+            )
+            metrics.time.charge("disk_read", read_time)
+            duration += read_time
+            if not self._is_local_read(split, node) and tally.bytes_read:
+                net = model.net_transfer_time(tally.bytes_read)
+                metrics.time.charge("network", net)
+                duration += net
+                metrics.incr("remote_map_reads")
+
+        # --- run the user code ------------------------------------------- #
+        if spec.is_map_only:
+            buffers = [PartitionBuffer()]
+            collector = CollectorSink(
+                num_partitions=1,
+                partitioner=None,
+                counters=counters,
+                record_policy="alias"
+                if spec.map_output_immutable(split, fresh_runner=True)
+                else "clone",
+            )
+        else:
+            collector = CollectorSink(
+                num_partitions=spec.num_reducers,
+                partitioner=spec.partitioner,
+                counters=counters,
+                record_policy="alias"
+                if spec.map_output_immutable(split, fresh_runner=True)
+                else "clone",
+            )
+        spec.run_map_task(
+            split, reader, collector, reporter, task_conf, fresh_runner=True
+        )
+
+        # Deserialization is paid only when records actually came off the
+        # filesystem; cache hits skip it entirely (the paper's point).
+        if entry is None:
+            deser = model.deserialize_time(tally.bytes_read, reader.records)
+            metrics.time.charge("deserialize", deser)
+            duration += deser
+            nn = model.namenode_op * max(1, tally.metadata_ops)
+            metrics.time.charge("namenode", nn)
+            duration += nn
+
+        compute = reporter.consume_compute_seconds()
+        metrics.time.charge("map_compute", compute)
+        duration += compute
+        framework = model.map_framework_time(reader.records)
+        metrics.time.charge("framework", framework)
+        duration += framework
+        if mapper_immutable:
+            alloc = model.alloc_time(collector.records) + model.gc_churn_time(
+                collector.records
+            )
+            metrics.time.charge("alloc", alloc)
+            duration += alloc
+        if collector.copied_records:
+            clone = model.clone_time(collector.copied_bytes, collector.copied_records)
+            metrics.time.charge("clone", clone)
+            metrics.incr("cloned_records", collector.copied_records)
+            duration += clone
+
+        if spec.is_map_only:
+            part_path = FileOutputFormat.part_path(conf, task_index)
+            temp = spec.output_path is not None and is_temporary_output(
+                spec.output_path, conf
+            )
+            duration += self._emit_output(
+                spec, task_conf, part_path, task_index, place,
+                collector.partitions[0].pairs, collector.partitions[0].bytes,
+                temp, counters, metrics, reporter,
+            )
+            return duration, []
+
+        buffers = collector.partitions
+        if spec.combiner_class is not None:
+            pre_records = sum(len(b.pairs) for b in buffers)
+            pre_bytes = sum(b.bytes for b in buffers)
+            sort_time = model.sort_time(pre_records, pre_bytes)
+            metrics.time.charge("sort", sort_time)
+            duration += sort_time
+            policy = (
+                "alias" if spec.map_output_immutable(split, fresh_runner=True) else "clone"
+            )
+            buffers = [
+                run_combiner_if_any(spec, buffer, counters, reporter, policy)
+                for buffer in buffers
+            ]
+            compute = reporter.consume_compute_seconds()
+            metrics.time.charge("map_compute", compute)
+            duration += compute
+        return duration, buffers
+
+    def _cache_insert(
+        self,
+        identity: Tuple[str, Any],
+        place: int,
+        pairs: List[Tuple[Any, Any]],
+        nbytes: int,
+    ) -> None:
+        kind, payload = identity
+        if kind == "file":
+            file_split: FileSplit = payload
+            status = self.filesystem.get_file_status(file_split.path)
+            if (
+                file_split.start == 0
+                and status is not None
+                and file_split.length >= status.length
+            ):
+                self.cache.put_file(file_split.path, place, pairs, nbytes)
+            else:
+                self.cache.put_split(
+                    file_split.path, file_split.start, file_split.length,
+                    place, pairs, nbytes,
+                )
+        else:
+            self.cache.put_named(payload, place, pairs, nbytes)
+
+    def _is_local_read(self, split: InputSplit, node: int) -> bool:
+        hostname = self.cluster.node(node).hostname
+        locations = self._unwrap(split).get_locations()
+        return (not locations) or hostname in locations or "localhost" in locations
+
+    # ------------------------------------------------------------------ #
+    # shuffle
+    # ------------------------------------------------------------------ #
+
+    def _shuffle(
+        self,
+        spec: JobSpec,
+        map_outputs: List[List[PartitionBuffer]],
+        map_places: List[int],
+        counters: Counters,
+        metrics: Metrics,
+    ) -> Tuple[float, List[List[Tuple[Any, Any]]]]:
+        """Route map output to reducer places; returns (time, per-partition pairs).
+
+        Co-located traffic is a pointer hand-off.  Cross-place messages pay
+        (de-duplicated) serialization, wire time and deserialization, and
+        are deep-copied *with a shared memo* so aliasing survives transport
+        exactly as X10 reconstructs it on the receiving place.
+        """
+        model = self.cost_model
+        timer = PhaseTimer(self.num_places)
+        reduce_inputs: List[List[Tuple[Any, Any]]] = [
+            [] for _ in range(spec.num_reducers)
+        ]
+        for map_index, buffers in enumerate(map_outputs):
+            src = map_places[map_index]
+            # One message per destination place, covering every partition
+            # that lives there: the de-duplication memo (and therefore the
+            # aliasing the receiver reconstructs) is scoped to the whole
+            # place-to-place message, exactly like one X10 ``at``.
+            by_destination: Dict[int, List[int]] = {}
+            for partition, buffer in enumerate(buffers):
+                if not buffer.pairs:
+                    continue
+                counters.increment(TaskCounter.REDUCE_SHUFFLE_BYTES, buffer.bytes)
+                by_destination.setdefault(
+                    self.partition_place(partition), []
+                ).append(partition)
+            for dst, partitions in by_destination.items():
+                if src == dst:
+                    for partition in partitions:
+                        buffer = buffers[partition]
+                        cost = model.handoff_time(len(buffer.pairs))
+                        timer.charge(src, cost)
+                        metrics.time.charge("framework", cost)
+                        metrics.incr("shuffle_local_bytes", buffer.bytes)
+                        metrics.incr("shuffle_local_records", len(buffer.pairs))
+                        reduce_inputs[partition].extend(buffer.pairs)
+                    continue
+                all_pairs = [
+                    pair for partition in partitions
+                    for pair in buffers[partition].pairs
+                ]
+                message = self.runtime.serializer.measure_pairs(all_pairs)
+                wire = message.wire_bytes if self.enable_dedup else message.raw_bytes
+                send = model.serialize_time(wire, message.records)
+                net = model.net_transfer_time(wire)
+                recv = model.deserialize_time(wire, message.records)
+                timer.charge(src, send + net)
+                timer.charge(dst, recv)
+                metrics.time.charge("serialize", send)
+                metrics.time.charge("network", net)
+                metrics.time.charge("deserialize", recv)
+                metrics.incr("shuffle_remote_bytes", wire)
+                metrics.incr("shuffle_remote_records", len(all_pairs))
+                if self.enable_dedup:
+                    metrics.incr("dedup_saved_bytes", message.dedup_savings)
+                # One deepcopy memo per message: duplicates become aliases
+                # again on the receiving side, as with X10 deserialization.
+                transported = iter(copy.deepcopy(all_pairs))
+                for partition in partitions:
+                    take = len(buffers[partition].pairs)
+                    reduce_inputs[partition].extend(
+                        next(transported) for _ in range(take)
+                    )
+        return timer.barrier(), reduce_inputs
+
+    # ------------------------------------------------------------------ #
+    # reduce tasks
+    # ------------------------------------------------------------------ #
+
+    def _run_reduce_task(
+        self,
+        spec: JobSpec,
+        conf: JobConf,
+        partition: int,
+        place: int,
+        pairs: List[Tuple[Any, Any]],
+        temp_output: bool,
+        counters: Counters,
+        metrics: Metrics,
+    ) -> float:
+        model = self.cost_model
+        duration = 0.0
+        node = self.place_node(place)
+
+        tally = FsTally()
+        task_fs = InstrumentedFileSystem(self.filesystem, tally, at_node=node)
+        task_conf = JobConf(conf)
+        task_conf.set(TASK_FS_KEY, task_fs)
+        task_conf.set(TASK_PARTITION_KEY, partition)
+        reporter = Reporter(counters)
+
+        nbytes = pairs_bytes(pairs)
+        sort_time = model.sort_time(len(pairs), nbytes)
+        metrics.time.charge("sort", sort_time)
+        duration += sort_time
+        ordered = sorted(pairs, key=spec.sort_key())
+        groups = list(spec.group_sorted_pairs(ordered))
+        counters.increment(TaskCounter.REDUCE_INPUT_GROUPS, len(groups))
+        counters.increment(TaskCounter.REDUCE_INPUT_RECORDS, len(pairs))
+
+        policy = "alias" if spec.reduce_output_immutable() else "clone"
+        sink = CollectorSink(
+            num_partitions=1,
+            partitioner=None,
+            counters=counters,
+            record_policy=policy,
+            output_counter=TaskCounter.REDUCE_OUTPUT_RECORDS,
+        )
+        spec.run_reduce_task(groups, sink, reporter, task_conf)
+
+        compute = reporter.consume_compute_seconds()
+        metrics.time.charge("reduce_compute", compute)
+        duration += compute
+        framework = model.reduce_framework_time(len(pairs))
+        metrics.time.charge("framework", framework)
+        duration += framework
+        if spec.reduce_output_immutable():
+            alloc = model.alloc_time(sink.records) + model.gc_churn_time(sink.records)
+            metrics.time.charge("alloc", alloc)
+            duration += alloc
+        if sink.copied_records:
+            clone = model.clone_time(sink.copied_bytes, sink.copied_records)
+            metrics.time.charge("clone", clone)
+            metrics.incr("cloned_records", sink.copied_records)
+            duration += clone
+
+        # Filesystem writes made directly by user code during the reduce
+        # (e.g. MultipleOutputs) are charged at disk rate.  Snapshot before
+        # _emit_output so the part-file flush is not double-counted.
+        user_bytes_written = tally.bytes_written
+        if user_bytes_written:
+            write = model.disk_write_time(user_bytes_written, seeks=1)
+            metrics.time.charge("disk_write", write)
+            duration += write
+
+        part_path = FileOutputFormat.part_path(conf, partition)
+        duration += self._emit_output(
+            spec, task_conf, part_path, partition, place,
+            sink.partitions[0].pairs, sink.partitions[0].bytes,
+            temp_output, counters, metrics, reporter,
+        )
+        return duration
+
+    # ------------------------------------------------------------------ #
+    # output
+    # ------------------------------------------------------------------ #
+
+    def _emit_output(
+        self,
+        spec: JobSpec,
+        task_conf: JobConf,
+        part_path: str,
+        partition: int,
+        place: int,
+        pairs: List[Tuple[Any, Any]],
+        nbytes: int,
+        temp_output: bool,
+        counters: Counters,
+        metrics: Metrics,
+        reporter: Reporter,
+    ) -> float:
+        """Cache the output at this place; flush to the filesystem unless
+        the output is temporary.  Returns the simulated cost."""
+        model = self.cost_model
+        duration = 0.0
+        if not (temp_output and self.enable_cache):
+            # Flush to the real filesystem first: writing through the
+            # M3RFileSystem invalidates any cache entry for the path, so the
+            # cache insert must come after the flush.
+            writer = spec.output_format.get_record_writer(
+                task_conf.get(TASK_FS_KEY), task_conf,
+                FileOutputFormat.part_name(partition), reporter,
+            )
+            for key, value in pairs:
+                writer.write(key, value)
+            writer.close()
+            ser = model.serialize_time(nbytes, len(pairs))
+            metrics.time.charge("serialize", ser)
+            duration += ser
+            duration += self._charge_fs_write(nbytes, metrics)
+            nn = model.namenode_op
+            metrics.time.charge("namenode", nn)
+            duration += nn
+        else:
+            metrics.incr("temp_outputs_skipped")
+        if self.enable_cache:
+            self.cache.put_file(part_path, place, pairs, nbytes)
+            cost = model.handoff_time(len(pairs))
+            metrics.time.charge("framework", cost)
+            duration += cost
+            metrics.incr("cache_outputs")
+        return duration
+
+    def _charge_fs_write(self, nbytes: int, metrics: Metrics) -> float:
+        model = self.cost_model
+        if nbytes <= 0:
+            return 0.0
+        write = model.disk_write_time(nbytes, seeks=1)
+        if isinstance(self.raw_filesystem, SimulatedHDFS):
+            extra = self.raw_filesystem.replication - 1
+            if extra > 0:
+                write += model.net_transfer_time(nbytes * extra)
+                write += model.disk_write_time(nbytes * extra, seeks=1)
+        metrics.time.charge("disk_write", write)
+        metrics.incr("hdfs_output_bytes", nbytes)
+        return write
+
+
+def _part_index(basename: str) -> Optional[int]:
+    """Parse the partition number out of a ``part-NNNNN``-style name."""
+    for prefix in ("part-r-", "part-m-", "part-"):
+        if basename.startswith(prefix):
+            tail = basename[len(prefix):]
+            if tail.isdigit():
+                return int(tail)
+    return None

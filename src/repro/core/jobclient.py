@@ -1,0 +1,112 @@
+"""Integrated mode and server mode (paper Section 5.3).
+
+There are two ways to run M3R:
+
+* **Integrated mode** — M3R starts the Hadoop client under its own control
+  and "(using Java classpath trickery) replaces Hadoop's JobClient with a
+  custom M3R implementation that submits jobs directly to the M3R engine".
+  :class:`IntegratedJobClient` is that replacement: user driver code calls
+  ``submit_job`` exactly as it would call ``JobClient.runJob``, and jobs
+  are transparently redirected to M3R — unless the job sets the
+  ``m3r.force.hadoop.engine`` property, in which case the submission logic
+  invokes the Hadoop engine as usual.
+* **Server mode** — M3R registers a server speaking the JobTracker
+  protocol, so unmodified clients (the paper ran all of BigSheets this way)
+  submit to it like a normal Hadoop cluster.  :class:`M3RServer` models the
+  registry: servers bind to ports, clients pick a server by port.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.api.conf import JobConf
+from repro.api.extensions import FORCE_HADOOP_ENGINE_KEY
+from repro.api.job import JobSequence
+from repro.core.engine import M3REngine
+from repro.engine_common import EngineResult
+from repro.hadoop_engine.engine import HadoopEngine
+
+
+class IntegratedJobClient:
+    """The drop-in JobClient of integrated mode.
+
+    Wraps an M3R engine plus (optionally) a real Hadoop engine for jobs
+    that explicitly opt out of M3R.
+    """
+
+    def __init__(
+        self,
+        m3r: M3REngine,
+        hadoop: Optional[HadoopEngine] = None,
+    ):
+        self.m3r = m3r
+        self.hadoop = hadoop
+
+    def submit_job(self, conf: JobConf) -> EngineResult:
+        """Submit one job; routing follows the paper's integrated-mode rule."""
+        if conf.get_boolean(FORCE_HADOOP_ENGINE_KEY, False):
+            if self.hadoop is None:
+                raise RuntimeError(
+                    "job requested the Hadoop engine but none is configured"
+                )
+            return self.hadoop.run_job(conf)
+        return self.m3r.run_job(conf)
+
+    # Hadoop's blocking convenience entry point.
+    run_job = submit_job
+
+    def run_sequence(self, sequence: JobSequence) -> List[EngineResult]:
+        results: List[EngineResult] = []
+        for conf in sequence:
+            result = self.submit_job(conf)
+            results.append(result)
+            if not result.succeeded:
+                break
+        return results
+
+
+class M3RServer:
+    """Server mode: engines registered under JobTracker 'ports'.
+
+    ``M3RServer.start(port, engine)`` binds an engine; clients constructed
+    with a port submit there.  Replacing the Hadoop server with the M3R one
+    is just re-binding the port — exactly the BigSheets deployment story.
+    """
+
+    _registry: Dict[int, object] = {}
+
+    def __init__(self, engine: object, port: int = 9001):
+        self.engine = engine
+        self.port = port
+        self._started = False
+
+    def start(self) -> "M3RServer":
+        if self.port in M3RServer._registry:
+            raise RuntimeError(f"port {self.port} already bound")
+        M3RServer._registry[self.port] = self.engine
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        if self._started:
+            M3RServer._registry.pop(self.port, None)
+            self._started = False
+
+    def __enter__(self) -> "M3RServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @classmethod
+    def submit_to_port(cls, port: int, conf: JobConf) -> EngineResult:
+        """What a remote client's JobClient does: find the server, submit."""
+        engine = cls._registry.get(port)
+        if engine is None:
+            raise ConnectionRefusedError(f"no jobtracker listening on port {port}")
+        return engine.run_job(conf)  # type: ignore[attr-defined]
+
+    @classmethod
+    def bound_ports(cls) -> List[int]:
+        return sorted(cls._registry)

@@ -1,0 +1,250 @@
+"""Machinery shared by the Hadoop baseline engine and the M3R engine.
+
+Both engines execute the same user code through the same
+:class:`~repro.api.job.JobSpec` drivers; they differ in *what they simulate
+around it*.  This module holds the parts that are engine-agnostic:
+
+* :class:`EngineResult` — what a run returns (success, simulated seconds,
+  counters, metrics, output paths);
+* :class:`CountingReader` / :class:`MaterializedReader` — record sources that
+  keep the system counters honest regardless of which MapRunnable drives the
+  task;
+* :class:`CollectorSink` — the engine-side OutputCollector that partitions
+  map output, applies the engine's per-record policy (serialize-now for
+  Hadoop, clone-or-alias for M3R) and tallies bytes per partition;
+* byte accounting helpers over the de-duplicating size estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.api.counters import Counters, TaskCounter
+from repro.api.formats import RecordReader
+from repro.api.job import JobSpec
+from repro.api.mapred import OutputCollector, Reporter
+from repro.api.partitioner import Partitioner
+from repro.sim.metrics import Metrics
+from repro.x10.serializer import deep_copy_value, estimate_size
+
+
+class JobFailedError(RuntimeError):
+    """Raised when a job cannot complete (M3R raises this on node failure —
+    the engine "does not recover from node failure", paper Section 1)."""
+
+
+@dataclass
+class EngineResult:
+    """The outcome of one job (or job sequence step) on either engine."""
+
+    job_name: str
+    engine: str
+    succeeded: bool
+    simulated_seconds: float
+    counters: Counters
+    metrics: Metrics
+    output_path: Optional[str] = None
+    error: Optional[str] = None
+
+    def __repr__(self) -> str:
+        status = "ok" if self.succeeded else f"FAILED({self.error})"
+        return (
+            f"EngineResult({self.job_name!r}, engine={self.engine}, {status}, "
+            f"t={self.simulated_seconds:.2f}s)"
+        )
+
+
+def pair_bytes(key: Any, value: Any) -> int:
+    """Wire size of one key/value pair, ignoring cross-record sharing."""
+    return estimate_size(key) + estimate_size(value)
+
+
+def pairs_bytes(pairs: List[Tuple[Any, Any]]) -> int:
+    """Total wire size of a pair list, ignoring cross-record sharing."""
+    return sum(estimate_size(k) + estimate_size(v) for k, v in pairs)
+
+
+class CountingReader(RecordReader):
+    """Wraps a reader so MAP_INPUT_RECORDS is counted by the engine, not by
+    whichever MapRunnable happens to drive the task."""
+
+    def __init__(self, inner: RecordReader, counters: Counters):
+        self._inner = inner
+        self._counters = counters
+        self.records = 0
+
+    def next_pair(self) -> Optional[Tuple[Any, Any]]:
+        pair = self._inner.next_pair()
+        if pair is not None:
+            self.records += 1
+            self._counters.increment(TaskCounter.MAP_INPUT_RECORDS, 1)
+        return pair
+
+    def get_progress(self) -> float:
+        return self._inner.get_progress()
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+class MaterializedReader(RecordReader):
+    """A reader over an in-memory pair list (cache hits, reduce feeds).
+
+    With ``clone=True`` each record is defensively copied before being handed
+    out — M3R does this when serving cached data to a job that has not
+    promised ImmutableOutput behaviour.
+    """
+
+    def __init__(self, pairs: List[Tuple[Any, Any]], clone: bool = False):
+        self._pairs = pairs
+        self._index = 0
+        self._clone = clone
+
+    def next_pair(self) -> Optional[Tuple[Any, Any]]:
+        if self._index >= len(self._pairs):
+            return None
+        key, value = self._pairs[self._index]
+        self._index += 1
+        if self._clone:
+            return deep_copy_value(key), deep_copy_value(value)
+        return key, value
+
+    def get_progress(self) -> float:
+        if not self._pairs:
+            return 1.0
+        return self._index / len(self._pairs)
+
+
+@dataclass
+class PartitionBuffer:
+    """Map output destined for one reduce partition."""
+
+    pairs: List[Tuple[Any, Any]] = field(default_factory=list)
+    bytes: int = 0
+
+    def append(self, key: Any, value: Any, nbytes: int) -> None:
+        self.pairs.append((key, value))
+        self.bytes += nbytes
+
+
+class CollectorSink(OutputCollector):
+    """The engine-side map/reduce output collector.
+
+    ``record_policy`` is the engine's per-record treatment, applied *before*
+    buffering (``"serialize"`` → snapshot via clone, the moral equivalent of
+    Hadoop's immediate serialization; ``"clone"`` → M3R defensive copy;
+    ``"alias"`` → M3R with ImmutableOutput: keep the reference).  The sink
+    counts records and exact wire bytes either way, because the engines
+    charge time from those tallies.
+    """
+
+    def __init__(
+        self,
+        num_partitions: int,
+        partitioner: Optional[Partitioner],
+        counters: Counters,
+        record_policy: str = "serialize",
+        output_counter: TaskCounter = TaskCounter.MAP_OUTPUT_RECORDS,
+    ):
+        if record_policy not in ("serialize", "clone", "alias"):
+            raise ValueError(f"unknown record policy {record_policy!r}")
+        if num_partitions <= 0:
+            raise ValueError("need at least one partition")
+        self.partitions: List[PartitionBuffer] = [
+            PartitionBuffer() for _ in range(num_partitions)
+        ]
+        self._partitioner = partitioner
+        self._counters = counters
+        self._policy = record_policy
+        self._output_counter = output_counter
+        self.records = 0
+        self.bytes = 0
+        self.copied_records = 0
+        self.copied_bytes = 0
+
+    def collect(self, key: Any, value: Any) -> None:
+        nbytes = pair_bytes(key, value)
+        if self._policy in ("serialize", "clone"):
+            key = deep_copy_value(key)
+            value = deep_copy_value(value)
+            self.copied_records += 1
+            self.copied_bytes += nbytes
+        if self._partitioner is not None:
+            partition = self._partitioner.get_partition(
+                key, value, len(self.partitions)
+            )
+            if not 0 <= partition < len(self.partitions):
+                raise ValueError(
+                    f"partitioner returned {partition} outside "
+                    f"[0, {len(self.partitions)})"
+                )
+        else:
+            partition = 0
+        self.partitions[partition].append(key, value, nbytes)
+        self.records += 1
+        self.bytes += nbytes
+        self._counters.increment(self._output_counter, 1)
+        if self._output_counter is TaskCounter.MAP_OUTPUT_RECORDS:
+            self._counters.increment(TaskCounter.MAP_OUTPUT_BYTES, nbytes)
+
+
+class WriterCollector(OutputCollector):
+    """Adapts a RecordWriter to the OutputCollector interface (reduce side),
+    applying the engine's record policy before the write."""
+
+    def __init__(
+        self,
+        writer: Any,
+        counters: Counters,
+        record_policy: str = "serialize",
+        on_write: Optional[Callable[[Any, Any, int], None]] = None,
+    ):
+        self._writer = writer
+        self._counters = counters
+        self._policy = record_policy
+        self._on_write = on_write
+        self.records = 0
+        self.bytes = 0
+        self.copied_records = 0
+        self.copied_bytes = 0
+
+    def collect(self, key: Any, value: Any) -> None:
+        nbytes = pair_bytes(key, value)
+        if self._policy in ("serialize", "clone"):
+            key = deep_copy_value(key)
+            value = deep_copy_value(value)
+            self.copied_records += 1
+            self.copied_bytes += nbytes
+        self.records += 1
+        self.bytes += nbytes
+        self._counters.increment(TaskCounter.REDUCE_OUTPUT_RECORDS, 1)
+        if self._on_write is not None:
+            self._on_write(key, value, nbytes)
+        self._writer.write(key, value)
+
+
+def run_combiner_if_any(
+    spec: JobSpec,
+    buffer: PartitionBuffer,
+    counters: Counters,
+    reporter: Reporter,
+    record_policy: str,
+) -> PartitionBuffer:
+    """Apply the job's combiner to one partition buffer (sorted first,
+    as Hadoop sorts spills before combining).  Returns the combined buffer
+    (or the input unchanged when no combiner is configured)."""
+    if spec.combiner_class is None or not buffer.pairs:
+        return buffer
+    ordered = sorted(buffer.pairs, key=spec.sort_key())
+    groups = spec.group_sorted_pairs(ordered)
+    combined = CollectorSink(
+        num_partitions=1,
+        partitioner=None,
+        counters=counters,
+        record_policy=record_policy,
+        output_counter=TaskCounter.COMBINE_OUTPUT_RECORDS,
+    )
+    counters.increment(TaskCounter.COMBINE_INPUT_RECORDS, len(ordered))
+    spec.run_combine(groups, combined, reporter)
+    return combined.partitions[0]

@@ -1,0 +1,35 @@
+"""Filesystem substrates.
+
+M3R is "essentially agnostic to the file system, so it can run HMR jobs that
+use the local file system or HDFS" (paper Section 1).  Both engines here run
+against the :class:`~repro.fs.filesystem.FileSystem` abstraction; two
+implementations are provided:
+
+* :class:`~repro.fs.memory.InMemoryFileSystem` — a plain hierarchical store
+  standing in for a node-local filesystem;
+* :class:`~repro.fs.hdfs.SimulatedHDFS` — namenode metadata, per-datanode
+  block maps, replication and ``get_block_locations`` locality metadata,
+  which is everything the engines' locality-aware schedulers consume.
+
+:class:`~repro.fs.instrumented.InstrumentedFileSystem` wraps either one to
+attribute bytes and operations to an individual task, which is how the
+engines charge simulated I/O time for work user code performs through
+RecordReaders/RecordWriters.
+"""
+
+from repro.fs.filesystem import FileSystem, FileStatus, normalize_path, parent_path
+from repro.fs.memory import InMemoryFileSystem
+from repro.fs.hdfs import SimulatedHDFS, BlockLocation
+from repro.fs.instrumented import InstrumentedFileSystem, FsTally
+
+__all__ = [
+    "FileSystem",
+    "FileStatus",
+    "normalize_path",
+    "parent_path",
+    "InMemoryFileSystem",
+    "SimulatedHDFS",
+    "BlockLocation",
+    "InstrumentedFileSystem",
+    "FsTally",
+]

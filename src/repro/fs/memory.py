@@ -1,0 +1,26 @@
+"""The node-local in-memory filesystem.
+
+Stands in for the "local file system" case the paper mentions ("M3R is
+essentially agnostic to the file system, so it can run HMR jobs that use the
+local file system or HDFS").  Everything lives in process memory; there is
+no block placement and no locality metadata.
+"""
+
+from __future__ import annotations
+
+from repro.fs.filesystem import FileSystem
+
+
+class InMemoryFileSystem(FileSystem):
+    """A plain hierarchical store with the full :class:`FileSystem` surface.
+
+    ``get_block_locations`` reports a single pseudo-host so locality-aware
+    schedulers degrade gracefully (everything looks equally local).
+    """
+
+    def __init__(self, hostname: str = "localhost"):
+        super().__init__()
+        self._hostname = hostname
+
+    def get_block_locations(self, path: str, start: int, length: int):
+        return [self._hostname]

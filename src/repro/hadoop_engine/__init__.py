@@ -1,0 +1,28 @@
+"""The baseline Hadoop MapReduce engine simulator.
+
+This is the paper's comparison point: the stock Hadoop 0.22-era engine,
+whose design decisions M3R deliberately departs from.  Reproduced here:
+
+* per-job submission overhead (staging, split calculation, jobtracker RPCs)
+  and per-task JVM start-up plus heartbeat-paced scheduling latency;
+* locality-aware map placement against HDFS block locations, with
+  DATA_LOCAL_MAPS accounting;
+* the map-side sort/spill pipeline (io.sort.mb buffers, combiner per spill
+  set, on-disk merge when a task spills more than once);
+* the out-of-core shuffle: map output is always serialized to local disk,
+  fetched (disk + network) by reducers, re-written locally and merged
+  out-of-core — which is why local and remote destinations cost the same on
+  Hadoop (the flat line of paper Figure 6, left);
+* reduce placement uncorrelated with partition numbers across jobs (Hadoop
+  restarts reducers wherever slots free up — the absence of partition
+  stability);
+* HDFS output with replication, and re-reading everything from the
+  filesystem between the jobs of a sequence (no cross-job cache);
+* node-failure recovery: tasks of a failed node are re-run elsewhere, the
+  resilience M3R gives up.
+"""
+
+from repro.hadoop_engine.engine import HadoopEngine
+from repro.hadoop_engine.scheduler import SlotLanes, place_map_tasks, reduce_node_for
+
+__all__ = ["HadoopEngine", "SlotLanes", "place_map_tasks", "reduce_node_for"]

@@ -1,0 +1,332 @@
+"""The Jaql runner: pipeline operators → HMR jobs.
+
+Consecutive map-side operators (``filter``/``transform``) are fused into a
+single map-only job, as Jaql's rewriter does; ``group`` becomes a full
+map/shuffle/reduce job; ``sort`` is a total-order sort with driver-side key
+sampling; ``top`` is a single-reducer truncation of sorted input.  Records
+travel as JSON text lines, and intermediates follow the temporary-output
+convention (in-memory on M3R).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.api.conf import JobConf
+from repro.api.extensions import ImmutableOutput
+from repro.api.formats import (
+    SequenceFileInputFormat,
+    SequenceFileOutputFormat,
+    TextInputFormat,
+    TextOutputFormat,
+)
+from repro.api.mapred import Mapper, OutputCollector, Reducer, Reporter
+from repro.api.partitioner import TotalOrderPartitioner
+from repro.api.writables import DoubleWritable, IntWritable, NullWritable, Text
+from repro.engine_common import EngineResult
+from repro.jaql.expr import evaluate_expr
+from repro.jaql.parser import (
+    FilterOp,
+    GroupOp,
+    Pipeline,
+    SortOp,
+    TopOp,
+    TransformOp,
+    parse_pipeline,
+)
+
+JAQL_OPS_KEY = "jaql.fused.ops"
+JAQL_GROUP_KEY = "jaql.group.op"
+JAQL_SORT_KEY = "jaql.sort.op"
+JAQL_TOP_KEY = "jaql.top.count"
+
+
+def dumps(record: Any) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def loads(line: str) -> Any:
+    return json.loads(line)
+
+
+class FusedMapMapper(Mapper, ImmutableOutput):
+    """Applies a fused chain of filter/transform ops to each record."""
+
+    def __init__(self) -> None:
+        self._ops: List[object] = []
+
+    def configure(self, conf: JobConf) -> None:
+        self._ops = conf.get(JAQL_OPS_KEY) or []
+
+    def map(self, key, value: Text, output: OutputCollector,
+            reporter: Reporter) -> None:
+        line = value.to_string()
+        if not line.strip():
+            return
+        record = loads(line)
+        for op in self._ops:
+            if isinstance(op, FilterOp):
+                if not evaluate_expr(op.predicate, record):
+                    return
+            elif isinstance(op, TransformOp):
+                record = evaluate_expr(op.projection, record)
+            else:  # pragma: no cover - parser only emits the two kinds
+                raise TypeError(f"unfusable op {type(op).__name__}")
+        output.collect(NullWritable.get(), Text(dumps(record)))
+
+
+class GroupKeyMapper(Mapper, ImmutableOutput):
+    def __init__(self) -> None:
+        self._group: Optional[GroupOp] = None
+
+    def configure(self, conf: JobConf) -> None:
+        self._group = conf.get(JAQL_GROUP_KEY)
+
+    def map(self, key, value: Text, output: OutputCollector,
+            reporter: Reporter) -> None:
+        record = loads(value.to_string())
+        group_key = evaluate_expr(self._group.key_expr, record)
+        output.collect(Text(dumps(group_key)), Text(value.to_string()))
+
+
+class GroupIntoReducer(Reducer, ImmutableOutput):
+    def __init__(self) -> None:
+        self._group: Optional[GroupOp] = None
+
+    def configure(self, conf: JobConf) -> None:
+        self._group = conf.get(JAQL_GROUP_KEY)
+
+    def reduce(self, key: Text, values: Iterator[Text],
+               output: OutputCollector, reporter: Reporter) -> None:
+        group_key = loads(key.to_string())
+        members = [loads(v.to_string()) for v in values]
+        result = evaluate_expr(
+            self._group.into_expr, record=None, group_key=group_key,
+            group_records=members,
+        )
+        output.collect(NullWritable.get(), Text(dumps(result)))
+
+
+class SortKeyMapper(Mapper, ImmutableOutput):
+    def __init__(self) -> None:
+        self._sort: Optional[SortOp] = None
+
+    def configure(self, conf: JobConf) -> None:
+        self._sort = conf.get(JAQL_SORT_KEY)
+
+    def map(self, key, value: Text, output: OutputCollector,
+            reporter: Reporter) -> None:
+        record = loads(value.to_string())
+        sort_value = evaluate_expr(self._sort.key_expr, record)
+        if isinstance(sort_value, bool) or not isinstance(sort_value, (int, float)):
+            raise ValueError(f"sort by needs a numeric key, got {sort_value!r}")
+        numeric = -float(sort_value) if self._sort.descending else float(sort_value)
+        output.collect(DoubleWritable(numeric), Text(value.to_string()))
+
+
+class EmitSortedReducer(Reducer, ImmutableOutput):
+    def reduce(self, key, values: Iterator[Text], output: OutputCollector,
+               reporter: Reporter) -> None:
+        for value in values:
+            output.collect(NullWritable.get(), Text(value.to_string()))
+
+
+class TopMapper(Mapper, ImmutableOutput):
+    """Keys every record 0 so one reducer sees the whole (ordered) stream."""
+
+    def map(self, key, value: Text, output: OutputCollector,
+            reporter: Reporter) -> None:
+        output.collect(IntWritable(0), Text(value.to_string()))
+
+
+class TopReducer(Reducer, ImmutableOutput):
+    def __init__(self) -> None:
+        self._limit = 0
+
+    def configure(self, conf: JobConf) -> None:
+        self._limit = conf.get_int(JAQL_TOP_KEY, 0)
+
+    def reduce(self, key, values: Iterator[Text], output: OutputCollector,
+               reporter: Reporter) -> None:
+        emitted = 0
+        for value in values:
+            if emitted >= self._limit:
+                break
+            output.collect(NullWritable.get(), Text(value.to_string()))
+            emitted += 1
+
+
+class PassThroughMapper(Mapper, ImmutableOutput):
+    def map(self, key, value: Text, output: OutputCollector,
+            reporter: Reporter) -> None:
+        output.collect(NullWritable.get(), Text(value.to_string()))
+
+
+class JaqlRunner:
+    """Compiles and runs Jaql pipelines against one engine."""
+
+    def __init__(self, engine, workdir: str = "/jaql",
+                 num_reducers: Optional[int] = None):
+        self.engine = engine
+        self.workdir = workdir.rstrip("/")
+        self.num_reducers = (
+            num_reducers if num_reducers is not None else engine.cluster.num_nodes
+        )
+        self.results: List[EngineResult] = []
+        self._counter = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.simulated_seconds for r in self.results)
+
+    @property
+    def jobs_run(self) -> int:
+        return len(self.results)
+
+    # -- public API ------------------------------------------------------- #
+
+    def run(self, source: str) -> str:
+        """Run a pipeline; returns the sink path."""
+        pipeline = parse_pipeline(source)
+        current_path = pipeline.source.path
+        current_format = TextInputFormat
+
+        stages = self._fuse(pipeline)
+        for index, stage in enumerate(stages):
+            last = index == len(stages) - 1
+            out = pipeline.sink.path if last else self._temp_path(stage["name"])
+            self._run_stage(stage, current_path, current_format, out, last)
+            current_path = out
+            current_format = SequenceFileInputFormat if not last else None
+        return pipeline.sink.path
+
+    def read_output(self, path: str) -> List[Any]:
+        """Read a written pipeline output back as JSON records."""
+        fs = self.engine.filesystem
+        records: List[Any] = []
+        for status in sorted(fs.list_files_recursive(path), key=lambda s: s.path):
+            basename = status.path.rsplit("/", 1)[-1]
+            if basename.startswith((".", "_")):
+                continue
+            for line in fs.read_text(status.path).splitlines():
+                if line.strip():
+                    records.append(loads(line))
+        return records
+
+    # -- compilation ------------------------------------------------------- #
+
+    def _fuse(self, pipeline: Pipeline) -> List[Dict[str, Any]]:
+        """Group pipeline ops into MR stages (consecutive map ops fused)."""
+        stages: List[Dict[str, Any]] = []
+        pending_maps: List[object] = []
+
+        def flush_maps() -> None:
+            if pending_maps:
+                stages.append({"name": "map", "kind": "map", "ops": list(pending_maps)})
+                pending_maps.clear()
+
+        for op in pipeline.ops:
+            if isinstance(op, (FilterOp, TransformOp)):
+                pending_maps.append(op)
+            elif isinstance(op, GroupOp):
+                flush_maps()
+                stages.append({"name": "group", "kind": "group", "op": op})
+            elif isinstance(op, SortOp):
+                flush_maps()
+                stages.append({"name": "sort", "kind": "sort", "op": op})
+            elif isinstance(op, TopOp):
+                flush_maps()
+                stages.append({"name": "top", "kind": "top", "op": op})
+            else:  # pragma: no cover
+                raise TypeError(f"unknown op {type(op).__name__}")
+        flush_maps()
+        if not stages:
+            stages.append({"name": "copy", "kind": "map", "ops": []})
+        return stages
+
+    def _temp_path(self, name: str) -> str:
+        self._counter += 1
+        return f"{self.workdir}/temp-{name}-{self._counter}"
+
+    def _submit(self, conf: JobConf) -> EngineResult:
+        result = self.engine.run_job(conf)
+        self.results.append(result)
+        if not result.succeeded:
+            raise RuntimeError(
+                f"jaql job {conf.get_job_name()!r} failed: {result.error}"
+            )
+        return result
+
+    def _base_conf(self, name: str, src: str, src_format, out: str,
+                   final: bool, reducers: Optional[int] = None) -> JobConf:
+        conf = JobConf()
+        conf.set_job_name(f"jaql.{name}")
+        conf.set_input_paths(src)
+        conf.set_input_format(src_format)
+        conf.set_output_path(out)
+        conf.set_output_format(TextOutputFormat if final else SequenceFileOutputFormat)
+        conf.set_num_reduce_tasks(
+            self.num_reducers if reducers is None else reducers
+        )
+        return conf
+
+    def _run_stage(self, stage: Dict[str, Any], src: str, src_format,
+                   out: str, final: bool) -> None:
+        kind = stage["kind"]
+        if kind == "map":
+            conf = self._base_conf("map", src, src_format, out, final, reducers=0)
+            if stage["ops"]:
+                conf.set_mapper_class(FusedMapMapper)
+                conf.set(JAQL_OPS_KEY, stage["ops"])
+            else:
+                conf.set_mapper_class(PassThroughMapper)
+            self._submit(conf)
+        elif kind == "group":
+            conf = self._base_conf("group", src, src_format, out, final)
+            conf.set_mapper_class(GroupKeyMapper)
+            conf.set_reducer_class(GroupIntoReducer)
+            conf.set(JAQL_GROUP_KEY, stage["op"])
+            self._submit(conf)
+        elif kind == "sort":
+            self._run_sort(stage["op"], src, src_format, out, final)
+        elif kind == "top":
+            conf = self._base_conf("top", src, src_format, out, final, reducers=1)
+            conf.set_mapper_class(TopMapper)
+            conf.set_reducer_class(TopReducer)
+            conf.set_int(JAQL_TOP_KEY, stage["op"].count)
+            self._submit(conf)
+        else:  # pragma: no cover
+            raise TypeError(kind)
+
+    def _read_records(self, path: str, src_format) -> List[Any]:
+        fs = self.engine.filesystem
+        records: List[Any] = []
+        if src_format is TextInputFormat:
+            for status in fs.list_files_recursive(path):
+                for line in fs.read_text(status.path).splitlines():
+                    if line.strip():
+                        records.append(loads(line))
+        else:
+            for _, value in fs.read_kv_pairs(path):
+                records.append(loads(value.to_string()))
+        return records
+
+    def _run_sort(self, op: SortOp, src: str, src_format, out: str,
+                  final: bool) -> None:
+        # Driver-side sampling, like Jaql's (and Pig's) sampling pass.
+        sample = []
+        for record in self._read_records(src, src_format):
+            value = evaluate_expr(op.key_expr, record)
+            numeric = -float(value) if op.descending else float(value)
+            sample.append(DoubleWritable(numeric))
+        reducers = min(self.num_reducers, max(1, len(sample)))
+        cuts = TotalOrderPartitioner.sample_cut_points(sample, reducers)
+        conf = self._base_conf("sort", src, src_format, out, final,
+                               reducers=len(cuts) + 1)
+        conf.set_mapper_class(SortKeyMapper)
+        conf.set_reducer_class(EmitSortedReducer)
+        conf.set_partitioner_class(TotalOrderPartitioner)
+        conf.set("total.order.partitioner.cuts", cuts)
+        conf.set(JAQL_SORT_KEY, op)
+        self._submit(conf)

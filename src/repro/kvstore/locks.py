@@ -1,0 +1,126 @@
+"""The store's lock table.
+
+The paper's implementation swaps a special *lock entry* into the per-place
+concurrent hash table, upgrading it to a heavier *monitor entry* when a
+second task collides.  The observable protocol is: per-path mutual
+exclusion, blocking waiters, two-phase acquisition within a task, and the
+least-common-ancestor ordering rule that makes deadlock impossible.
+
+:class:`LockTable` reproduces that protocol with ``threading`` primitives.
+:meth:`LockTable.acquire_all` is the safe entry point for multi-path
+operations: it takes the LCA first and then the paths in sorted order,
+which satisfies the paper's rule ("any task that acquires a lock *l* while
+holding locks *L* must be holding the least common ancestor of *l* with all
+the locks in *L*").
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Sequence
+
+from repro.fs.filesystem import normalize_path
+from repro.kvstore.paths import least_common_ancestor
+
+
+class _PathLock:
+    """One path's lock: a mutex plus a waiter count for table cleanup."""
+
+    __slots__ = ("mutex", "waiters")
+
+    def __init__(self) -> None:
+        self.mutex = threading.Lock()
+        self.waiters = 0
+
+
+class LockTable:
+    """On-demand per-path locks with LCA-ordered multi-acquisition."""
+
+    def __init__(self) -> None:
+        self._table: Dict[str, _PathLock] = {}
+        self._guard = threading.Lock()
+        # Observability for tests: how many times a task had to block.
+        self.contended_acquires = 0
+
+    # -- single-path ----------------------------------------------------- #
+
+    def _checkout(self, path: str) -> _PathLock:
+        with self._guard:
+            lock = self._table.get(path)
+            if lock is None:
+                lock = _PathLock()
+                self._table[path] = lock
+            lock.waiters += 1
+            return lock
+
+    def _checkin(self, path: str, lock: _PathLock) -> None:
+        with self._guard:
+            lock.waiters -= 1
+            if lock.waiters == 0:
+                # Nobody holds or wants it: drop the entry, mirroring the
+                # paper's removal of lock entries from the hash table.
+                self._table.pop(path, None)
+
+    def acquire(self, path: str) -> None:
+        """Block until the path's lock is held by this task."""
+        path = normalize_path(path)
+        lock = self._checkout(path)
+        if not lock.mutex.acquire(blocking=False):
+            with self._guard:
+                self.contended_acquires += 1
+            lock.mutex.acquire()
+
+    def release(self, path: str) -> None:
+        path = normalize_path(path)
+        with self._guard:
+            lock = self._table.get(path)
+        if lock is None:
+            raise RuntimeError(f"release of unheld lock {path!r}")
+        lock.mutex.release()
+        self._checkin(path, lock)
+
+    @contextmanager
+    def holding(self, path: str) -> Iterator[None]:
+        """Context manager for a single-path critical section."""
+        self.acquire(path)
+        try:
+            yield
+        finally:
+            self.release(path)
+
+    # -- multi-path (2PL + LCA ordering) ----------------------------------- #
+
+    @contextmanager
+    def acquire_all(self, paths: Sequence[str]) -> Iterator[None]:
+        """Atomically hold the locks of every path in ``paths``.
+
+        Growing phase: LCA first, then paths in sorted order (deterministic
+        global order ⇒ no cycles).  Shrinking phase: release everything on
+        exit — classic two-phase locking.
+        """
+        normalized = sorted({normalize_path(p) for p in paths})
+        if not normalized:
+            yield
+            return
+        lca = least_common_ancestor(normalized)
+        order: List[str] = []
+        if lca not in normalized:
+            order.append(lca)
+        order.extend(normalized)
+        held: List[str] = []
+        try:
+            for path in order:
+                self.acquire(path)
+                held.append(path)
+            yield
+        finally:
+            for path in reversed(held):
+                self.release(path)
+
+    # -- introspection --------------------------------------------------- #
+
+    def live_entries(self) -> int:
+        """Number of lock entries currently in the table (0 when quiescent)."""
+        with self._guard:
+            return len(self._table)

@@ -1,0 +1,50 @@
+"""Path algebra for the key/value store's hierarchical namespace."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.fs.filesystem import normalize_path
+
+
+def path_components(path: str) -> List[str]:
+    """The components of a normalized path (root has none)."""
+    path = normalize_path(path)
+    if path == "/":
+        return []
+    return path[1:].split("/")
+
+
+def ancestors(path: str) -> List[str]:
+    """All ancestors of ``path`` from the root down, excluding ``path``."""
+    parts = path_components(path)
+    result = ["/"]
+    for i in range(1, len(parts)):
+        result.append("/" + "/".join(parts[:i]))
+    return result
+
+
+def least_common_ancestor(paths: Sequence[str]) -> str:
+    """The deepest path that is an ancestor-or-self of every input path."""
+    if not paths:
+        raise ValueError("need at least one path")
+    component_lists = [path_components(p) for p in paths]
+    prefix: List[str] = []
+    for parts in zip(*component_lists):
+        first = parts[0]
+        if all(part == first for part in parts):
+            prefix.append(first)
+        else:
+            break
+    if not prefix:
+        return "/"
+    return "/" + "/".join(prefix)
+
+
+def is_ancestor_or_self(candidate: str, path: str) -> bool:
+    """True when ``candidate`` is ``path`` or one of its ancestors."""
+    candidate = normalize_path(candidate)
+    path = normalize_path(path)
+    if candidate == "/":
+        return True
+    return path == candidate or path.startswith(candidate + "/")

@@ -1,0 +1,420 @@
+"""The distributed in-memory key/value store itself.
+
+Layout (paper Section 5.2): every place owns two hash tables — one for
+metadata, one for data blocks.  A path's *metadata* lives at the place
+selected by hashing the path (static partitioning); its *data blocks* live
+wherever they were created ("the createWriter call will create a block at
+the place where it is invoked"), with the location recorded in the block's
+metadata.  The store is generic in block metadata; it only requires a
+reasonable equality, which :class:`BlockInfo` provides.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.fs.filesystem import normalize_path, parent_path
+from repro.kvstore.locks import LockTable
+from repro.x10.places import Place
+from repro.x10.serializer import estimate_size
+
+
+class KVStoreError(RuntimeError):
+    """Base class for store failures."""
+
+
+class PathExistsError(KVStoreError):
+    """Raised when creating over an existing path without permission."""
+
+
+class PathMissingError(KVStoreError):
+    """Raised when an operation references a path that does not exist."""
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    """User-facing block metadata: where the block lives plus a free tag.
+
+    The store is generic in metadata but requires a usable ``__eq__``
+    (paper: "requires that it implement a reasonable equals method") —
+    the frozen dataclass provides it.
+    """
+
+    place_id: int
+    tag: str = ""
+
+
+@dataclass
+class BlockMeta:
+    """A registered block: its info plus size accounting."""
+
+    info: BlockInfo
+    records: int
+    nbytes: int
+
+
+@dataclass
+class PathInfo:
+    """Metadata snapshot for one path (paper's ``getInfo``)."""
+
+    path: str
+    is_dir: bool
+    blocks: List[BlockMeta] = field(default_factory=list)
+
+    @property
+    def total_records(self) -> int:
+        return sum(b.records for b in self.blocks)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(b.nbytes for b in self.blocks)
+
+
+class _PathMeta:
+    """The metadata record stored at a path's home place."""
+
+    __slots__ = ("is_dir", "blocks")
+
+    def __init__(self, is_dir: bool):
+        self.is_dir = is_dir
+        self.blocks: List[BlockMeta] = []
+
+
+class Writer:
+    """Buffers pairs for one block; ``close`` registers it atomically."""
+
+    def __init__(self, store: "KeyValueStore", path: str, info: BlockInfo):
+        self._store = store
+        self._path = path
+        self._info = info
+        self._pairs: List[Tuple[Any, Any]] = []
+        self._nbytes = 0
+        self._closed = False
+
+    def write(self, key: Any, value: Any) -> None:
+        if self._closed:
+            raise KVStoreError("write after close")
+        self._pairs.append((key, value))
+        self._nbytes += estimate_size(key) + estimate_size(value)
+
+    def write_pairs(self, pairs: Sequence[Tuple[Any, Any]]) -> None:
+        for key, value in pairs:
+            self.write(key, value)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._store._commit_block(self._path, self._info, self._pairs, self._nbytes)
+
+    def __enter__(self) -> "Writer":
+        return self
+
+    def __exit__(self, exc_type: object, *rest: object) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self._closed = True  # abandon the buffer on error
+
+
+class Reader:
+    """Iterates the pairs of one block (or of all blocks of a path)."""
+
+    def __init__(self, blocks: List[List[Tuple[Any, Any]]]):
+        self._blocks = blocks
+
+    def __iter__(self) -> Iterator[Tuple[Any, Any]]:
+        for block in self._blocks:
+            yield from block
+
+    def read_all(self) -> List[Tuple[Any, Any]]:
+        out: List[Tuple[Any, Any]] = []
+        for block in self._blocks:
+            out.extend(block)
+        return out
+
+
+class KeyValueStore:
+    """The store: metadata partitioned by path hash, blocks at their place.
+
+    All public operations are serializable: they take the involved path
+    locks through :class:`~repro.kvstore.locks.LockTable` following 2PL with
+    LCA ordering, so concurrent callers observe atomic behaviour.
+    """
+
+    def __init__(self, places: Sequence[Place]):
+        if not places:
+            raise ValueError("need at least one place")
+        self._places = list(places)
+        self._locks = LockTable()
+        # Per-place tables, as in the paper ("each place has a handle to its
+        # own concurrent hash tables, one for the metadata and one for the
+        # data").  Guarded by per-place mutexes; path-level atomicity comes
+        # from the lock table.
+        self._meta: List[Dict[str, _PathMeta]] = [dict() for _ in places]
+        self._data: List[Dict[Tuple[str, int], List[Tuple[Any, Any]]]] = [
+            dict() for _ in places
+        ]
+        self._table_guards = [threading.Lock() for _ in places]
+
+    # -- placement ---------------------------------------------------------- #
+
+    @property
+    def num_places(self) -> int:
+        return len(self._places)
+
+    def metadata_place(self, path: str) -> int:
+        """The place holding ``path``'s metadata (static hash partitioning)."""
+        path = normalize_path(path)
+        digest = 0
+        for ch in path:
+            digest = (digest * 131 + ord(ch)) & 0x7FFFFFFF
+        return digest % len(self._places)
+
+    # -- low-level table access (thread-safe, no path locking) -------------- #
+
+    def _meta_get(self, path: str) -> Optional[_PathMeta]:
+        home = self.metadata_place(path)
+        with self._table_guards[home]:
+            return self._meta[home].get(path)
+
+    def _meta_put(self, path: str, meta: _PathMeta) -> None:
+        home = self.metadata_place(path)
+        with self._table_guards[home]:
+            self._meta[home][path] = meta
+
+    def _meta_pop(self, path: str) -> Optional[_PathMeta]:
+        home = self.metadata_place(path)
+        with self._table_guards[home]:
+            return self._meta[home].pop(path, None)
+
+    def _data_put(
+        self, place_id: int, key: Tuple[str, int], pairs: List[Tuple[Any, Any]]
+    ) -> None:
+        with self._table_guards[place_id]:
+            self._data[place_id][key] = pairs
+
+    def _data_get(self, place_id: int, key: Tuple[str, int]) -> List[Tuple[Any, Any]]:
+        with self._table_guards[place_id]:
+            return self._data[place_id][key]
+
+    def _data_pop(self, place_id: int, key: Tuple[str, int]) -> None:
+        with self._table_guards[place_id]:
+            self._data[place_id].pop(key, None)
+
+    # -- API (paper Figure 5) ------------------------------------------------- #
+
+    def mkdirs(self, path: str) -> None:
+        """Create a directory and its ancestors (idempotent)."""
+        path = normalize_path(path)
+        with self._locks.holding(path):
+            self._mkdirs_unlocked(path)
+
+    def _mkdirs_unlocked(self, path: str) -> None:
+        chain: List[str] = []
+        probe: Optional[str] = path
+        while probe is not None and probe != "/":
+            chain.append(probe)
+            probe = parent_path(probe)
+        for ancestor in reversed(chain):
+            meta = self._meta_get(ancestor)
+            if meta is None:
+                self._meta_put(ancestor, _PathMeta(is_dir=True))
+            elif not meta.is_dir and ancestor != path:
+                raise PathExistsError(f"{ancestor} is a file")
+
+    def create_writer(self, path: str, info: BlockInfo) -> Writer:
+        """Create a writer that appends one block to ``path``.
+
+        The block is created at ``info.place_id`` — the paper's "at the
+        place where it is invoked" — when the writer is closed.
+        """
+        path = normalize_path(path)
+        if not 0 <= info.place_id < len(self._places):
+            raise ValueError(f"block place {info.place_id} out of range")
+        return Writer(self, path, info)
+
+    def _commit_block(
+        self,
+        path: str,
+        info: BlockInfo,
+        pairs: List[Tuple[Any, Any]],
+        nbytes: int,
+    ) -> None:
+        with self._locks.holding(path):
+            meta = self._meta_get(path)
+            if meta is None:
+                self._mkdirs_unlocked_parent(path)
+                meta = _PathMeta(is_dir=False)
+                self._meta_put(path, meta)
+            elif meta.is_dir:
+                raise PathExistsError(f"{path} is a directory")
+            block_id = len(meta.blocks)
+            meta.blocks.append(BlockMeta(info=info, records=len(pairs), nbytes=nbytes))
+            self._data_put(info.place_id, (path, block_id), pairs)
+
+    def _mkdirs_unlocked_parent(self, path: str) -> None:
+        parent = parent_path(path)
+        if parent is not None and parent != "/":
+            self._mkdirs_unlocked(parent)
+
+    def put_block(
+        self,
+        path: str,
+        info: BlockInfo,
+        pairs: List[Tuple[Any, Any]],
+        nbytes: Optional[int] = None,
+    ) -> List[Tuple[Any, Any]]:
+        """Append ``pairs`` as one block of ``path`` without copying.
+
+        This is the in-memory cache's fast path: the list reference is
+        stored as-is (``nbytes`` may be precomputed to skip size
+        estimation).  Returns the stored list.
+        """
+        stored = list(pairs)
+        if nbytes is None:
+            nbytes = sum(estimate_size(k) + estimate_size(v) for k, v in stored)
+        self._commit_block(normalize_path(path), info, stored, nbytes)
+        return stored
+
+    def create_reader(
+        self, path: str, info: Optional[BlockInfo] = None
+    ) -> Reader:
+        """Read the pairs of ``path`` — all blocks, or just those matching
+        ``info`` (the paper's per-block reader)."""
+        path = normalize_path(path)
+        with self._locks.holding(path):
+            meta = self._meta_get(path)
+            if meta is None or meta.is_dir:
+                raise PathMissingError(path)
+            blocks: List[List[Tuple[Any, Any]]] = []
+            for block_id, block in enumerate(meta.blocks):
+                if info is not None and block.info != info:
+                    continue
+                blocks.append(self._data_get(block.info.place_id, (path, block_id)))
+            return Reader(blocks)
+
+    def get_info(self, path: str) -> Optional[PathInfo]:
+        """Metadata snapshot, or ``None`` when the path does not exist."""
+        path = normalize_path(path)
+        with self._locks.holding(path):
+            meta = self._meta_get(path)
+            if meta is None:
+                return None
+            return PathInfo(path=path, is_dir=meta.is_dir, blocks=list(meta.blocks))
+
+    def exists(self, path: str) -> bool:
+        return self.get_info(path) is not None
+
+    def delete(self, path: str) -> bool:
+        """Remove a path (and, for directories, everything under it).
+
+        Child locks are acquired while holding the directory's own lock —
+        the directory is the LCA of its children, so the paper's ordering
+        rule is satisfied.  New children appearing mid-delete are picked up
+        by re-scanning until the set is stable.
+        """
+        path = normalize_path(path)
+        self._locks.acquire(path)
+        held = [path]
+        try:
+            while True:
+                children = [p for p in self._children_of(path) if p not in held]
+                if not children:
+                    break
+                for child in sorted(children):
+                    self._locks.acquire(child)
+                    held.append(child)
+            return self._delete_unlocked(path)
+        finally:
+            for held_path in reversed(held):
+                self._locks.release(held_path)
+
+    def _children_of(self, path: str) -> List[str]:
+        prefix = "/" if path == "/" else path + "/"
+        found: List[str] = []
+        for home in range(len(self._places)):
+            with self._table_guards[home]:
+                found.extend(p for p in self._meta[home] if p.startswith(prefix))
+        return found
+
+    def _delete_unlocked(self, path: str) -> bool:
+        meta = self._meta_pop(path)
+        removed = meta is not None
+        if meta is not None and not meta.is_dir:
+            for block_id, block in enumerate(meta.blocks):
+                self._data_pop(block.info.place_id, (path, block_id))
+        # Children (for directory deletes) are found by scanning every
+        # place's metadata table — acceptable because namespaces are small
+        # compared to data, exactly as in HDFS's namenode.
+        prefix = path + "/" if path != "/" else "/"
+        for home in range(len(self._places)):
+            with self._table_guards[home]:
+                children = [p for p in self._meta[home] if p.startswith(prefix)]
+            for child in children:
+                child_meta = self._meta_pop(child)
+                removed = True
+                if child_meta is not None and not child_meta.is_dir:
+                    for block_id, block in enumerate(child_meta.blocks):
+                        self._data_pop(block.info.place_id, (child, block_id))
+        return removed
+
+    def rename(self, src: str, dst: str) -> None:
+        """Atomically move ``src`` (file or tree) to ``dst``."""
+        src = normalize_path(src)
+        dst = normalize_path(dst)
+        if src == dst:
+            return
+        with self._locks.acquire_all([src, dst]):
+            if self._meta_get(dst) is not None:
+                raise PathExistsError(f"rename target exists: {dst}")
+            meta = self._meta_get(src)
+            if meta is None:
+                raise PathMissingError(src)
+            self._rename_one(src, dst)
+            prefix = src + "/"
+            for home in range(len(self._places)):
+                with self._table_guards[home]:
+                    children = [p for p in self._meta[home] if p.startswith(prefix)]
+                for child in children:
+                    self._rename_one(child, dst + child[len(src):])
+
+    def _rename_one(self, src: str, dst: str) -> None:
+        meta = self._meta_pop(src)
+        if meta is None:
+            return
+        if not meta.is_dir:
+            for block_id, block in enumerate(meta.blocks):
+                place = block.info.place_id
+                with self._table_guards[place]:
+                    pairs = self._data[place].pop((src, block_id))
+                    self._data[place][(dst, block_id)] = pairs
+        self._mkdirs_unlocked_parent(dst)
+        self._meta_put(dst, meta)
+
+    # -- namespace queries ----------------------------------------------------- #
+
+    def list_paths(self, prefix: str = "/") -> List[str]:
+        """All known paths at or under ``prefix`` (sorted)."""
+        prefix = normalize_path(prefix)
+        match = "/" if prefix == "/" else prefix + "/"
+        found: List[str] = []
+        for home in range(len(self._places)):
+            with self._table_guards[home]:
+                for path in self._meta[home]:
+                    if path == prefix or path.startswith(match):
+                        found.append(path)
+        return sorted(found)
+
+    def total_bytes_at_place(self, place_id: int) -> int:
+        """Bytes of block data stored at one place (memory accounting)."""
+        total = 0
+        for home in range(len(self._places)):
+            with self._table_guards[home]:
+                metas = list(self._meta[home].values())
+            for meta in metas:
+                for block in meta.blocks:
+                    if block.info.place_id == place_id:
+                        total += block.nbytes
+        return total

@@ -1,0 +1,35 @@
+"""A hand-optimized Map Reduce matrix library (paper Section 7).
+
+"In future work we plan to develop libraries of Map Reduce code, e.g.
+libraries for sparse matrix vector computations, that can run on the HMR
+engine (scaling to the size of cluster disks), while delivering very good
+performance for jobs that can fit in the size of cluster memory."
+
+This package is that library.  Unlike the compiler-generated jobs of
+:mod:`repro.sysml` (which reproduce SystemML's handicaps), every job here
+is written the way the paper's own matvec benchmark is written:
+
+* compact CSC blocks (:class:`repro.api.writables.MatrixBlockWritable`);
+* every mapper/reducer marked ``ImmutableOutput``;
+* row-chunk partitioning throughout, so on M3R the partition-stability
+  guarantee keeps row stripes pinned to places and most shuffles local;
+* intermediates under the temporary-output convention.
+
+The same jobs run unchanged on the stock Hadoop engine — where they scale
+to disk-resident data — which is precisely the portability/performance
+trade the paper's future-work paragraph asks for.
+
+Usage::
+
+    from repro.mrlib import MatrixContext
+
+    ctx = MatrixContext(engine, block_size=100)
+    A = ctx.from_numpy("/mats/A", a)
+    x = ctx.from_numpy("/mats/x", x_column)
+    y = (A @ x) * 0.5
+    ctx.to_numpy(y)
+"""
+
+from repro.mrlib.context import DistributedMatrix, MatrixContext
+
+__all__ = ["MatrixContext", "DistributedMatrix"]

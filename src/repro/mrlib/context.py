@@ -1,0 +1,335 @@
+"""The matrix library's public API: contexts and distributed handles.
+
+:class:`MatrixContext` owns an engine, a blocking factor and a working
+directory; :class:`DistributedMatrix` is an immutable handle supporting the
+natural operators (``@``, ``+``, ``-``, ``*``, ``.T``) with each operation
+lowering to the hand-optimized jobs of :mod:`repro.mrlib.ops`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+from scipy import sparse
+
+from repro.api.conf import JobConf
+from repro.api.formats import SequenceFileInputFormat, SequenceFileOutputFormat
+from repro.api.multiple_io import MultipleInputs
+from repro.api.writables import BlockIndexWritable, MatrixBlockWritable
+from repro.apps.matvec import NUM_ROW_BLOCKS_KEY, RowChunkPartitioner
+from repro.engine_common import EngineResult
+from repro.mrlib import ops
+
+
+class DistributedMatrix:
+    """An immutable handle to a blocked matrix stored in the engine's world."""
+
+    def __init__(self, context: "MatrixContext", path: str, rows: int, cols: int):
+        self._ctx = context
+        self.path = path
+        self.rows = rows
+        self.cols = cols
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.rows, self.cols)
+
+    @property
+    def row_blocks(self) -> int:
+        return max(1, math.ceil(self.rows / self._ctx.block_size))
+
+    @property
+    def col_blocks(self) -> int:
+        return max(1, math.ceil(self.cols / self._ctx.block_size))
+
+    # -- operators -------------------------------------------------------- #
+
+    def __matmul__(self, other: "DistributedMatrix") -> "DistributedMatrix":
+        return self._ctx.matmul(self, other)
+
+    def __add__(self, other: "DistributedMatrix") -> "DistributedMatrix":
+        return self._ctx.elementwise(self, other, "add")
+
+    def __sub__(self, other: "DistributedMatrix") -> "DistributedMatrix":
+        return self._ctx.elementwise(self, other, "sub")
+
+    def __mul__(self, other: Union["DistributedMatrix", float, int]):
+        if isinstance(other, DistributedMatrix):
+            return self._ctx.elementwise(self, other, "mul")
+        return self._ctx.scale(self, float(other))
+
+    def __rmul__(self, other: Union[float, int]) -> "DistributedMatrix":
+        return self._ctx.scale(self, float(other))
+
+    def __neg__(self) -> "DistributedMatrix":
+        return self._ctx.scale(self, -1.0)
+
+    @property
+    def T(self) -> "DistributedMatrix":  # noqa: N802 - numpy convention
+        return self._ctx.transpose(self)
+
+    # -- reductions -------------------------------------------------------- #
+
+    def sum(self) -> float:
+        return self._ctx.sum(self)
+
+    def norm(self) -> float:
+        """The Frobenius norm, computed distributively."""
+        squared = self._ctx.elementwise(self, self, "mul")
+        return math.sqrt(self._ctx.sum(squared))
+
+    def row_sums(self) -> "DistributedMatrix":
+        return self._ctx.row_sums(self)
+
+    def to_numpy(self) -> np.ndarray:
+        return self._ctx.to_numpy(self)
+
+    def __repr__(self) -> str:
+        return f"DistributedMatrix({self.rows}x{self.cols} @ {self.path})"
+
+
+class MatrixContext:
+    """Factory and executor for distributed matrices over one engine."""
+
+    def __init__(
+        self,
+        engine,
+        block_size: int = 100,
+        num_partitions: Optional[int] = None,
+        workdir: str = "/mrlib",
+    ):
+        if block_size <= 0:
+            raise ValueError("block size must be positive")
+        self.engine = engine
+        self.block_size = block_size
+        self.num_partitions = (
+            num_partitions if num_partitions is not None else engine.cluster.num_nodes
+        )
+        self.workdir = workdir.rstrip("/")
+        self.results: List[EngineResult] = []
+        self._counter = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.simulated_seconds for r in self.results)
+
+    @property
+    def jobs_run(self) -> int:
+        return len(self.results)
+
+    # -- ingestion ------------------------------------------------------- #
+
+    def from_numpy(self, path: str, array: np.ndarray) -> DistributedMatrix:
+        """Block a dense array (or column vector) and write it partitioned
+        by row chunk, the library's canonical on-disk layout."""
+        array = np.atleast_2d(np.asarray(array, dtype=np.float64))
+        if array.shape[0] == 1 and array.shape[1] > 1 and array.ndim == 2:
+            pass  # a row vector is legitimate; keep as-is
+        return self.from_scipy(path, sparse.csc_matrix(array))
+
+    def from_scipy(self, path: str, matrix: sparse.spmatrix) -> DistributedMatrix:
+        matrix = sparse.csc_matrix(matrix)
+        rows, cols = matrix.shape
+        handle = DistributedMatrix(self, path, rows, cols)
+        partitioner = self._partitioner(handle.row_blocks)
+        buckets: List[List[Tuple[BlockIndexWritable, MatrixBlockWritable]]] = [
+            [] for _ in range(self.num_partitions)
+        ]
+        for bi in range(handle.row_blocks):
+            r0 = bi * self.block_size
+            r1 = min(rows, r0 + self.block_size)
+            for bj in range(handle.col_blocks):
+                c0 = bj * self.block_size
+                c1 = min(cols, c0 + self.block_size)
+                block = sparse.csc_matrix(matrix[r0:r1, c0:c1])
+                if block.nnz == 0:
+                    continue
+                key = BlockIndexWritable(bi, bj)
+                bucket = partitioner.get_partition(key, None, self.num_partitions)
+                buckets[bucket].append((key, MatrixBlockWritable(block)))
+        for partition, bucket in enumerate(buckets):
+            self.engine.filesystem.write_pairs(
+                f"{path.rstrip('/')}/part-{partition:05d}", bucket,
+                at_node=partition % self.engine.cluster.num_nodes,
+            )
+        return handle
+
+    def _partitioner(self, num_row_blocks: int) -> RowChunkPartitioner:
+        partitioner = RowChunkPartitioner()
+        conf = JobConf()
+        conf.set_int(NUM_ROW_BLOCKS_KEY, num_row_blocks)
+        partitioner.configure(conf)
+        return partitioner
+
+    def to_numpy(self, matrix: DistributedMatrix) -> np.ndarray:
+        out = np.zeros((matrix.rows, matrix.cols))
+        for key, block in self.engine.filesystem.read_kv_pairs(matrix.path):
+            r0 = key.row * self.block_size
+            c0 = key.col * self.block_size
+            dense = np.asarray(block.matrix.todense())
+            out[r0 : r0 + dense.shape[0], c0 : c0 + dense.shape[1]] += dense
+        return out
+
+    # -- job plumbing ---------------------------------------------------- #
+
+    def _temp_path(self, op_name: str) -> str:
+        self._counter += 1
+        return f"{self.workdir}/temp-{op_name}-{self._counter}"
+
+    def _submit(self, conf: JobConf) -> EngineResult:
+        result = self.engine.run_job(conf)
+        self.results.append(result)
+        if not result.succeeded:
+            raise RuntimeError(
+                f"mrlib job {conf.get_job_name()!r} failed: {result.error}"
+            )
+        return result
+
+    def _base_conf(self, name: str, output: str, row_blocks: int,
+                   reducers: Optional[int] = None) -> JobConf:
+        conf = JobConf()
+        conf.set_job_name(name)
+        conf.set_input_format(SequenceFileInputFormat)
+        conf.set_output_format(SequenceFileOutputFormat)
+        conf.set_output_path(output)
+        conf.set_partitioner_class(RowChunkPartitioner)
+        conf.set_int(NUM_ROW_BLOCKS_KEY, max(1, row_blocks))
+        conf.set_num_reduce_tasks(
+            self.num_partitions if reducers is None else reducers
+        )
+        return conf
+
+    # -- operations ------------------------------------------------------- #
+
+    def matmul(self, a: DistributedMatrix, b: DistributedMatrix) -> DistributedMatrix:
+        """``A @ B``: broadcast form when B is a narrow (single block-column)
+        operand — the paper's matvec pattern — else the general cross join."""
+        if a.cols != b.rows:
+            raise ValueError(f"dimension mismatch: {a.shape} @ {b.shape}")
+        if b.col_blocks == 1:
+            return self._matmul_broadcast(a, b)
+        return self._matmul_cross(a, b)
+
+    def _matmul_broadcast(self, a: DistributedMatrix, b: DistributedMatrix):
+        partial = self._temp_path("bcastmul")
+        conf = self._base_conf("mrlib.matmul.broadcast", partial, a.row_blocks)
+        conf.set_int(ops.BCAST_ROW_BLOCKS_KEY, a.row_blocks)
+        MultipleInputs.add_input_path(
+            conf, a.path, SequenceFileInputFormat, ops.LeftPassMapper
+        )
+        MultipleInputs.add_input_path(
+            conf, b.path, SequenceFileInputFormat, ops.RightBroadcastMapper
+        )
+        conf.set_reducer_class(ops.BroadcastMultiplyReducer)
+        self._submit(conf)
+
+        out = self._temp_path("bcastsum")
+        conf = self._base_conf("mrlib.matmul.sum", out, a.row_blocks)
+        conf.set_input_paths(partial)
+        conf.set_mapper_class(ops.PartialToRowMapper)
+        conf.set_reducer_class(ops.BlockAddReducer)
+        self._submit(conf)
+        return DistributedMatrix(self, out, a.rows, b.cols)
+
+    def _matmul_cross(self, a: DistributedMatrix, b: DistributedMatrix):
+        partial = self._temp_path("crossmul")
+        conf = self._base_conf("mrlib.matmul.cross", partial, a.col_blocks)
+        conf.set_partitioner_class(ops.JoinKeyPartitioner)
+        MultipleInputs.add_input_path(
+            conf, a.path, SequenceFileInputFormat, ops.CrossLeftMapper
+        )
+        MultipleInputs.add_input_path(
+            conf, b.path, SequenceFileInputFormat, ops.CrossRightMapper
+        )
+        conf.set_reducer_class(ops.CrossMultiplyReducer)
+        self._submit(conf)
+
+        out = self._temp_path("crosssum")
+        conf = self._base_conf("mrlib.matmul.sum", out, a.row_blocks)
+        conf.set_input_paths(partial)
+        conf.set_mapper_class(ops.BlockPassMapper)
+        conf.set_reducer_class(ops.BlockAddReducer)
+        self._submit(conf)
+        return DistributedMatrix(self, out, a.rows, b.cols)
+
+    def elementwise(self, a: DistributedMatrix, b: DistributedMatrix, op: str):
+        if a.shape != b.shape:
+            raise ValueError(f"element-wise shape mismatch: {a.shape} vs {b.shape}")
+        out = self._temp_path(f"ew{op}")
+        conf = self._base_conf(f"mrlib.elementwise.{op}", out, a.row_blocks)
+        conf.set(ops.OP_KEY, op)
+        MultipleInputs.add_input_path(
+            conf, a.path, SequenceFileInputFormat, ops.TaggingMapperA
+        )
+        MultipleInputs.add_input_path(
+            conf, b.path, SequenceFileInputFormat, ops.TaggingMapperB
+        )
+        conf.set_reducer_class(ops.ElementwiseCombineReducer)
+        self._submit(conf)
+        return DistributedMatrix(self, out, a.rows, a.cols)
+
+    def transpose(self, a: DistributedMatrix) -> DistributedMatrix:
+        out = self._temp_path("t")
+        conf = self._base_conf("mrlib.transpose", out, a.col_blocks)
+        conf.set_input_paths(a.path)
+        conf.set_mapper_class(ops.TransposeBlockMapper)
+        conf.set_reducer_class(ops.BlockAddReducer)
+        self._submit(conf)
+        return DistributedMatrix(self, out, a.cols, a.rows)
+
+    def scale(self, a: DistributedMatrix, factor: float) -> DistributedMatrix:
+        out = self._temp_path("scale")
+        conf = self._base_conf("mrlib.scale", out, a.row_blocks, reducers=0)
+        conf.set_input_paths(a.path)
+        conf.set_mapper_class(ops.ScalarBlockMapper)
+        conf.set(ops.OP_KEY, "smul")
+        conf.set_float(ops.SCALAR_KEY, factor)
+        self._submit(conf)
+        return DistributedMatrix(self, out, a.rows, a.cols)
+
+    def power(self, a: DistributedMatrix, exponent: float) -> DistributedMatrix:
+        """Element-wise power over the sparse support."""
+        out = self._temp_path("pow")
+        conf = self._base_conf("mrlib.power", out, a.row_blocks, reducers=0)
+        conf.set_input_paths(a.path)
+        conf.set_mapper_class(ops.ScalarBlockMapper)
+        conf.set(ops.OP_KEY, "spow")
+        conf.set_float(ops.SCALAR_KEY, exponent)
+        self._submit(conf)
+        return DistributedMatrix(self, out, a.rows, a.cols)
+
+    def sum(self, a: DistributedMatrix) -> float:
+        out = self._temp_path("sum")
+        conf = self._base_conf("mrlib.sum", out, a.row_blocks, reducers=1)
+        conf.set_input_paths(a.path)
+        conf.set_mapper_class(ops.BlockSumAllMapper)
+        conf.set_combiner_class(ops.DoubleAddReducer)
+        conf.set_reducer_class(ops.DoubleAddReducer)
+        # the single global-sum partition is keyed by IntWritable(0)
+        from repro.api.partitioner import HashPartitioner
+
+        conf.set_partitioner_class(HashPartitioner)
+        self._submit(conf)
+        pairs = self.engine.filesystem.read_kv_pairs(out)
+        return pairs[0][1].get() if pairs else 0.0
+
+    def row_sums(self, a: DistributedMatrix) -> DistributedMatrix:
+        out = self._temp_path("rowsums")
+        conf = self._base_conf("mrlib.rowsums", out, a.row_blocks)
+        conf.set_input_paths(a.path)
+        conf.set_mapper_class(ops.RowSumsBlockMapper)
+        conf.set_reducer_class(ops.BlockAddReducer)
+        self._submit(conf)
+        return DistributedMatrix(self, out, a.rows, 1)
+
+    def persist(self, a: DistributedMatrix, path: str) -> DistributedMatrix:
+        """Copy a handle to a durable (non-temporary) path."""
+        conf = self._base_conf("mrlib.persist", path, a.row_blocks, reducers=0)
+        conf.set_input_paths(a.path)
+        conf.set_mapper_class(ops.ScalarBlockMapper)
+        conf.set(ops.OP_KEY, "smul")
+        conf.set_float(ops.SCALAR_KEY, 1.0)
+        self._submit(conf)
+        return DistributedMatrix(self, path, a.rows, a.cols)

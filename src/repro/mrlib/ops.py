@@ -1,0 +1,295 @@
+"""The library's job classes: hand-optimized blocked matrix operators.
+
+Every class here is marked ``ImmutableOutput`` and every job is partitioned
+by row chunk (:class:`repro.apps.matvec.RowChunkPartitioner`), which is
+what lets M3R's partition stability keep the row stripes of every operand
+pinned to their places across a whole expression pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+from scipy import sparse
+
+from repro.api.conf import JobConf
+from repro.api.extensions import ImmutableOutput
+from repro.api.mapred import Mapper, OutputCollector, Reducer, Reporter
+from repro.api.partitioner import Partitioner
+from repro.api.writables import (
+    BlockIndexWritable,
+    DoubleWritable,
+    IntWritable,
+    MatrixBlockWritable,
+)
+from repro.apps.matvec import NUM_ROW_BLOCKS_KEY, RowChunkPartitioner
+
+OP_KEY = "mrlib.op"
+SCALAR_KEY = "mrlib.scalar"
+BCAST_ROW_BLOCKS_KEY = "mrlib.broadcast.row.blocks"
+
+
+class JoinKeyPartitioner(Partitioner):
+    """Partitions the cross-join's integer join keys by contiguous chunks,
+    mirroring the row-chunk discipline so repeated multiplies against the
+    same right-hand side stay stable."""
+
+    def __init__(self) -> None:
+        self._num_keys = 1
+
+    def configure(self, conf: JobConf) -> None:
+        self._num_keys = max(1, conf.get_int(NUM_ROW_BLOCKS_KEY, 1))
+
+    def get_partition(self, key: IntWritable, value: object, num_partitions: int) -> int:
+        chunk = key.get() * num_partitions // self._num_keys
+        return min(num_partitions - 1, max(0, chunk))
+
+
+# --------------------------------------------------------------------------- #
+# matmul, broadcast form: B has one block-column (the matvec pattern)
+# --------------------------------------------------------------------------- #
+
+
+class LeftPassMapper(Mapper, ImmutableOutput):
+    """Pass A's blocks through under their own (row-chunked) keys."""
+
+    def map(self, key: BlockIndexWritable, value: MatrixBlockWritable,
+            output: OutputCollector, reporter: Reporter) -> None:
+        output.collect(key, _Tagged("A", 0, value))
+
+
+class RightBroadcastMapper(Mapper, ImmutableOutput):
+    """Broadcast B's block (q, j) to every block-row of A's column q.
+
+    The same tagged block object is emitted for every destination — M3R's
+    de-duplicating serializer sends one copy per place.
+    """
+
+    def __init__(self) -> None:
+        self._row_blocks = 1
+
+    def configure(self, conf: JobConf) -> None:
+        self._row_blocks = max(1, conf.get_int(BCAST_ROW_BLOCKS_KEY, 1))
+
+    def map(self, key: BlockIndexWritable, value: MatrixBlockWritable,
+            output: OutputCollector, reporter: Reporter) -> None:
+        tagged = _Tagged("B", 0, value)
+        for row in range(self._row_blocks):
+            output.collect(BlockIndexWritable(row, key.row), tagged)
+
+
+class BroadcastMultiplyReducer(Reducer, ImmutableOutput):
+    """``partial(i, q) = A[i, q] @ B[q, :]`` for the broadcast matmul form."""
+
+    def reduce(self, key: BlockIndexWritable, values: Iterator["_Tagged"],
+               output: OutputCollector, reporter: Reporter) -> None:
+        a_block: Optional[MatrixBlockWritable] = None
+        b_block: Optional[MatrixBlockWritable] = None
+        for value in values:
+            if value.tag == "A":
+                a_block = value.block
+            else:
+                b_block = value.block
+        if a_block is None or b_block is None:
+            return
+        product = a_block.matrix @ b_block.matrix
+        reporter.charge_flops(2.0 * a_block.nnz * max(1, b_block.shape[1]))
+        output.collect(key.clone(), MatrixBlockWritable(product))
+
+
+class PartialToRowMapper(Mapper, ImmutableOutput):
+    """Sum job mapper: rewrite (i, q) to (i, 0) so one reduce call sums row i."""
+
+    def map(self, key: BlockIndexWritable, value: MatrixBlockWritable,
+            output: OutputCollector, reporter: Reporter) -> None:
+        output.collect(BlockIndexWritable(key.row, 0), value)
+
+
+class BlockAddReducer(Reducer, ImmutableOutput):
+    """Element-wise sum of the blocks arriving under one key."""
+
+    def reduce(self, key: BlockIndexWritable, values: Iterator[MatrixBlockWritable],
+               output: OutputCollector, reporter: Reporter) -> None:
+        total: Optional[sparse.spmatrix] = None
+        for value in values:
+            block = value.matrix
+            total = block if total is None else total + block
+            reporter.charge_flops(float(value.nnz))
+        if total is not None:
+            output.collect(key.clone(), MatrixBlockWritable(total))
+
+
+# --------------------------------------------------------------------------- #
+# matmul, general form: cross join on the shared dimension
+# --------------------------------------------------------------------------- #
+
+
+class CrossLeftMapper(Mapper, ImmutableOutput):
+    """A block (i, q) → join key q, remembering row i in the block's key
+    column via a wrapping index convention (row in the value's key)."""
+
+    def map(self, key: BlockIndexWritable, value: MatrixBlockWritable,
+            output: OutputCollector, reporter: Reporter) -> None:
+        output.collect(IntWritable(key.col), _Tagged("A", key.row, value))
+
+
+class CrossRightMapper(Mapper, ImmutableOutput):
+    def map(self, key: BlockIndexWritable, value: MatrixBlockWritable,
+            output: OutputCollector, reporter: Reporter) -> None:
+        output.collect(IntWritable(key.row), _Tagged("B", key.col, value))
+
+
+class _Tagged:
+    """A tagged block for the cross join (plain object; ImmutableOutput jobs
+    never mutate it, and the serializer measures it structurally)."""
+
+    __slots__ = ("tag", "index", "block")
+
+    def __init__(self, tag: str, index: int, block: MatrixBlockWritable):
+        self.tag = tag
+        self.index = index
+        self.block = block
+
+    def serialized_size(self) -> int:
+        return 6 + self.block.serialized_size()
+
+    def clone(self) -> "_Tagged":
+        return _Tagged(self.tag, self.index, self.block.clone())
+
+
+class CrossMultiplyReducer(Reducer, ImmutableOutput):
+    """For join key q: emit every partial ``A(i,q) @ B(q,j)``."""
+
+    def reduce(self, key: IntWritable, values: Iterator[_Tagged],
+               output: OutputCollector, reporter: Reporter) -> None:
+        left = []
+        right = []
+        for value in values:
+            (left if value.tag == "A" else right).append((value.index, value.block))
+        for i, a_block in left:
+            a_mat = a_block.matrix
+            for j, b_block in right:
+                product = a_mat @ b_block.matrix
+                reporter.charge_flops(2.0 * a_block.nnz * max(1, b_block.shape[1]))
+                output.collect(
+                    BlockIndexWritable(i, j), MatrixBlockWritable(product)
+                )
+
+
+class BlockPassMapper(Mapper, ImmutableOutput):
+    def map(self, key, value, output: OutputCollector, reporter: Reporter) -> None:
+        output.collect(key, value)
+
+
+# --------------------------------------------------------------------------- #
+# element-wise, transpose, scalar, aggregates
+# --------------------------------------------------------------------------- #
+
+
+class ElementwiseCombineReducer(Reducer, ImmutableOutput):
+    """Combines the blocks under one index with the configured operator.
+
+    Operands arrive from two tagged mappers (MultipleInputs); a missing
+    side is a zero block.
+    """
+
+    def __init__(self) -> None:
+        self._op = "add"
+
+    def configure(self, conf: JobConf) -> None:
+        self._op = conf.get(OP_KEY, "add")
+
+    def reduce(self, key: BlockIndexWritable, values: Iterator[_Tagged],
+               output: OutputCollector, reporter: Reporter) -> None:
+        left: Optional[MatrixBlockWritable] = None
+        right: Optional[MatrixBlockWritable] = None
+        for value in values:
+            if value.tag == "A":
+                left = value.block
+            else:
+                right = value.block
+        shape = (left or right).shape
+        l_mat = left.matrix if left is not None else sparse.csc_matrix(shape)
+        r_mat = right.matrix if right is not None else sparse.csc_matrix(shape)
+        reporter.charge_flops(
+            float((left.nnz if left else 0) + (right.nnz if right else 0))
+        )
+        if self._op == "add":
+            result = l_mat + r_mat
+        elif self._op == "sub":
+            result = l_mat - r_mat
+        elif self._op == "mul":
+            result = l_mat.multiply(r_mat)
+        else:
+            raise ValueError(f"unknown element-wise op {self._op!r}")
+        output.collect(key.clone(), MatrixBlockWritable(result))
+
+
+class TaggingMapperA(Mapper, ImmutableOutput):
+    def map(self, key, value, output: OutputCollector, reporter: Reporter) -> None:
+        output.collect(key, _Tagged("A", 0, value))
+
+
+class TaggingMapperB(Mapper, ImmutableOutput):
+    def map(self, key, value, output: OutputCollector, reporter: Reporter) -> None:
+        output.collect(key, _Tagged("B", 0, value))
+
+
+class TransposeBlockMapper(Mapper, ImmutableOutput):
+    def map(self, key: BlockIndexWritable, value: MatrixBlockWritable,
+            output: OutputCollector, reporter: Reporter) -> None:
+        output.collect(
+            BlockIndexWritable(key.col, key.row),
+            MatrixBlockWritable(value.matrix.transpose().tocsc()),
+        )
+
+
+class ScalarBlockMapper(Mapper, ImmutableOutput):
+    """Map-only scalar/unary operator over CSC blocks."""
+
+    def __init__(self) -> None:
+        self._op = "smul"
+        self._scalar = 1.0
+
+    def configure(self, conf: JobConf) -> None:
+        self._op = conf.get(OP_KEY, "smul")
+        self._scalar = conf.get_float(SCALAR_KEY, 1.0)
+
+    def map(self, key: BlockIndexWritable, value: MatrixBlockWritable,
+            output: OutputCollector, reporter: Reporter) -> None:
+        matrix = value.matrix
+        reporter.charge_flops(float(value.nnz))
+        if self._op == "smul":
+            result = matrix * self._scalar
+        elif self._op == "spow":
+            result = matrix.copy()
+            result.data = np.power(result.data, self._scalar)
+        elif self._op == "abs":
+            result = abs(matrix)
+        else:
+            raise ValueError(f"unknown scalar op {self._op!r}")
+        output.collect(key.clone(), MatrixBlockWritable(sparse.csc_matrix(result)))
+
+
+class BlockSumAllMapper(Mapper, ImmutableOutput):
+    def map(self, key, value: MatrixBlockWritable, output: OutputCollector,
+            reporter: Reporter) -> None:
+        reporter.charge_flops(float(value.nnz))
+        output.collect(IntWritable(0), DoubleWritable(float(value.matrix.sum())))
+
+
+class DoubleAddReducer(Reducer, ImmutableOutput):
+    def reduce(self, key, values, output: OutputCollector, reporter: Reporter) -> None:
+        total = 0.0
+        for value in values:
+            total += value.get()
+        output.collect(key, DoubleWritable(total))
+
+
+class RowSumsBlockMapper(Mapper, ImmutableOutput):
+    def map(self, key: BlockIndexWritable, value: MatrixBlockWritable,
+            output: OutputCollector, reporter: Reporter) -> None:
+        sums = sparse.csc_matrix(np.asarray(value.matrix.sum(axis=1)))
+        reporter.charge_flops(float(value.nnz))
+        output.collect(BlockIndexWritable(key.row, 0), MatrixBlockWritable(sums))

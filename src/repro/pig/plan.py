@@ -1,0 +1,123 @@
+"""The Pig logical plan: one node per relational statement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Ordered field names of a relation."""
+
+    fields: Tuple[str, ...]
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self.fields.index(name)
+        except ValueError:
+            raise KeyError(f"no field {name!r} in schema {self.fields}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.fields
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+
+class PlanNode:
+    """Base of all logical plan nodes; every node knows its output schema."""
+
+    alias: str
+    schema: Schema
+
+
+@dataclass
+class LoadNode(PlanNode):
+    alias: str
+    path: str
+    schema: Schema
+
+
+@dataclass
+class FilterNode(PlanNode):
+    alias: str
+    source: str
+    predicate: tuple  # expression AST
+    schema: Schema
+
+
+@dataclass
+class ForeachNode(PlanNode):
+    alias: str
+    source: str
+    #: (output field name, expression AST) per generated column.
+    projections: List[Tuple[str, tuple]]
+    schema: Schema
+
+
+@dataclass
+class GroupNode(PlanNode):
+    """GROUP rel BY key, with FOREACH-style aggregates folded in.
+
+    Pig separates GROUP and the aggregating FOREACH; our parser folds the
+    canonical "FOREACH grouped GENERATE group, AGG(rel.field)" into the
+    group node when it sees it (what Pig's combiner-aware compiler does),
+    while a bare GROUP materializes (group, row) pairs.
+    """
+
+    alias: str
+    source: str
+    key_expr: tuple
+    #: (output name, agg in COUNT/SUM/AVG/MIN/MAX, field name or "" for COUNT)
+    aggregates: List[Tuple[str, str, str]]
+    schema: Schema
+
+
+@dataclass
+class JoinNode(PlanNode):
+    alias: str
+    left_source: str
+    left_key: tuple
+    right_source: str
+    right_key: tuple
+    schema: Schema
+
+
+@dataclass
+class DistinctNode(PlanNode):
+    alias: str
+    source: str
+    schema: Schema
+
+
+@dataclass
+class OrderNode(PlanNode):
+    alias: str
+    source: str
+    order_field: str
+    descending: bool
+    schema: Schema
+
+
+@dataclass
+class LimitNode(PlanNode):
+    alias: str
+    source: str
+    count: int
+    schema: Schema
+
+
+@dataclass
+class StoreStatement:
+    source: str
+    path: str
+
+
+@dataclass
+class PigScript:
+    """A parsed script: relation definitions plus STORE statements."""
+
+    nodes: dict = field(default_factory=dict)  # alias -> PlanNode
+    stores: List[StoreStatement] = field(default_factory=list)
+    order: List[str] = field(default_factory=list)  # aliases in defn order

@@ -1,0 +1,53 @@
+"""Top-level engine factories (fleshed out by the engine modules).
+
+This module is the package's front door: :func:`m3r_engine` and
+:func:`hadoop_engine` build fully-wired engine instances over a shared
+simulated cluster and filesystem.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim import Cluster, CostModel, paper_cluster_cost_model
+from repro.fs import SimulatedHDFS
+
+
+def hadoop_engine(
+    num_nodes: int = 20,
+    cost_model: Optional[CostModel] = None,
+    filesystem: Optional[SimulatedHDFS] = None,
+    **kwargs,
+):
+    """Build a baseline Hadoop engine over a simulated cluster."""
+    from repro.hadoop_engine import HadoopEngine
+
+    cluster = filesystem.cluster if filesystem is not None else Cluster(num_nodes)
+    fs = filesystem if filesystem is not None else SimulatedHDFS(cluster)
+    model = cost_model if cost_model is not None else paper_cluster_cost_model()
+    return HadoopEngine(cluster=cluster, filesystem=fs, cost_model=model, **kwargs)
+
+
+def m3r_engine(
+    num_places: int = 20,
+    cost_model: Optional[CostModel] = None,
+    filesystem: Optional[SimulatedHDFS] = None,
+    **kwargs,
+):
+    """Build an M3R engine (one place per node) over a simulated cluster."""
+    from repro.core import M3REngine
+
+    cluster = filesystem.cluster if filesystem is not None else Cluster(num_places)
+    fs = filesystem if filesystem is not None else SimulatedHDFS(cluster)
+    model = cost_model if cost_model is not None else paper_cluster_cost_model()
+    return M3REngine(cluster=cluster, filesystem=fs, cost_model=model, **kwargs)
+
+
+def __getattr__(name: str):
+    # Lazy re-export: EngineResult's canonical home is engine_common, which
+    # imports heavier modules than this front door should pull eagerly.
+    if name == "EngineResult":
+        from repro.engine_common import EngineResult
+
+        return EngineResult
+    raise AttributeError(name)

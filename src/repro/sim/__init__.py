@@ -1,0 +1,31 @@
+"""Cluster simulation substrate.
+
+The paper evaluated M3R on a 20-node IBM LS-22 blade cluster.  We do not have
+that hardware (or any cluster), so this package provides a deterministic
+*cost model* substitute: engines execute user map/reduce code for real — so
+outputs are exact — and charge simulated seconds against a
+:class:`~repro.sim.cost_model.CostModel` for every disk read/write, network
+transfer, (de)serialization event, defensive clone, JVM start-up and
+scheduler round-trip.
+
+The key property is that the paper's performance claims are structural (where
+time goes: disk vs memory, start-up vs work, remote vs local shuffle), so a
+cost model that reproduces the *terms* reproduces the *shapes* of the paper's
+figures without the authors' testbed.
+"""
+
+from repro.sim.clock import SimClock, PhaseTimer
+from repro.sim.cost_model import CostModel, paper_cluster_cost_model
+from repro.sim.cluster import Node, Cluster
+from repro.sim.metrics import Metrics, TimeBreakdown
+
+__all__ = [
+    "SimClock",
+    "PhaseTimer",
+    "CostModel",
+    "paper_cluster_cost_model",
+    "Node",
+    "Cluster",
+    "Metrics",
+    "TimeBreakdown",
+]

@@ -1,0 +1,112 @@
+"""Cluster topology: nodes, cores and the network between them.
+
+The paper's testbed is homogeneous (20 identical blades on one Gigabit
+Ethernet switch), so the topology model is deliberately simple: a list of
+:class:`Node` objects and a flat switch.  The pieces that matter for the
+reproduction are
+
+* the *number* of nodes and worker threads (M3R runs one multi-threaded
+  process per host; Hadoop runs task slots),
+* which transfers are local (same node — loopback / shared heap) versus
+  remote (cross the switch), and
+* stable node identities, because M3R's partition-stability guarantee is a
+  deterministic mapping from partition numbers to these identities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+@dataclass(frozen=True)
+class Node:
+    """One machine in the cluster."""
+
+    node_id: int
+    hostname: str
+    cores: int = 8
+    memory_bytes: int = 16 * 1024**3
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("a node needs at least one core")
+        if self.memory_bytes <= 0:
+            raise ValueError("a node needs positive memory")
+
+
+class Cluster:
+    """A homogeneous cluster connected by one flat switch.
+
+    ``Cluster(num_nodes=20, cores_per_node=8)`` reproduces the paper's
+    testbed shape.  Nodes are addressed by integer id in ``[0, num_nodes)``;
+    hostnames follow the ``nodeNN`` convention used in locality metadata.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 20,
+        cores_per_node: int = 8,
+        memory_per_node: int = 16 * 1024**3,
+    ) -> None:
+        if num_nodes <= 0:
+            raise ValueError("a cluster needs at least one node")
+        self._nodes: List[Node] = [
+            Node(
+                node_id=i,
+                hostname=f"node{i:02d}",
+                cores=cores_per_node,
+                memory_bytes=memory_per_node,
+            )
+            for i in range(num_nodes)
+        ]
+
+    # -- basic shape ---------------------------------------------------- #
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> List[Node]:
+        return list(self._nodes)
+
+    @property
+    def total_cores(self) -> int:
+        return sum(n.cores for n in self._nodes)
+
+    @property
+    def total_memory_bytes(self) -> int:
+        return sum(n.memory_bytes for n in self._nodes)
+
+    def node(self, node_id: int) -> Node:
+        """The node with the given id; raises ``IndexError`` when absent."""
+        if not 0 <= node_id < len(self._nodes):
+            raise IndexError(f"no node {node_id} in a {len(self._nodes)}-node cluster")
+        return self._nodes[node_id]
+
+    def node_by_hostname(self, hostname: str) -> Node:
+        """Look a node up by hostname; raises ``KeyError`` when absent."""
+        for n in self._nodes:
+            if n.hostname == hostname:
+                return n
+        raise KeyError(hostname)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- locality ------------------------------------------------------- #
+
+    def is_local(self, src: int, dst: int) -> bool:
+        """True when a transfer between the two node ids stays on one host."""
+        return src == dst
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        n = self._nodes[0]
+        return (
+            f"Cluster(num_nodes={len(self._nodes)}, cores_per_node={n.cores}, "
+            f"memory_per_node={n.memory_bytes})"
+        )

@@ -1,0 +1,45 @@
+"""A mini SystemML (paper Section 6.4).
+
+SystemML is "an R-like declarative domain specific language that permits
+matrix-heavy algorithms for machine learning to be written concisely"; its
+compiler produces optimized Hadoop jobs.  The paper uses it to benchmark
+*compiler-generated* map/reduce code on M3R versus Hadoop (Figures 9–11:
+global non-negative matrix factorization, linear regression, PageRank).
+
+This package is a faithful miniature:
+
+* :mod:`repro.sysml.blocks` — the SystemML-style cell-oriented matrix block
+  (bulkier on the wire and in memory than the hand-written CSC blocks of
+  :mod:`repro.apps.matvec`, reproducing the paper's observation that the
+  SystemML representation is markedly less space-efficient);
+* :mod:`repro.sysml.ops` — the generated job shapes: cross-join + aggregate
+  matrix multiply, element-wise binary, transpose, scalar map, aggregates.
+  **Deliberately not** marked ``ImmutableOutput`` and **deliberately** hash
+  partitioned — the paper notes the SystemML compiler knows nothing of
+  M3R's extensions, which is why its M3R speedups are smaller than the
+  hand-tuned matvec's;
+* :mod:`repro.sysml.runtime` — the matrix runtime executing those jobs on
+  either engine;
+* :mod:`repro.sysml.lexer` / :mod:`repro.sysml.parser` /
+  :mod:`repro.sysml.interp` — the DSL front end;
+* :mod:`repro.sysml.scripts` — the three benchmark programs as DSL text.
+"""
+
+from repro.sysml.blocks import CellMatrixBlockWritable, TaggedBlockWritable
+from repro.sysml.matrix import MatrixHandle, generate_matrix, read_matrix_as_dense
+from repro.sysml.runtime import MatrixRuntime
+from repro.sysml.interp import SystemMLInterpreter, run_script
+from repro.sysml.parser import parse_script, SyntaxErrorDML
+
+__all__ = [
+    "CellMatrixBlockWritable",
+    "TaggedBlockWritable",
+    "MatrixHandle",
+    "generate_matrix",
+    "read_matrix_as_dense",
+    "MatrixRuntime",
+    "SystemMLInterpreter",
+    "run_script",
+    "parse_script",
+    "SyntaxErrorDML",
+]

@@ -1,0 +1,80 @@
+"""AST node types for the mini-SystemML language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+class Node:
+    """Base of all AST nodes."""
+
+
+@dataclass
+class Program(Node):
+    statements: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class Assign(Node):
+    name: str
+    value: Node
+
+
+@dataclass
+class ForLoop(Node):
+    var: str
+    start: Node
+    stop: Node
+    body: List[Node]
+
+
+@dataclass
+class WhileLoop(Node):
+    condition: Node
+    body: List[Node]
+
+
+@dataclass
+class IfElse(Node):
+    condition: Node
+    then_body: List[Node]
+    else_body: List[Node]
+
+
+@dataclass
+class ExprStatement(Node):
+    value: Node
+
+
+@dataclass
+class Num(Node):
+    value: float
+
+
+@dataclass
+class Str(Node):
+    value: str
+
+
+@dataclass
+class Var(Node):
+    name: str
+
+
+@dataclass
+class BinOp(Node):
+    op: str  # one of + - * / ^ %*% < > <= >= == !=
+    left: Node
+    right: Node
+
+
+@dataclass
+class Neg(Node):
+    operand: Node
+
+
+@dataclass
+class Call(Node):
+    name: str
+    args: List[Node]

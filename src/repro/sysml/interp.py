@@ -1,0 +1,277 @@
+"""The mini-SystemML interpreter.
+
+Walks the AST, evaluating scalar expressions driver-side (as SystemML's
+control program does) and lowering every matrix operation to MR jobs via
+:class:`~repro.sysml.runtime.MatrixRuntime`.  One interpreter instance
+drives one engine; running the same script against the Hadoop and M3R
+engines is the paper's Figures 9–11 methodology.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Union
+
+from repro.sysml.ast_nodes import (
+    Assign,
+    BinOp,
+    Call,
+    ExprStatement,
+    ForLoop,
+    IfElse,
+    Neg,
+    Node,
+    Num,
+    Program,
+    Str,
+    Var,
+    WhileLoop,
+)
+from repro.sysml.matrix import MatrixHandle, generate_matrix
+from repro.sysml.parser import parse_script
+from repro.sysml.runtime import MatrixRuntime
+
+Value = Union[float, str, MatrixHandle]
+
+#: Guard against runaway while-loops in user scripts.
+MAX_LOOP_ITERATIONS = 10_000
+
+
+class DMLRuntimeError(RuntimeError):
+    """Raised for type and arity errors during script execution."""
+
+
+class SystemMLInterpreter:
+    """Executes parsed scripts against a matrix runtime."""
+
+    def __init__(
+        self,
+        runtime: MatrixRuntime,
+        inputs: Optional[Dict[str, MatrixHandle]] = None,
+        block_size: int = 100,
+    ):
+        self.runtime = runtime
+        self.env: Dict[str, Value] = dict(inputs or {})
+        self.block_size = block_size
+        self._rand_counter = 0
+
+    # -- program execution -------------------------------------------------- #
+
+    def run(self, program: Program) -> Dict[str, Value]:
+        for statement in program.statements:
+            self._exec(statement)
+        return self.env
+
+    def _exec(self, node: Node) -> None:
+        if isinstance(node, Assign):
+            self.env[node.name] = self._eval(node.value)
+        elif isinstance(node, ForLoop):
+            start = int(self._scalar(self._eval(node.start), "for start"))
+            stop = int(self._scalar(self._eval(node.stop), "for stop"))
+            for i in range(start, stop + 1):  # R ranges are inclusive
+                self.env[node.var] = float(i)
+                for statement in node.body:
+                    self._exec(statement)
+        elif isinstance(node, WhileLoop):
+            iterations = 0
+            while self._truthy(self._eval(node.condition)):
+                iterations += 1
+                if iterations > MAX_LOOP_ITERATIONS:
+                    raise DMLRuntimeError("while loop exceeded iteration limit")
+                for statement in node.body:
+                    self._exec(statement)
+        elif isinstance(node, IfElse):
+            branch = node.then_body if self._truthy(self._eval(node.condition)) else node.else_body
+            for statement in branch:
+                self._exec(statement)
+        elif isinstance(node, ExprStatement):
+            self._eval(node.value)
+        else:
+            raise DMLRuntimeError(f"cannot execute node {type(node).__name__}")
+
+    # -- expression evaluation --------------------------------------------- #
+
+    def _eval(self, node: Node) -> Value:
+        if isinstance(node, Num):
+            return node.value
+        if isinstance(node, Str):
+            return node.value
+        if isinstance(node, Var):
+            if node.name not in self.env:
+                raise DMLRuntimeError(f"undefined variable {node.name!r}")
+            return self.env[node.name]
+        if isinstance(node, Neg):
+            operand = self._eval(node.operand)
+            if isinstance(operand, MatrixHandle):
+                return self.runtime.scalar_multiply(operand, -1.0)
+            return -self._scalar(operand, "unary minus")
+        if isinstance(node, BinOp):
+            return self._binop(node.op, self._eval(node.left), self._eval(node.right))
+        if isinstance(node, Call):
+            return self._call(node.name, [self._eval(arg) for arg in node.args])
+        raise DMLRuntimeError(f"cannot evaluate node {type(node).__name__}")
+
+    def _binop(self, op: str, left: Value, right: Value) -> Value:
+        lm = isinstance(left, MatrixHandle)
+        rm = isinstance(right, MatrixHandle)
+        if op == "%*%":
+            if not (lm and rm):
+                raise DMLRuntimeError("%*% requires two matrices")
+            return self.runtime.matmul(left, right)
+        if op in ("<", ">", "<=", ">=", "==", "!="):
+            a = self._scalar(left, op)
+            b = self._scalar(right, op)
+            return float(
+                {"<": a < b, ">": a > b, "<=": a <= b, ">=": a >= b,
+                 "==": a == b, "!=": a != b}[op]
+            )
+        if lm and rm:
+            mapping = {"+": "add", "-": "sub", "*": "mul", "/": "div"}
+            if op not in mapping:
+                raise DMLRuntimeError(f"unsupported matrix-matrix op {op!r}")
+            return self.runtime.elementwise(left, right, mapping[op])
+        if lm or rm:
+            return self._matrix_scalar(op, left, right)
+        a = self._scalar(left, op)
+        b = self._scalar(right, op)
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "/":
+            return a / b
+        if op == "^":
+            return a ** b
+        raise DMLRuntimeError(f"unsupported scalar op {op!r}")
+
+    def _matrix_scalar(self, op: str, left: Value, right: Value) -> Value:
+        if isinstance(left, MatrixHandle):
+            matrix, scalar, matrix_first = left, self._scalar(right, op), True
+        else:
+            matrix, scalar, matrix_first = right, self._scalar(left, op), False
+        if op == "+":
+            return self.runtime.scalar_op(matrix, "sadd", scalar)
+        if op == "-":
+            if matrix_first:
+                return self.runtime.scalar_op(matrix, "sadd", -scalar)
+            negated = self.runtime.scalar_multiply(matrix, -1.0)
+            return self.runtime.scalar_op(negated, "sadd", scalar)
+        if op == "*":
+            return self.runtime.scalar_multiply(matrix, scalar)
+        if op == "/":
+            if matrix_first:
+                if scalar == 0:
+                    raise DMLRuntimeError("division by scalar zero")
+                return self.runtime.scalar_multiply(matrix, 1.0 / scalar)
+            return self.runtime.scalar_op(matrix, "sdiv_rev", scalar)
+        if op == "^":
+            if not matrix_first:
+                raise DMLRuntimeError("scalar ^ matrix is not supported")
+            return self.runtime.scalar_op(matrix, "spow", scalar)
+        raise DMLRuntimeError(f"unsupported matrix-scalar op {op!r}")
+
+    # -- built-in functions ------------------------------------------------ #
+
+    def _call(self, name: str, args: List[Value]) -> Value:
+        if name == "read":
+            key = self._string(args[0], "read")
+            if key in self.env and isinstance(self.env[key], MatrixHandle):
+                return self.env[key]
+            raise DMLRuntimeError(
+                f"read({key!r}): no registered input of that name "
+                "(pass it via the interpreter's inputs mapping)"
+            )
+        if name == "rand":
+            rows = int(self._scalar(args[0], "rand"))
+            cols = int(self._scalar(args[1], "rand"))
+            sparsity = self._scalar(args[2], "rand") if len(args) > 2 else 1.0
+            seed = int(self._scalar(args[3], "rand")) if len(args) > 3 else 0
+            self._rand_counter += 1
+            path = f"{self.runtime.workdir}/rand-{self._rand_counter}"
+            return generate_matrix(
+                self.runtime.engine.filesystem, path, rows, cols,
+                self.block_size, sparsity=sparsity,
+                seed=seed + self._rand_counter,
+                num_partitions=self.runtime.num_reducers,
+            )
+        if name == "t":
+            return self.runtime.transpose(self._matrix(args[0], "t"))
+        if name == "sum":
+            return self.runtime.sum(self._matrix(args[0], "sum"))
+        if name == "rowSums":
+            return self.runtime.row_sums(self._matrix(args[0], "rowSums"))
+        if name == "colSums":
+            return self.runtime.col_sums(self._matrix(args[0], "colSums"))
+        if name == "nrow":
+            return float(self._matrix(args[0], "nrow").rows)
+        if name == "ncol":
+            return float(self._matrix(args[0], "ncol").cols)
+        if name == "sqrt":
+            if isinstance(args[0], MatrixHandle):
+                return self.runtime.scalar_op(args[0], "sqrt")
+            return math.sqrt(self._scalar(args[0], "sqrt"))
+        if name == "abs":
+            if isinstance(args[0], MatrixHandle):
+                return self.runtime.scalar_op(args[0], "abs")
+            return abs(self._scalar(args[0], "abs"))
+        if name == "castAsScalar":
+            return self.runtime.cast_as_scalar(self._matrix(args[0], "castAsScalar"))
+        if name == "write":
+            matrix = self._matrix(args[0], "write")
+            path = self._string(args[1], "write")
+            return self.runtime.write(matrix, path)
+        if name == "print":
+            return args[0] if args else 0.0
+        raise DMLRuntimeError(f"unknown function {name!r}")
+
+    # -- value coercion -------------------------------------------------- #
+
+    @staticmethod
+    def _scalar(value: Value, where: str) -> float:
+        if isinstance(value, MatrixHandle):
+            raise DMLRuntimeError(f"{where}: expected a scalar, got a matrix")
+        if isinstance(value, str):
+            raise DMLRuntimeError(f"{where}: expected a scalar, got a string")
+        return float(value)
+
+    @staticmethod
+    def _matrix(value: Value, where: str) -> MatrixHandle:
+        if not isinstance(value, MatrixHandle):
+            raise DMLRuntimeError(f"{where}: expected a matrix, got {type(value).__name__}")
+        return value
+
+    @staticmethod
+    def _string(value: Value, where: str) -> str:
+        if not isinstance(value, str):
+            raise DMLRuntimeError(f"{where}: expected a string, got {type(value).__name__}")
+        return value
+
+    @staticmethod
+    def _truthy(value: Value) -> bool:
+        if isinstance(value, MatrixHandle):
+            raise DMLRuntimeError("a matrix is not a condition")
+        return bool(value)
+
+
+def run_script(
+    source: str,
+    engine,
+    inputs: Optional[Dict[str, MatrixHandle]] = None,
+    workdir: str = "/sysml",
+    num_reducers: Optional[int] = None,
+    block_size: int = 100,
+    optimized: bool = False,
+) -> tuple:
+    """Parse and run a script; returns ``(environment, runtime)``.
+
+    ``runtime.total_seconds`` afterwards is the simulated end-to-end time,
+    and ``runtime.results`` holds every per-job EngineResult.
+    """
+    runtime = MatrixRuntime(
+        engine, workdir=workdir, num_reducers=num_reducers, optimized=optimized
+    )
+    interpreter = SystemMLInterpreter(runtime, inputs=inputs, block_size=block_size)
+    env = interpreter.run(parse_script(source))
+    return env, runtime

@@ -1,0 +1,110 @@
+"""Tokenizer for the mini-SystemML (DML) language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "%*%", "<=", ">=", "==", "!=", "<-",
+    "+", "-", "*", "/", "^", "(", ")", "{", "}", "=", ",", ":", ";", "<", ">",
+]
+
+_KEYWORDS = {"for", "in", "while", "if", "else", "function"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # NUMBER | STRING | ID | KEYWORD | OP | EOF
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+class LexError(SyntaxError):
+    """Raised on unrecognized input."""
+
+
+def tokenize(source: str) -> List[Token]:
+    """Produce the token stream for ``source`` (comments stripped)."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == '"' or ch == "'":
+            quote = ch
+            j = i + 1
+            while j < n and source[j] != quote:
+                if source[j] == "\n":
+                    raise LexError(f"unterminated string at line {line}")
+                j += 1
+            if j >= n:
+                raise LexError(f"unterminated string at line {line}")
+            tokens.append(Token("STRING", source[i + 1 : j], line, column))
+            column += j - i + 1
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = source[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < n and source[j] in "+-":
+                        j += 1
+                else:
+                    break
+            tokens.append(Token("NUMBER", source[i:j], line, column))
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in "_."):
+                j += 1
+            word = source[i:j]
+            kind = "KEYWORD" if word in _KEYWORDS else "ID"
+            tokens.append(Token(kind, word, line, column))
+            column += j - i
+            i = j
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("OP", op, line, column))
+                i += len(op)
+                column += len(op)
+                matched = True
+                break
+        if not matched:
+            raise LexError(f"unexpected character {ch!r} at line {line}, column {column}")
+    tokens.append(Token("EOF", "", line, column))
+    return tokens

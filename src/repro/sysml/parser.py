@@ -1,0 +1,238 @@
+"""Recursive-descent parser for the mini-SystemML language.
+
+Grammar (R/DML-flavoured)::
+
+    program   := statement*
+    statement := 'for' '(' ID 'in' expr ':' expr ')' block
+               | 'while' '(' expr ')' block
+               | 'if' '(' expr ')' block ('else' block)?
+               | ID ('=' | '<-') expr
+               | expr                      # e.g. a bare write(...) call
+    block     := '{' statement* '}'
+    expr      := comparison
+    comparison:= additive (('<'|'>'|'<='|'>='|'=='|'!=') additive)?
+    additive  := multiplic (('+'|'-') multiplic)*
+    multiplic := matmul (('*'|'/') matmul)*
+    matmul    := power ('%*%' power)*
+    power     := unary ('^' unary)*
+    unary     := '-' unary | primary
+    primary   := NUMBER | STRING | ID | ID '(' args ')' | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sysml.ast_nodes import (
+    Assign,
+    BinOp,
+    Call,
+    ExprStatement,
+    ForLoop,
+    IfElse,
+    Neg,
+    Node,
+    Num,
+    Program,
+    Str,
+    Var,
+    WhileLoop,
+)
+from repro.sysml.lexer import Token, tokenize
+
+
+class SyntaxErrorDML(SyntaxError):
+    """Raised on malformed scripts, with line information."""
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ---------------------------------------------------- #
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str, text: str = "") -> bool:
+        token = self._peek()
+        return token.kind == kind and (not text or token.text == text)
+
+    def _expect(self, kind: str, text: str = "") -> Token:
+        token = self._peek()
+        if not self._check(kind, text):
+            wanted = text or kind
+            raise SyntaxErrorDML(
+                f"line {token.line}: expected {wanted!r}, found {token.text!r}"
+            )
+        return self._advance()
+
+    def _skip_semicolons(self) -> None:
+        while self._check("OP", ";"):
+            self._advance()
+
+    # -- grammar ------------------------------------------------------------ #
+
+    def parse_program(self) -> Program:
+        statements: List[Node] = []
+        self._skip_semicolons()
+        while not self._check("EOF"):
+            statements.append(self.parse_statement())
+            self._skip_semicolons()
+        return Program(statements)
+
+    def parse_statement(self) -> Node:
+        if self._check("KEYWORD", "for"):
+            return self._parse_for()
+        if self._check("KEYWORD", "while"):
+            return self._parse_while()
+        if self._check("KEYWORD", "if"):
+            return self._parse_if()
+        # assignment needs two-token lookahead: ID ('='|'<-') ...
+        if self._check("ID"):
+            after = self._tokens[self._pos + 1]
+            if after.kind == "OP" and after.text in ("=", "<-"):
+                name = self._advance().text
+                self._advance()  # = or <-
+                return Assign(name, self.parse_expr())
+        return ExprStatement(self.parse_expr())
+
+    def _parse_block(self) -> List[Node]:
+        self._expect("OP", "{")
+        body: List[Node] = []
+        self._skip_semicolons()
+        while not self._check("OP", "}"):
+            if self._check("EOF"):
+                raise SyntaxErrorDML("unexpected end of script inside block")
+            body.append(self.parse_statement())
+            self._skip_semicolons()
+        self._expect("OP", "}")
+        return body
+
+    def _parse_for(self) -> ForLoop:
+        self._expect("KEYWORD", "for")
+        self._expect("OP", "(")
+        var = self._expect("ID").text
+        self._expect("KEYWORD", "in")
+        start = self.parse_expr_no_range()
+        self._expect("OP", ":")
+        stop = self.parse_expr_no_range()
+        self._expect("OP", ")")
+        return ForLoop(var, start, stop, self._parse_block())
+
+    def _parse_while(self) -> WhileLoop:
+        self._expect("KEYWORD", "while")
+        self._expect("OP", "(")
+        condition = self.parse_expr()
+        self._expect("OP", ")")
+        return WhileLoop(condition, self._parse_block())
+
+    def _parse_if(self) -> IfElse:
+        self._expect("KEYWORD", "if")
+        self._expect("OP", "(")
+        condition = self.parse_expr()
+        self._expect("OP", ")")
+        then_body = self._parse_block()
+        else_body: List[Node] = []
+        if self._check("KEYWORD", "else"):
+            self._advance()
+            else_body = self._parse_block()
+        return IfElse(condition, then_body, else_body)
+
+    # Expressions.  parse_expr_no_range exists because the ':' in a for
+    # header must not be swallowed by a comparison operand.
+
+    def parse_expr(self) -> Node:
+        return self._parse_comparison()
+
+    def parse_expr_no_range(self) -> Node:
+        return self._parse_additive()
+
+    def _parse_comparison(self) -> Node:
+        left = self._parse_additive()
+        if self._peek().kind == "OP" and self._peek().text in (
+            "<", ">", "<=", ">=", "==", "!=",
+        ):
+            op = self._advance().text
+            right = self._parse_additive()
+            return BinOp(op, left, right)
+        return left
+
+    def _parse_additive(self) -> Node:
+        left = self._parse_multiplicative()
+        while self._peek().kind == "OP" and self._peek().text in ("+", "-"):
+            op = self._advance().text
+            left = BinOp(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> Node:
+        left = self._parse_matmul()
+        while self._peek().kind == "OP" and self._peek().text in ("*", "/"):
+            op = self._advance().text
+            left = BinOp(op, left, self._parse_matmul())
+        return left
+
+    def _parse_matmul(self) -> Node:
+        left = self._parse_power()
+        while self._check("OP", "%*%"):
+            self._advance()
+            left = BinOp("%*%", left, self._parse_power())
+        return left
+
+    def _parse_power(self) -> Node:
+        left = self._parse_unary()
+        while self._check("OP", "^"):
+            self._advance()
+            left = BinOp("^", left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Node:
+        if self._check("OP", "-"):
+            self._advance()
+            return Neg(self._parse_unary())
+        if self._check("OP", "+"):
+            self._advance()
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Node:
+        token = self._peek()
+        if token.kind == "NUMBER":
+            self._advance()
+            return Num(float(token.text))
+        if token.kind == "STRING":
+            self._advance()
+            return Str(token.text)
+        if token.kind == "ID":
+            self._advance()
+            if self._check("OP", "("):
+                self._advance()
+                args: List[Node] = []
+                if not self._check("OP", ")"):
+                    args.append(self.parse_expr())
+                    while self._check("OP", ","):
+                        self._advance()
+                        args.append(self.parse_expr())
+                self._expect("OP", ")")
+                return Call(token.text, args)
+            return Var(token.text)
+        if self._check("OP", "("):
+            self._advance()
+            inner = self.parse_expr()
+            self._expect("OP", ")")
+            return inner
+        raise SyntaxErrorDML(
+            f"line {token.line}: unexpected token {token.text!r}"
+        )
+
+
+def parse_script(source: str) -> Program:
+    """Parse a mini-SystemML script into its AST."""
+    return _Parser(tokenize(source)).parse_program()

@@ -1,0 +1,203 @@
+"""The SystemML matrix runtime: matrix operations as MR job sequences.
+
+Each operation builds the JobConf(s) the mini-compiler would generate and
+submits them to whichever engine was supplied — the same runtime object
+drives Hadoop and M3R, which is the whole point of the paper's Section 6.4
+comparison.  Intermediate results use the temporary-output naming
+convention, so on M3R they never touch the filesystem.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.api.conf import JobConf
+from repro.api.formats import SequenceFileInputFormat, SequenceFileOutputFormat
+from repro.api.multiple_io import MultipleInputs
+from repro.engine_common import EngineResult
+from repro.sysml import ops
+from repro.sysml.matrix import MatrixHandle
+from repro.sysml.ops import OP_KEY, SCALAR_KEY, resolve
+
+
+class MatrixRuntime:
+    """Executes matrix programs op by op against one engine.
+
+    ``optimized=False`` (the default) reproduces the paper's stock SystemML
+    code generation: no ``ImmutableOutput``, hash partitioning.  Setting it
+    swaps in the ImmutableOutput-marked variants (the paper's future-work
+    suggestion, measured by the ablation benchmark).
+    """
+
+    def __init__(
+        self,
+        engine,
+        workdir: str = "/sysml",
+        num_reducers: Optional[int] = None,
+        optimized: bool = False,
+    ):
+        self.engine = engine
+        self.workdir = workdir.rstrip("/")
+        self.num_reducers = (
+            num_reducers if num_reducers is not None else engine.cluster.num_nodes
+        )
+        self.optimized = optimized
+        self._counter = 0
+        #: every EngineResult produced, in submission order
+        self.results: List[EngineResult] = []
+
+    # -- bookkeeping ------------------------------------------------------- #
+
+    @property
+    def total_seconds(self) -> float:
+        """Simulated seconds across every job submitted so far."""
+        return sum(r.simulated_seconds for r in self.results)
+
+    @property
+    def jobs_run(self) -> int:
+        return len(self.results)
+
+    def _temp_path(self, op_name: str) -> str:
+        self._counter += 1
+        return f"{self.workdir}/temp-{op_name}-{self._counter}"
+
+    def _submit(self, conf: JobConf) -> EngineResult:
+        result = self.engine.run_job(conf)
+        self.results.append(result)
+        if not result.succeeded:
+            raise RuntimeError(
+                f"SystemML job {conf.get_job_name()!r} failed: {result.error}"
+            )
+        return result
+
+    def _cls(self, cls: type) -> type:
+        return resolve(cls, self.optimized)
+
+    def _base_conf(self, name: str, output: str, reducers: Optional[int] = None) -> JobConf:
+        conf = JobConf()
+        conf.set_job_name(name)
+        conf.set_input_format(SequenceFileInputFormat)
+        conf.set_output_format(SequenceFileOutputFormat)
+        conf.set_output_path(output)
+        conf.set_num_reduce_tasks(
+            self.num_reducers if reducers is None else reducers
+        )
+        return conf
+
+    # -- operations ------------------------------------------------------- #
+
+    def matmul(self, a: MatrixHandle, b: MatrixHandle) -> MatrixHandle:
+        """``A %*% B`` — the two-job cross-join + aggregate pattern."""
+        if a.cols != b.rows:
+            raise ValueError(f"dimension mismatch: {a.cols} vs {b.rows}")
+        if not a.same_blocking(b):
+            raise ValueError("matmul requires a common blocking factor")
+        cross_out = self._temp_path("mmcj")
+        conf = self._base_conf("sysml.matmul.cross", cross_out)
+        MultipleInputs.add_input_path(
+            conf, a.path, SequenceFileInputFormat, self._cls(ops.MatMulLeftMapper)
+        )
+        MultipleInputs.add_input_path(
+            conf, b.path, SequenceFileInputFormat, self._cls(ops.MatMulRightMapper)
+        )
+        conf.set_reducer_class(self._cls(ops.MatMulCrossReducer))
+        self._submit(conf)
+
+        agg_out = self._temp_path("mmagg")
+        conf = self._base_conf("sysml.matmul.aggregate", agg_out)
+        conf.set_input_paths(cross_out)
+        conf.set_mapper_class(self._cls(ops.BlockSumMapper))
+        conf.set_reducer_class(self._cls(ops.BlockSumReducer))
+        self._submit(conf)
+        return MatrixHandle(agg_out, a.rows, b.cols, a.block_size)
+
+    def elementwise(self, a: MatrixHandle, b: MatrixHandle, op: str) -> MatrixHandle:
+        """``A op B`` cell-wise; op in {add, sub, mul, div}."""
+        if (a.rows, a.cols) != (b.rows, b.cols):
+            raise ValueError(
+                f"element-wise shape mismatch: {(a.rows, a.cols)} vs {(b.rows, b.cols)}"
+            )
+        out = self._temp_path(f"ew{op}")
+        conf = self._base_conf(f"sysml.elementwise.{op}", out)
+        conf.set(OP_KEY, op)
+        MultipleInputs.add_input_path(
+            conf, a.path, SequenceFileInputFormat, self._cls(ops.ElementwiseLeftMapper)
+        )
+        MultipleInputs.add_input_path(
+            conf, b.path, SequenceFileInputFormat, self._cls(ops.ElementwiseRightMapper)
+        )
+        conf.set_reducer_class(self._cls(ops.ElementwiseReducer))
+        self._submit(conf)
+        return MatrixHandle(out, a.rows, a.cols, a.block_size)
+
+    def transpose(self, a: MatrixHandle) -> MatrixHandle:
+        """``t(A)`` — one full-shuffle job."""
+        out = self._temp_path("t")
+        conf = self._base_conf("sysml.transpose", out)
+        conf.set_input_paths(a.path)
+        conf.set_mapper_class(self._cls(ops.TransposeMapper))
+        conf.set_reducer_class(self._cls(ops.PassThroughReducer))
+        self._submit(conf)
+        return MatrixHandle(out, a.cols, a.rows, a.block_size)
+
+    def scalar_op(self, a: MatrixHandle, op: str, scalar: float = 0.0) -> MatrixHandle:
+        """A unary / scalar operator (map-only job)."""
+        out = self._temp_path(op)
+        conf = self._base_conf(f"sysml.scalar.{op}", out, reducers=0)
+        conf.set_input_paths(a.path)
+        conf.set_mapper_class(self._cls(ops.ScalarOpMapper))
+        conf.set(OP_KEY, op)
+        conf.set_float(SCALAR_KEY, float(scalar))
+        self._submit(conf)
+        return MatrixHandle(out, a.rows, a.cols, a.block_size)
+
+    def scalar_multiply(self, a: MatrixHandle, c: float) -> MatrixHandle:
+        return self.scalar_op(a, "smul", c)
+
+    def sum(self, a: MatrixHandle) -> float:
+        """``sum(A)`` — aggregate to a driver-side scalar."""
+        out = self._temp_path("sum")
+        conf = self._base_conf("sysml.sum", out, reducers=1)
+        conf.set_input_paths(a.path)
+        conf.set_mapper_class(self._cls(ops.FullSumMapper))
+        conf.set_combiner_class(self._cls(ops.DoubleSumReducer))
+        conf.set_reducer_class(self._cls(ops.DoubleSumReducer))
+        self._submit(conf)
+        pairs = self.engine.filesystem.read_kv_pairs(out)
+        return pairs[0][1].get() if pairs else 0.0
+
+    def row_sums(self, a: MatrixHandle) -> MatrixHandle:
+        """``rowSums(A)`` — an (rows × 1) column vector."""
+        out = self._temp_path("rowsums")
+        conf = self._base_conf("sysml.rowsums", out)
+        conf.set_input_paths(a.path)
+        conf.set_mapper_class(self._cls(ops.RowSumsMapper))
+        conf.set_reducer_class(self._cls(ops.BlockSumReducer))
+        self._submit(conf)
+        return MatrixHandle(out, a.rows, 1, a.block_size)
+
+    def col_sums(self, a: MatrixHandle) -> MatrixHandle:
+        """``colSums(A)`` — a (1 × cols) row vector."""
+        out = self._temp_path("colsums")
+        conf = self._base_conf("sysml.colsums", out)
+        conf.set_input_paths(a.path)
+        conf.set_mapper_class(self._cls(ops.ColSumsMapper))
+        conf.set_reducer_class(self._cls(ops.BlockSumReducer))
+        self._submit(conf)
+        return MatrixHandle(out, 1, a.cols, a.block_size)
+
+    def write(self, a: MatrixHandle, path: str) -> MatrixHandle:
+        """Persist a handle under a real (non-temporary) path."""
+        conf = self._base_conf("sysml.write", path, reducers=0)
+        conf.set_input_paths(a.path)
+        conf.set_mapper_class(self._cls(ops.ScalarOpMapper))
+        conf.set(OP_KEY, "smul")
+        conf.set_float(SCALAR_KEY, 1.0)
+        self._submit(conf)
+        return MatrixHandle(path, a.rows, a.cols, a.block_size)
+
+    def cast_as_scalar(self, a: MatrixHandle) -> float:
+        """A 1×1 matrix's single value (SystemML's ``castAsScalar``)."""
+        if a.rows != 1 or a.cols != 1:
+            raise ValueError(f"castAsScalar needs a 1x1 matrix, got {a.rows}x{a.cols}")
+        return self.sum(a)

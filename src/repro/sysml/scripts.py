@@ -1,0 +1,145 @@
+"""The three benchmark programs of paper Section 6.4, as DSL scripts.
+
+Each function returns ``(script_text, inputs_builder)`` pieces the
+benchmarks assemble.  The algorithms follow the published SystemML
+formulations:
+
+* **GNMF** (Figure 9) — global non-negative matrix factorization by
+  multiplicative updates:
+  ``H = H * (t(W) V) / (t(W) W H)``, ``W = W * (V t(H)) / (W H t(H))``;
+* **Linear regression** (Figure 10) — conjugate gradient on the normal
+  equations ``t(X) X w = t(X) y`` with ridge term λ;
+* **PageRank** (Figure 11) — power iteration
+  ``p = alpha * (G p) + (1 - alpha) * e``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.sysml.matrix import MatrixHandle, generate_matrix
+
+#: Paper parameters (Section 6.4): sparsity 0.001, blocking factor 1000.
+PAPER_SPARSITY = 0.001
+PAPER_BLOCKING = 1000
+
+
+GNMF_SCRIPT = """
+# Global non-negative matrix factorization, multiplicative updates.
+V = read("V")
+W = read("W")
+H = read("H")
+for (i in 1:iterations) {
+    H = H * (t(W) %*% V) / (t(W) %*% W %*% H)
+    W = W * (V %*% t(H)) / (W %*% (H %*% t(H)))
+}
+write(W, "/out/W")
+write(H, "/out/H")
+"""
+
+
+LINREG_SCRIPT = """
+# Linear regression via conjugate gradient on the normal equations.
+X = read("X")
+y = read("y")
+lambda = 0.000001
+r = -1 * (t(X) %*% y)
+p = -1 * r
+norm_r2 = sum(r * r)
+w = 0 * p
+for (i in 1:iterations) {
+    q = (t(X) %*% (X %*% p)) + lambda * p
+    alpha = norm_r2 / castAsScalar(t(p) %*% q)
+    w = w + alpha * p
+    old_norm_r2 = norm_r2
+    r = r + alpha * q
+    norm_r2 = sum(r * r)
+    beta = norm_r2 / old_norm_r2
+    p = -1 * r + beta * p
+}
+write(w, "/out/w")
+"""
+
+
+PAGERANK_SCRIPT = """
+# PageRank by power iteration.
+G = read("G")
+p = read("p")
+e = read("e")
+alpha = 0.85
+for (i in 1:iterations) {
+    p = alpha * (G %*% p) + (1 - alpha) * e
+}
+write(p, "/out/p")
+"""
+
+
+def with_iterations(script: str, iterations: int) -> str:
+    """Bind the iteration count as a leading assignment."""
+    return f"iterations = {iterations}\n" + script
+
+
+def gnmf_inputs(
+    fs,
+    rows: int,
+    cols: int,
+    rank: int,
+    block_size: int,
+    sparsity: float = PAPER_SPARSITY,
+    num_partitions: int = 4,
+    seed: int = 31,
+) -> Dict[str, MatrixHandle]:
+    """V (rows × cols, sparse), W (rows × rank, dense), H (rank × cols, dense)."""
+    return {
+        "V": generate_matrix(fs, "/data/V", rows, cols, block_size,
+                             sparsity=sparsity, seed=seed,
+                             num_partitions=num_partitions),
+        "W": generate_matrix(fs, "/data/W", rows, rank, block_size,
+                             sparsity=1.0, seed=seed + 1,
+                             num_partitions=num_partitions),
+        "H": generate_matrix(fs, "/data/H", rank, cols, block_size,
+                             sparsity=1.0, seed=seed + 2,
+                             num_partitions=num_partitions),
+    }
+
+
+def linreg_inputs(
+    fs,
+    points: int,
+    variables: int,
+    block_size: int,
+    sparsity: float = PAPER_SPARSITY,
+    num_partitions: int = 4,
+    seed: int = 47,
+) -> Dict[str, MatrixHandle]:
+    """X (points × variables, sparse), y (points × 1, dense)."""
+    return {
+        "X": generate_matrix(fs, "/data/X", points, variables, block_size,
+                             sparsity=sparsity, seed=seed,
+                             num_partitions=num_partitions),
+        "y": generate_matrix(fs, "/data/y", points, 1, block_size,
+                             sparsity=1.0, seed=seed + 1,
+                             num_partitions=num_partitions),
+    }
+
+
+def pagerank_inputs(
+    fs,
+    nodes: int,
+    block_size: int,
+    sparsity: float = PAPER_SPARSITY,
+    num_partitions: int = 4,
+    seed: int = 59,
+) -> Dict[str, MatrixHandle]:
+    """G (nodes × nodes, sparse link matrix), p and e (nodes × 1, dense)."""
+    return {
+        "G": generate_matrix(fs, "/data/G", nodes, nodes, block_size,
+                             sparsity=sparsity, seed=seed,
+                             num_partitions=num_partitions),
+        "p": generate_matrix(fs, "/data/p", nodes, 1, block_size,
+                             sparsity=1.0, seed=seed + 1,
+                             num_partitions=num_partitions),
+        "e": generate_matrix(fs, "/data/e", nodes, 1, block_size,
+                             sparsity=1.0, seed=seed + 2,
+                             num_partitions=num_partitions),
+    }

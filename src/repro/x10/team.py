@@ -1,0 +1,84 @@
+"""X10 Teams: barriers and simple collectives across a set of places.
+
+The M3R engine uses ``Team.barrier()`` to enforce that no reducer runs until
+globally all shuffle messages have been sent, and uses an all-reduce to
+aggregate counters at job completion.  This module implements both against
+real ``threading`` primitives so concurrent engine code genuinely
+synchronizes, and reports a per-use simulated cost hook for the cost model.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional
+
+
+class Team:
+    """A barrier-capable group, one member per place.
+
+    Members call :meth:`barrier` with their place id; the call blocks until
+    every member of the team has arrived, like X10's ``Team.WORLD.barrier()``.
+
+    Collectives (:meth:`allreduce`) gather one contribution per member and
+    hand every member the folded result.
+    """
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ValueError("a team needs at least one member")
+        self._size = size
+        self._barrier = threading.Barrier(size)
+        self._lock = threading.Lock()
+        self._contributions: Dict[int, Any] = {}
+        self._reduced: Any = None
+        self._barrier_count = 0
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def barriers_crossed(self) -> int:
+        """How many barrier episodes completed (engines charge cost per episode)."""
+        return self._barrier_count
+
+    def barrier(self, member: int, timeout: Optional[float] = 60.0) -> None:
+        """Block until all ``size`` members arrive.
+
+        ``member`` is accepted for interface fidelity (X10 passes the role);
+        a broken barrier (member died) raises, matching M3R's fail-fast
+        no-resilience semantics.
+        """
+        if not 0 <= member < self._size:
+            raise ValueError(f"member {member} outside team of size {self._size}")
+        index = self._barrier.wait(timeout=timeout)
+        if index == 0:
+            with self._lock:
+                self._barrier_count += 1
+
+    def allreduce(
+        self,
+        member: int,
+        value: Any,
+        fold: Callable[[Any, Any], Any],
+        timeout: Optional[float] = 60.0,
+    ) -> Any:
+        """All-reduce: every member contributes ``value``; all get the fold.
+
+        The fold is applied in member order so non-commutative folds are
+        deterministic.
+        """
+        with self._lock:
+            self._contributions[member] = value
+        index = self._barrier.wait(timeout=timeout)
+        if index == 0:
+            with self._lock:
+                ordered = [self._contributions[m] for m in sorted(self._contributions)]
+                result = ordered[0]
+                for item in ordered[1:]:
+                    result = fold(result, item)
+                self._reduced = result
+                self._contributions.clear()
+        # Second rendezvous so no member reads before the fold is published.
+        self._barrier.wait(timeout=timeout)
+        return self._reduced

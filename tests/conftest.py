@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import hadoop_engine, m3r_engine
+from repro.fs import InMemoryFileSystem, SimulatedHDFS
+from repro.sim import Cluster
+
+
+@pytest.fixture
+def cluster4() -> Cluster:
+    return Cluster(num_nodes=4)
+
+
+@pytest.fixture
+def hdfs(cluster4: Cluster) -> SimulatedHDFS:
+    return SimulatedHDFS(cluster4, block_size=64 * 1024, replication=2)
+
+
+@pytest.fixture
+def memfs() -> InMemoryFileSystem:
+    return InMemoryFileSystem()
+
+
+@pytest.fixture
+def hadoop4():
+    """A 4-node Hadoop engine over its own HDFS."""
+    fs = SimulatedHDFS(Cluster(4), block_size=64 * 1024, replication=2)
+    return hadoop_engine(filesystem=fs)
+
+
+@pytest.fixture
+def m3r4():
+    """A 4-place M3R engine over its own HDFS."""
+    fs = SimulatedHDFS(Cluster(4), block_size=64 * 1024, replication=2)
+    engine = m3r_engine(filesystem=fs)
+    yield engine
+    engine.shutdown()
+
+
+def make_hadoop(num_nodes: int = 4, **kwargs):
+    fs = SimulatedHDFS(Cluster(num_nodes), block_size=64 * 1024, replication=2)
+    return hadoop_engine(filesystem=fs, **kwargs)
+
+
+def make_m3r(num_nodes: int = 4, **kwargs):
+    fs = SimulatedHDFS(Cluster(num_nodes), block_size=64 * 1024, replication=2)
+    return m3r_engine(filesystem=fs, **kwargs)

@@ -1,0 +1,172 @@
+"""Administrative interfaces: notifications, queues, async progress."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.conf import (
+    JOB_END_NOTIFICATION_URL_KEY,
+    JOB_QUEUE_NAME_KEY,
+)
+from repro.apps.wordcount import generate_text, wordcount_job
+from repro.core import JobEndNotifier, JobQueueManager, ProgressTracker
+
+from conftest import make_hadoop, make_m3r
+
+
+def prepared_engine(factory=make_m3r):
+    engine = factory()
+    engine.filesystem.write_text("/in.txt", generate_text(60))
+    return engine
+
+
+class TestJobEndNotifier:
+    def test_delivery_with_placeholders(self):
+        engine = prepared_engine()
+        notifier = JobEndNotifier()
+        received = []
+        notifier.register("http://ops/", lambda url, result: received.append(url))
+        conf = wordcount_job("/in.txt", "/out", 2)
+        conf.set(JOB_END_NOTIFICATION_URL_KEY,
+                 "http://ops/done?id=$jobId&status=$jobStatus")
+        result = engine.run_job(conf)
+        url = notifier.notify(conf, result)
+        assert received == [url]
+        assert "status=SUCCEEDED" in url
+        assert "wordcount" in url
+
+    def test_failed_status(self):
+        engine = prepared_engine()
+        notifier = JobEndNotifier()
+        seen = {}
+        notifier.register("cb://", lambda url, result: seen.update(url=url))
+        conf = wordcount_job("/missing-input", "/out", 2)
+        conf.set(JOB_END_NOTIFICATION_URL_KEY, "cb://x?s=$jobStatus")
+        result = engine.run_job(conf)
+        assert not result.succeeded
+        notifier.notify(conf, result)
+        assert seen["url"].endswith("s=FAILED")
+
+    def test_no_url_is_noop(self):
+        notifier = JobEndNotifier()
+        engine = prepared_engine()
+        result = engine.run_job(wordcount_job("/in.txt", "/out", 2))
+        assert notifier.notify(wordcount_job("/in.txt", "/o2", 2), result) is None
+
+    def test_longest_prefix_wins(self):
+        notifier = JobEndNotifier()
+        hits = []
+        notifier.register("http://", lambda u, r: hits.append("short"))
+        notifier.register("http://specific/", lambda u, r: hits.append("long"))
+        engine = prepared_engine()
+        conf = wordcount_job("/in.txt", "/out", 2)
+        conf.set(JOB_END_NOTIFICATION_URL_KEY, "http://specific/cb")
+        result = engine.run_job(conf)
+        notifier.notify(conf, result)
+        assert hits == ["long"]
+
+    def test_undeliverable_recorded(self):
+        notifier = JobEndNotifier()
+        engine = prepared_engine()
+        conf = wordcount_job("/in.txt", "/out", 2)
+        conf.set(JOB_END_NOTIFICATION_URL_KEY, "nowhere://cb")
+        result = engine.run_job(conf)
+        notifier.notify(conf, result)
+        assert notifier.undeliverable == ["nowhere://cb"]
+
+
+class TestJobQueues:
+    def test_fifo_per_queue(self):
+        engine = prepared_engine()
+        manager = JobQueueManager(engine, queues=["default", "analytics"])
+        first = wordcount_job("/in.txt", "/out/a", 2)
+        second = wordcount_job("/in.txt", "/out/b", 2)
+        second.set(JOB_QUEUE_NAME_KEY, "analytics")
+        third = wordcount_job("/in.txt", "/out/c", 2)
+        assert manager.submit(first) == "default"
+        assert manager.submit(second) == "analytics"
+        assert manager.submit(third) == "default"
+        assert manager.pending("default") == 2
+        results = manager.drain("default")
+        assert [r.output_path for r in results] == ["/out/a", "/out/c"]
+        assert manager.pending("default") == 0
+        assert manager.pending("analytics") == 1
+
+    def test_unknown_queue_rejected(self):
+        manager = JobQueueManager(prepared_engine(), queues=["default"])
+        conf = wordcount_job("/in.txt", "/out", 2)
+        conf.set(JOB_QUEUE_NAME_KEY, "nope")
+        with pytest.raises(KeyError):
+            manager.submit(conf)
+
+    def test_stats_accumulate(self):
+        engine = prepared_engine()
+        manager = JobQueueManager(engine)
+        manager.submit(wordcount_job("/in.txt", "/out/x", 2))
+        manager.submit(wordcount_job("/broken", "/out/y", 2))
+        manager.drain()
+        stats = manager.stats()
+        assert stats.submitted == 2
+        assert stats.succeeded == 1
+        assert stats.failed == 1
+        assert stats.simulated_seconds > 0
+
+    def test_drain_all_and_notifier_integration(self):
+        engine = prepared_engine()
+        notifier = JobEndNotifier()
+        urls = []
+        notifier.register("q://", lambda u, r: urls.append(u))
+        manager = JobQueueManager(engine, queues=["default", "etl"],
+                                  notifier=notifier)
+        conf = wordcount_job("/in.txt", "/out/z", 2)
+        conf.set(JOB_END_NOTIFICATION_URL_KEY, "q://done")
+        manager.submit(conf)
+        results = manager.drain_all()
+        assert len(results["default"]) == 1
+        assert urls == ["q://done"]
+
+
+class TestProgressTracker:
+    @pytest.mark.parametrize("factory", [make_m3r, make_hadoop])
+    def test_phase_sequence(self, factory):
+        engine = prepared_engine(factory)
+        tracker = ProgressTracker().attach(engine)
+        result = engine.run_job(wordcount_job("/in.txt", "/out", 2))
+        assert result.succeeded
+        phases = tracker.phases_seen(result.job_name)
+        assert phases[0] == "submitted"
+        assert phases[-1] == "done"
+        assert "map" in phases
+
+    def test_snapshot_latest(self):
+        engine = prepared_engine()
+        tracker = ProgressTracker().attach(engine)
+        result = engine.run_job(wordcount_job("/in.txt", "/out", 2))
+        latest = tracker.snapshot(result.job_name)
+        assert latest.phase == "done" and latest.fraction == 1.0
+        assert tracker.snapshot("unknown job") is None
+
+    def test_map_only_job_phases(self):
+        from repro.api.conf import JobConf
+        from repro.api.formats import SequenceFileInputFormat, SequenceFileOutputFormat
+        from repro.api.mapred import IdentityMapper
+        from repro.api.writables import IntWritable, Text
+
+        engine = make_m3r()
+        engine.filesystem.write_pairs("/in/part-00000", [(IntWritable(1), Text("x"))])
+        tracker = ProgressTracker().attach(engine)
+        conf = JobConf()
+        conf.set_job_name("maponly")
+        conf.set_input_paths("/in")
+        conf.set_input_format(SequenceFileInputFormat)
+        conf.set_mapper_class(IdentityMapper)
+        conf.set_output_format(SequenceFileOutputFormat)
+        conf.set_output_path("/out")
+        conf.set_num_reduce_tasks(0)
+        assert engine.run_job(conf).succeeded
+        assert tracker.phases_seen("maponly") == ["submitted", "map", "done"]
+
+    def test_fractions_clamped(self):
+        tracker = ProgressTracker()
+        tracker("j", "map", 3.0)
+        assert tracker.snapshot("j").fraction == 1.0

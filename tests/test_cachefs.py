@@ -1,0 +1,203 @@
+"""The cache and its filesystem interposition (paper Sections 3.2.1, 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.writables import IntWritable, Text
+from repro.core.cache import KeyValueCache, split_cache_name
+from repro.core.cachefs import CacheOnlyFileSystem, M3RFileSystem
+from repro.fs import InMemoryFileSystem
+from repro.x10.places import Place
+
+
+@pytest.fixture
+def cache():
+    return KeyValueCache([Place(i) for i in range(4)])
+
+
+@pytest.fixture
+def m3rfs(cache):
+    return M3RFileSystem(InMemoryFileSystem(), cache)
+
+
+PAIRS = [(IntWritable(1), Text("a")), (IntWritable(2), Text("b"))]
+
+
+class TestKeyValueCache:
+    def test_put_get_file(self, cache):
+        entry = cache.put_file("/out/part-0", 2, PAIRS, nbytes=100)
+        assert cache.get_file("/out/part-0") is entry
+        assert entry.place_id == 2
+        assert entry.records == 2
+
+    def test_put_replaces(self, cache):
+        cache.put_file("/f", 0, PAIRS, 100)
+        cache.put_file("/f", 1, PAIRS[:1], 50)
+        entry = cache.get_file("/f")
+        assert entry.place_id == 1 and entry.records == 1
+        assert len(cache) == 1
+
+    def test_split_exact_match(self, cache):
+        cache.put_split("/data", 0, 64, 1, PAIRS, 64)
+        assert cache.get_split("/data", 0, 64) is not None
+        assert cache.get_split("/data", 64, 64) is None
+
+    def test_whole_file_serves_covering_split(self, cache):
+        cache.put_file("/data", 1, PAIRS, 128)
+        assert cache.get_split("/data", 0, 128, file_length=128) is not None
+        assert cache.get_split("/data", 0, 200, file_length=128) is not None
+        assert cache.get_split("/data", 64, 64, file_length=128) is None
+
+    def test_named_entries(self, cache):
+        cache.put_named("my-generator", 3, PAIRS, 10)
+        assert cache.get_named("my-generator").place_id == 3
+        assert cache.get_named("/my-generator") is not None
+        assert cache.get_named("other") is None
+
+    def test_contains_path_covers_children_and_splits(self, cache):
+        cache.put_file("/dir/part-0", 0, PAIRS, 10)
+        cache.put_split("/other/file", 0, 5, 0, PAIRS, 5)
+        assert cache.contains_path("/dir")
+        assert cache.contains_path("/dir/part-0")
+        assert cache.contains_path("/other/file")
+        assert not cache.contains_path("/nope")
+
+    def test_delete_path_removes_splits_and_children(self, cache):
+        cache.put_file("/d/part-0", 0, PAIRS, 10)
+        cache.put_split("/d/part-1", 0, 9, 1, PAIRS, 9)
+        assert cache.delete_path("/d")
+        assert len(cache) == 0
+        assert not cache.delete_path("/d")
+
+    def test_rename_path_rekeys(self, cache):
+        cache.put_file("/old/part-0", 2, PAIRS, 10)
+        cache.put_split("/old/part-1", 0, 7, 3, PAIRS, 7)
+        cache.rename_path("/old", "/new")
+        assert cache.get_file("/new/part-0") is not None
+        assert cache.get_split("/new/part-1", 0, 7) is not None
+        assert not cache.contains_path("/old")
+
+    def test_accounting(self, cache):
+        cache.put_file("/a", 0, PAIRS, 100)
+        cache.put_file("/b", 1, PAIRS, 50)
+        assert cache.total_bytes() == 150
+        assert cache.bytes_at_place(0) == 100
+        assert cache.bytes_at_place(1) == 50
+        assert cache.bytes_at_place(2) == 0
+
+    def test_clear(self, cache):
+        cache.put_file("/a", 0, PAIRS, 1)
+        cache.clear()
+        assert len(cache) == 0 and cache.total_bytes() == 0
+
+    def test_paths_under(self, cache):
+        cache.put_file("/d/x", 0, PAIRS, 1)
+        cache.put_file("/d/sub/y", 0, PAIRS, 1)
+        cache.put_file("/e/z", 0, PAIRS, 1)
+        assert cache.paths_under("/d") == ["/d/sub/y", "/d/x"]
+
+    def test_split_cache_name_distinct_from_paths(self):
+        name = split_cache_name("/a/b", 10, 20)
+        assert "#" in name and name.startswith("/a/b")
+
+
+class TestM3RFileSystem:
+    def test_union_visibility(self, m3rfs, cache):
+        m3rfs.inner.write_text("/real.txt", "x")
+        cache.put_file("/cached/part-0", 0, PAIRS, 42)
+        assert m3rfs.exists("/real.txt")
+        assert m3rfs.exists("/cached/part-0")
+        assert m3rfs.exists("/cached")
+        status = m3rfs.get_file_status("/cached/part-0")
+        assert status.length == 42 and status.is_file
+        assert m3rfs.get_file_status("/cached").is_dir
+
+    def test_list_status_merges(self, m3rfs, cache):
+        m3rfs.inner.write_pairs("/d/real", PAIRS)
+        cache.put_file("/d/cached", 1, PAIRS, 10)
+        names = [s.path for s in m3rfs.list_status("/d")]
+        assert names == ["/d/cached", "/d/real"]
+
+    def test_list_cache_only_directory(self, m3rfs, cache):
+        cache.put_file("/only/part-0", 0, PAIRS, 10)
+        assert [s.path for s in m3rfs.list_status("/only")] == ["/only/part-0"]
+
+    def test_read_pairs_prefers_cache(self, m3rfs, cache):
+        stale = [(IntWritable(9), Text("stale"))]
+        m3rfs.inner.write_pairs("/f", stale)
+        cache.put_file("/f", 0, PAIRS, 10)
+        assert m3rfs.read_pairs("/f") == PAIRS
+
+    def test_delete_hits_both(self, m3rfs, cache):
+        m3rfs.inner.write_pairs("/f", PAIRS)
+        cache.put_file("/f", 0, PAIRS, 10)
+        assert m3rfs.delete("/f")
+        assert not m3rfs.inner.exists("/f")
+        assert not cache.contains_path("/f")
+
+    def test_rename_hits_both(self, m3rfs, cache):
+        m3rfs.inner.write_pairs("/a", PAIRS)
+        cache.put_file("/a", 0, PAIRS, 10)
+        assert m3rfs.rename("/a", "/b")
+        assert m3rfs.inner.exists("/b")
+        assert cache.get_file("/b") is not None
+        assert not cache.contains_path("/a")
+
+    def test_rename_cache_only_path(self, m3rfs, cache):
+        cache.put_file("/only", 0, PAIRS, 10)
+        assert m3rfs.rename("/only", "/moved")
+        assert cache.get_file("/moved") is not None
+
+    def test_write_invalidates_cache(self, m3rfs, cache):
+        cache.put_file("/f", 0, PAIRS, 10)
+        m3rfs.write_pairs("/f", [(IntWritable(5), Text("new"))])
+        assert cache.get_file("/f") is None
+        assert m3rfs.read_pairs("/f")[0][1].to_string() == "new"
+
+    def test_block_locations_for_cache_only(self, m3rfs, cache):
+        cache.put_file("/only", 2, PAIRS, 10)
+        assert m3rfs.get_block_locations("/only", 0, 1) == ["node02"]
+
+    def test_get_cache_record_reader(self, m3rfs, cache):
+        cache.put_file("/f", 0, PAIRS, 10)
+        reader = m3rfs.get_cache_record_reader("/f")
+        assert list(reader) == PAIRS
+        assert m3rfs.get_cache_record_reader("/missing") is None
+
+
+class TestCacheOnlyFileSystem:
+    def test_operations_touch_only_cache(self, m3rfs, cache):
+        m3rfs.inner.write_pairs("/f", PAIRS)
+        cache.put_file("/f", 0, PAIRS, 10)
+        raw = m3rfs.get_raw_cache()
+        assert isinstance(raw, CacheOnlyFileSystem)
+        assert raw.exists("/f")
+        assert raw.delete("/f")
+        assert not cache.contains_path("/f")
+        assert m3rfs.inner.exists("/f")  # untouched on disk
+
+    def test_rename_only_cache(self, m3rfs, cache):
+        m3rfs.inner.write_pairs("/f", PAIRS)
+        cache.put_file("/f", 0, PAIRS, 10)
+        raw = m3rfs.get_raw_cache()
+        assert raw.rename("/f", "/g")
+        assert cache.get_file("/g") is not None
+        assert m3rfs.inner.exists("/f") and not m3rfs.inner.exists("/g")
+
+    def test_status_and_reads(self, m3rfs, cache):
+        cache.put_file("/f", 1, PAIRS, 77)
+        raw = m3rfs.get_raw_cache()
+        assert raw.get_file_status("/f").length == 77
+        assert raw.read_pairs("/f") == PAIRS
+        with pytest.raises(FileNotFoundError):
+            raw.read_pairs("/missing")
+
+    def test_writes_rejected(self, m3rfs):
+        raw = m3rfs.get_raw_cache()
+        with pytest.raises(NotImplementedError):
+            raw.write_pairs("/x", PAIRS)
+        with pytest.raises(NotImplementedError):
+            raw.write_bytes("/x", b"data")
+        with pytest.raises(NotImplementedError):
+            raw.mkdirs("/x")

@@ -1,0 +1,71 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_engine_choices(self):
+        args = build_parser().parse_args(["--engine", "m3r", "micro"])
+        assert args.engine == "m3r"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--engine", "spark", "micro"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["wordcount"])
+        assert args.engine == "both"
+        assert args.nodes == 8
+        assert args.lines == 2000
+
+
+class TestCommands:
+    def test_wordcount_both_engines(self, capsys):
+        assert main(["--nodes", "4", "wordcount", "--lines", "100",
+                     "--reducers", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "hadoop" in out and "m3r" in out
+        assert "outputs verified identical" in out
+
+    def test_wordcount_mutating_variant(self, capsys):
+        assert main(["--engine", "m3r", "--nodes", "2", "wordcount",
+                     "--lines", "50", "--reducers", "2", "--mutating"]) == 0
+
+    def test_micro(self, capsys):
+        assert main(["--engine", "m3r", "--nodes", "4", "micro",
+                     "--remote", "40", "--pairs", "100",
+                     "--value-bytes", "64"]) == 0
+        assert "iterations:" in capsys.readouterr().out
+
+    def test_matvec_checks_equivalence(self, capsys):
+        assert main(["--nodes", "4", "matvec", "--rows", "200",
+                     "--iterations", "1", "--sparsity", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("checksum") == 2
+
+    def test_sysml(self, capsys):
+        assert main(["--engine", "m3r", "--nodes", "4", "sysml",
+                     "--algorithm", "pagerank", "--size", "100",
+                     "--block", "50", "--iterations", "1",
+                     "--sparsity", "0.05"]) == 0
+        assert "generated jobs" in capsys.readouterr().out
+
+    def test_pig_script(self, tmp_path, capsys):
+        script = tmp_path / "s.pig"
+        script.write_text(
+            "x = LOAD '/data/input.txt' AS (k, v);\n"
+            "f = FILTER x BY v > 1;\n"
+            "STORE f INTO '/out/f';\n"
+        )
+        data = tmp_path / "d.txt"
+        data.write_text("a\t1\nb\t2\nc\t3\n")
+        assert main(["--nodes", "2", "pig", "--script", str(script),
+                     "--data", str(data)]) == 0
+        out = capsys.readouterr().out
+        assert "outputs verified identical" in out

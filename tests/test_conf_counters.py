@@ -1,0 +1,160 @@
+"""Configuration / JobConf and counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.conf import Configuration, JobConf
+from repro.api.counters import Counters, FileSystemCounter, JobCounter, TaskCounter
+from repro.api.mapred import IdentityMapper, IdentityReducer
+from repro.api.partitioner import HashPartitioner
+
+
+class TestConfiguration:
+    def test_get_set(self):
+        conf = Configuration()
+        conf.set("a.b", "value")
+        assert conf.get("a.b") == "value"
+        assert conf.get("missing") is None
+        assert conf.get("missing", "d") == "d"
+
+    def test_typed_getters(self):
+        conf = Configuration()
+        conf.set("i", "42")
+        conf.set("f", "2.5")
+        conf.set("b", "true")
+        assert conf.get_int("i") == 42
+        assert conf.get_float("f") == 2.5
+        assert conf.get_boolean("b") is True
+        assert conf.get_int("absent", 7) == 7
+        assert conf.get_boolean("absent", True) is True
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("true", True), ("TRUE", True), ("1", True), ("yes", True),
+        ("false", False), ("0", False), ("no", False), ("junk", False),
+    ])
+    def test_boolean_parsing(self, raw, expected):
+        conf = Configuration()
+        conf.set("k", raw)
+        assert conf.get_boolean("k") is expected
+
+    def test_strings_roundtrip(self):
+        conf = Configuration()
+        conf.set_strings("list", ["a", "b", "c"])
+        assert conf.get_strings("list") == ["a", "b", "c"]
+        assert conf.get_strings("absent") == []
+
+    def test_class_values(self):
+        conf = Configuration()
+        conf.set_class("cls", IdentityMapper)
+        assert conf.get_class("cls") is IdentityMapper
+        conf.set("notcls", "a string")
+        with pytest.raises(TypeError):
+            conf.get_class("notcls")
+        with pytest.raises(TypeError):
+            conf.set_class("x", "not a class")
+
+    def test_copy_is_independent(self):
+        conf = Configuration()
+        conf.set("k", "v1")
+        copy = conf.copy()
+        copy.set("k", "v2")
+        assert conf.get("k") == "v1"
+
+    def test_contains_and_unset(self):
+        conf = Configuration()
+        conf.set("k", 1)
+        assert "k" in conf
+        conf.unset("k")
+        assert "k" not in conf
+
+
+class TestJobConf:
+    def test_wiring(self):
+        conf = JobConf()
+        conf.set_job_name("j")
+        conf.set_mapper_class(IdentityMapper)
+        conf.set_reducer_class(IdentityReducer)
+        conf.set_combiner_class(IdentityReducer)
+        conf.set_partitioner_class(HashPartitioner)
+        conf.set_num_reduce_tasks(3)
+        assert conf.get_job_name() == "j"
+        assert conf.get_mapper_class() is IdentityMapper
+        assert conf.get_reducer_class() is IdentityReducer
+        assert conf.get_combiner_class() is IdentityReducer
+        assert conf.get_partitioner_class() is HashPartitioner
+        assert conf.get_num_reduce_tasks() == 3
+
+    def test_negative_reducers_rejected(self):
+        conf = JobConf()
+        with pytest.raises(ValueError):
+            conf.set_num_reduce_tasks(-1)
+
+    def test_input_paths(self):
+        conf = JobConf()
+        conf.set_input_paths("/a", "/b")
+        conf.add_input_path("/c")
+        assert conf.get_input_paths() == ["/a", "/b", "/c"]
+
+    def test_output_path(self):
+        conf = JobConf()
+        assert conf.get_output_path() is None
+        conf.set_output_path("/out")
+        assert conf.get_output_path() == "/out"
+
+    def test_copy_constructor_inherits(self):
+        conf = JobConf()
+        conf.set_mapper_class(IdentityMapper)
+        task_conf = JobConf(conf)
+        assert task_conf.get_mapper_class() is IdentityMapper
+
+    def test_default_reducers_is_one(self):
+        assert JobConf().get_num_reduce_tasks() == 1
+
+
+class TestCounters:
+    def test_enum_addressing(self):
+        counters = Counters()
+        counters.increment(TaskCounter.MAP_INPUT_RECORDS, 3)
+        counters.increment(TaskCounter.MAP_INPUT_RECORDS, 2)
+        assert counters.value(TaskCounter.MAP_INPUT_RECORDS) == 5
+
+    def test_string_addressing(self):
+        counters = Counters()
+        counters.increment("my.group", "events", 4)
+        assert counters.value("my.group", "events") == 4
+        assert counters.value("my.group", "absent") == 0
+
+    def test_find_counter_creates(self):
+        counters = Counters()
+        counter = counters.find_counter("g", "c")
+        counter.increment(10)
+        assert counters.value("g", "c") == 10
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.increment(JobCounter.TOTAL_LAUNCHED_MAPS, 2)
+        b.increment(JobCounter.TOTAL_LAUNCHED_MAPS, 3)
+        b.increment(FileSystemCounter.BYTES_READ, 100)
+        a.merge(b)
+        assert a.value(JobCounter.TOTAL_LAUNCHED_MAPS) == 5
+        assert a.value(FileSystemCounter.BYTES_READ) == 100
+
+    def test_groups_are_separate(self):
+        counters = Counters()
+        counters.increment("g1", "x", 1)
+        counters.increment("g2", "x", 2)
+        assert counters.group("g1") == {"x": 1}
+        assert counters.group("g2") == {"x": 2}
+
+    def test_as_dict(self):
+        counters = Counters()
+        counters.increment("g", "c", 7)
+        assert counters.as_dict() == {"g": {"c": 7}}
+
+    def test_type_errors(self):
+        counters = Counters()
+        with pytest.raises(TypeError):
+            counters.increment(TaskCounter.MAP_INPUT_RECORDS, "name")
+        with pytest.raises(TypeError):
+            counters.increment("group", 3)

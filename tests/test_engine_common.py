@@ -1,0 +1,199 @@
+"""Engine-shared machinery: collectors, readers, record policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.conf import JobConf
+from repro.api.counters import Counters, TaskCounter
+from repro.api.formats import SequenceFileOutputFormat
+from repro.api.job import JobSpec
+from repro.api.mapred import Reporter
+from repro.api.partitioner import HashPartitioner, Partitioner
+from repro.api.writables import IntWritable, Text
+from repro.apps.wordcount import SumReducer
+from repro.engine_common import (
+    CollectorSink,
+    CountingReader,
+    EngineResult,
+    MaterializedReader,
+    PartitionBuffer,
+    WriterCollector,
+    pair_bytes,
+    pairs_bytes,
+    run_combiner_if_any,
+)
+from repro.sim.metrics import Metrics
+
+
+PAIRS = [(IntWritable(i), Text(f"value-{i}")) for i in range(6)]
+
+
+class TestByteHelpers:
+    def test_pair_bytes_matches_wire_sizes(self):
+        key, value = IntWritable(1), Text("abc")
+        measured = pair_bytes(key, value)
+        assert measured >= key.serialized_size() + value.serialized_size()
+
+    def test_pairs_bytes_sums(self):
+        assert pairs_bytes(PAIRS) == sum(pair_bytes(k, v) for k, v in PAIRS)
+        assert pairs_bytes([]) == 0
+
+
+class TestReaders:
+    def test_counting_reader_counts(self):
+        counters = Counters()
+        reader = CountingReader(MaterializedReader(PAIRS), counters)
+        consumed = list(iter(reader.next_pair, None))
+        assert len(consumed) == 6
+        assert reader.records == 6
+        assert counters.value(TaskCounter.MAP_INPUT_RECORDS) == 6
+
+    def test_materialized_reader_alias_mode(self):
+        reader = MaterializedReader(PAIRS, clone=False)
+        key, value = reader.next_pair()
+        assert value is PAIRS[0][1]
+
+    def test_materialized_reader_clone_mode(self):
+        reader = MaterializedReader(PAIRS, clone=True)
+        key, value = reader.next_pair()
+        assert value == PAIRS[0][1] and value is not PAIRS[0][1]
+        value.set("mutated")
+        assert PAIRS[0][1].to_string() == "value-0"
+
+    def test_progress(self):
+        reader = MaterializedReader(PAIRS[:2])
+        assert reader.get_progress() == 0.0
+        reader.next_pair()
+        assert reader.get_progress() == 0.5
+        assert MaterializedReader([]).get_progress() == 1.0
+
+
+class TestCollectorSink:
+    def test_partitioning(self):
+        sink = CollectorSink(3, HashPartitioner(), Counters())
+        for key, value in PAIRS:
+            sink.collect(key, value)
+        assert sum(len(b.pairs) for b in sink.partitions) == 6
+        assert sink.records == 6
+        assert sink.bytes == pairs_bytes(PAIRS)
+
+    def test_serialize_policy_snapshots(self):
+        sink = CollectorSink(1, None, Counters(), record_policy="serialize")
+        reused = Text("before")
+        sink.collect(IntWritable(1), reused)
+        reused.set("after")
+        assert sink.partitions[0].pairs[0][1].to_string() == "before"
+        assert sink.copied_records == 1
+
+    def test_alias_policy_keeps_references(self):
+        sink = CollectorSink(1, None, Counters(), record_policy="alias")
+        value = Text("shared")
+        sink.collect(IntWritable(1), value)
+        assert sink.partitions[0].pairs[0][1] is value
+        assert sink.copied_records == 0
+
+    def test_counters_updated(self):
+        counters = Counters()
+        sink = CollectorSink(1, None, counters)
+        sink.collect(IntWritable(1), Text("x"))
+        assert counters.value(TaskCounter.MAP_OUTPUT_RECORDS) == 1
+        assert counters.value(TaskCounter.MAP_OUTPUT_BYTES) > 0
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            CollectorSink(1, None, Counters(), record_policy="weird")
+        with pytest.raises(ValueError):
+            CollectorSink(0, None, Counters())
+
+    def test_out_of_range_partitioner_detected(self):
+        class Broken(Partitioner):
+            def get_partition(self, key, value, n):
+                return n + 5
+
+        sink = CollectorSink(2, Broken(), Counters())
+        with pytest.raises(ValueError):
+            sink.collect(IntWritable(1), Text("x"))
+
+
+class TestWriterCollector:
+    class _Writer:
+        def __init__(self):
+            self.pairs = []
+
+        def write(self, key, value):
+            self.pairs.append((key, value))
+
+    def test_writes_through_with_policy(self):
+        writer = self._Writer()
+        counters = Counters()
+        sink = WriterCollector(writer, counters, record_policy="serialize")
+        reused = Text("v")
+        sink.collect(IntWritable(1), reused)
+        reused.set("changed")
+        assert writer.pairs[0][1].to_string() == "v"
+        assert counters.value(TaskCounter.REDUCE_OUTPUT_RECORDS) == 1
+
+    def test_on_write_hook(self):
+        seen = []
+        sink = WriterCollector(
+            self._Writer(), Counters(), record_policy="alias",
+            on_write=lambda k, v, n: seen.append((k, v, n)),
+        )
+        sink.collect(IntWritable(1), Text("x"))
+        assert len(seen) == 1 and seen[0][2] > 0
+
+
+class TestCombinerHelper:
+    def make_spec(self, with_combiner=True):
+        conf = JobConf()
+        conf.set_input_paths("/in")
+        conf.set_output_path("/out")
+        if with_combiner:
+            conf.set_combiner_class(SumReducer)
+        return JobSpec.from_conf(conf)
+
+    def test_combiner_compresses_buffer(self):
+        spec = self.make_spec()
+        buffer = PartitionBuffer()
+        for word in ("a", "b", "a", "a", "b"):
+            key, value = Text(word), IntWritable(1)
+            buffer.append(key, value, pair_bytes(key, value))
+        combined = run_combiner_if_any(
+            spec, buffer, Counters(), Reporter(), "serialize"
+        )
+        counts = {str(k): v.get() for k, v in combined.pairs}
+        assert counts == {"a": 3, "b": 2}
+        assert len(combined.pairs) < len(buffer.pairs)
+
+    def test_no_combiner_passthrough(self):
+        spec = self.make_spec(with_combiner=False)
+        buffer = PartitionBuffer()
+        buffer.append(Text("a"), IntWritable(1), 4)
+        result = run_combiner_if_any(spec, buffer, Counters(), Reporter(), "alias")
+        assert result is buffer
+
+    def test_empty_buffer_passthrough(self):
+        spec = self.make_spec()
+        buffer = PartitionBuffer()
+        assert run_combiner_if_any(spec, buffer, Counters(), Reporter(),
+                                   "alias") is buffer
+
+    def test_combiner_counters(self):
+        spec = self.make_spec()
+        counters = Counters()
+        buffer = PartitionBuffer()
+        for word in ("x", "x", "y"):
+            buffer.append(Text(word), IntWritable(1), 4)
+        run_combiner_if_any(spec, buffer, counters, Reporter(), "serialize")
+        assert counters.value(TaskCounter.COMBINE_INPUT_RECORDS) == 3
+        assert counters.value(TaskCounter.COMBINE_OUTPUT_RECORDS) == 2
+
+
+class TestEngineResult:
+    def test_repr_shows_status(self):
+        ok = EngineResult("j", "m3r", True, 1.5, Counters(), Metrics())
+        bad = EngineResult("j", "m3r", False, 0.0, Counters(), Metrics(),
+                           error="boom")
+        assert "ok" in repr(ok)
+        assert "FAILED" in repr(bad)

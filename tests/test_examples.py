@@ -1,0 +1,33 @@
+"""Every example script must run clean end to end (they are the quickstart
+documentation; a broken example is a broken README)."""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} printed nothing"
+
+
+def test_expected_examples_present():
+    assert {
+        "quickstart.py",
+        "pagerank_matvec.py",
+        "sysml_analytics.py",
+        "pig_etl.py",
+        "cache_management.py",
+        "failure_semantics.py",
+        "matrix_library.py",
+        "bigsheets_server.py",
+    } <= set(EXAMPLES)

@@ -1,0 +1,200 @@
+"""Input/output formats: split computation, Hadoop line semantics, writers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.conf import JobConf
+from repro.api.formats import (
+    FileOutputFormat,
+    KeyValueTextInputFormat,
+    NullOutputFormat,
+    SequenceFileInputFormat,
+    SequenceFileOutputFormat,
+    TextInputFormat,
+    TextOutputFormat,
+)
+from repro.api.mapred import Reporter
+from repro.api.splits import FileSplit
+from repro.api.writables import IntWritable, NullWritable, Text
+from repro.fs import InMemoryFileSystem
+
+
+@pytest.fixture
+def fs():
+    return InMemoryFileSystem()
+
+
+def read_all_lines(fs, conf, num_splits):
+    fmt = TextInputFormat()
+    splits = fmt.get_splits(fs, conf, num_splits)
+    pairs = []
+    for split in splits:
+        pairs.extend(fmt.get_record_reader(fs, split, conf, Reporter()))
+    return splits, pairs
+
+
+class TestTextInput:
+    def test_every_line_exactly_once(self, fs):
+        text = "\n".join(f"line {i}" for i in range(50)) + "\n"
+        fs.write_text("/in.txt", text)
+        conf = JobConf()
+        conf.set_input_paths("/in.txt")
+        for num_splits in (1, 2, 3, 7, 50):
+            _, pairs = read_all_lines(fs, conf, num_splits)
+            assert [v.to_string() for _, v in pairs] != []
+            assert sorted(v.to_string() for _, v in pairs) == sorted(
+                f"line {i}" for i in range(50)
+            )
+
+    def test_keys_are_byte_offsets(self, fs):
+        fs.write_text("/in.txt", "ab\ncd\n")
+        conf = JobConf()
+        conf.set_input_paths("/in.txt")
+        _, pairs = read_all_lines(fs, conf, 1)
+        assert [(k.get(), v.to_string()) for k, v in pairs] == [(0, "ab"), (3, "cd")]
+
+    def test_no_trailing_newline(self, fs):
+        fs.write_text("/in.txt", "one\ntwo")
+        conf = JobConf()
+        conf.set_input_paths("/in.txt")
+        _, pairs = read_all_lines(fs, conf, 2)
+        assert sorted(v.to_string() for _, v in pairs) == ["one", "two"]
+
+    def test_empty_file(self, fs):
+        fs.write_text("/in.txt", "")
+        conf = JobConf()
+        conf.set_input_paths("/in.txt")
+        splits, pairs = read_all_lines(fs, conf, 3)
+        assert pairs == []
+
+    def test_directory_input_expands_files(self, fs):
+        fs.write_text("/dir/a.txt", "a\n")
+        fs.write_text("/dir/b.txt", "b\n")
+        fs.write_text("/dir/_hidden", "x\n")
+        fs.write_text("/dir/.meta", "y\n")
+        conf = JobConf()
+        conf.set_input_paths("/dir")
+        _, pairs = read_all_lines(fs, conf, 2)
+        assert sorted(v.to_string() for _, v in pairs) == ["a", "b"]
+
+    def test_missing_input_raises(self, fs):
+        conf = JobConf()
+        conf.set_input_paths("/nope")
+        with pytest.raises(FileNotFoundError):
+            TextInputFormat().get_splits(fs, conf, 1)
+
+    @given(
+        st.lists(
+            st.text(
+                alphabet=st.characters(blacklist_characters="\n\r", min_codepoint=32,
+                                       max_codepoint=0x2FA0),
+                max_size=30,
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=60)
+    def test_split_invariance_property(self, lines, num_splits):
+        """Any split count yields exactly the original lines (Hadoop's
+        first-byte-owns-the-record rule)."""
+        fs = InMemoryFileSystem()
+        fs.write_text("/in.txt", "\n".join(lines) + "\n")
+        conf = JobConf()
+        conf.set_input_paths("/in.txt")
+        _, pairs = read_all_lines(fs, conf, num_splits)
+        assert sorted(v.to_string() for _, v in pairs) == sorted(lines)
+
+
+class TestKeyValueTextInput:
+    def test_splits_at_first_tab(self, fs):
+        fs.write_text("/kv.txt", "k1\tv1\nk2\tv2a\tv2b\nnokey\n")
+        conf = JobConf()
+        conf.set_input_paths("/kv.txt")
+        fmt = KeyValueTextInputFormat()
+        splits = fmt.get_splits(fs, conf, 1)
+        pairs = list(fmt.get_record_reader(fs, splits[0], conf, Reporter()))
+        rendered = [(k.to_string(), v.to_string()) for k, v in pairs]
+        assert rendered == [("k1", "v1"), ("k2", "v2a\tv2b"), ("nokey", "")]
+
+
+class TestSequenceFiles:
+    def test_roundtrip(self, fs):
+        pairs = [(IntWritable(i), Text(f"v{i}")) for i in range(10)]
+        fs.write_pairs("/seq", pairs)
+        conf = JobConf()
+        conf.set_input_paths("/seq")
+        fmt = SequenceFileInputFormat()
+        splits = fmt.get_splits(fs, conf, 4)
+        assert len(splits) == 1  # not splitable
+        back = list(fmt.get_record_reader(fs, splits[0], conf, Reporter()))
+        assert back == pairs
+
+    def test_reader_clones_storage(self, fs):
+        """Mutating what the reader hands out must not corrupt the file."""
+        fs.write_pairs("/seq", [(IntWritable(1), Text("original"))])
+        conf = JobConf()
+        conf.set_input_paths("/seq")
+        fmt = SequenceFileInputFormat()
+        split = fmt.get_splits(fs, conf, 1)[0]
+        key, value = fmt.get_record_reader(fs, split, conf, Reporter()).next_pair()
+        value.set("mutated")
+        assert fs.read_pairs("/seq")[0][1].to_string() == "original"
+
+    def test_directory_of_part_files(self, fs):
+        fs.write_pairs("/d/part-00000", [(IntWritable(0), Text("a"))])
+        fs.write_pairs("/d/part-00001", [(IntWritable(1), Text("b"))])
+        conf = JobConf()
+        conf.set_input_paths("/d")
+        fmt = SequenceFileInputFormat()
+        splits = fmt.get_splits(fs, conf, 1)
+        assert len(splits) == 2
+
+    def test_writer(self, fs):
+        conf = JobConf()
+        conf.set_output_path("/out")
+        writer = SequenceFileOutputFormat().get_record_writer(
+            fs, conf, "part-00000", Reporter()
+        )
+        writer.write(IntWritable(1), Text("x"))
+        writer.close()
+        assert fs.read_pairs("/out/part-00000") == [(IntWritable(1), Text("x"))]
+
+
+class TestOutputFormats:
+    def test_check_output_specs_refuses_existing(self, fs):
+        fs.mkdirs("/out")
+        conf = JobConf()
+        conf.set_output_path("/out")
+        with pytest.raises(FileExistsError):
+            SequenceFileOutputFormat().check_output_specs(fs, conf)
+
+    def test_check_output_specs_requires_path(self, fs):
+        with pytest.raises(ValueError):
+            SequenceFileOutputFormat().check_output_specs(fs, JobConf())
+
+    def test_text_output_separators(self, fs):
+        conf = JobConf()
+        conf.set_output_path("/out")
+        writer = TextOutputFormat().get_record_writer(fs, conf, "part-00000", Reporter())
+        writer.write(Text("k"), Text("v"))
+        writer.write(NullWritable.get(), Text("only value"))
+        writer.write(Text("only key"), NullWritable.get())
+        writer.close()
+        assert fs.read_text("/out/part-00000") == "k\tv\nonly value\nonly key\n"
+
+    def test_null_output_discards(self, fs):
+        writer = NullOutputFormat().get_record_writer(fs, JobConf(), "x", Reporter())
+        writer.write(Text("k"), Text("v"))
+        writer.close()
+        assert fs.total_bytes() == 0
+
+    def test_part_naming(self):
+        assert FileOutputFormat.part_name(3) == "part-00003"
+        conf = JobConf()
+        conf.set_output_path("/out/")
+        assert FileOutputFormat.part_path(conf, 12) == "/out/part-00012"

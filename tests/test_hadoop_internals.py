@@ -1,0 +1,147 @@
+"""Hadoop engine internals: spills, merges, locality accounting, slots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.conf import JobConf
+from repro.api.counters import JobCounter, TaskCounter
+from repro.api.formats import SequenceFileInputFormat, SequenceFileOutputFormat
+from repro.api.mapred import IdentityMapper, IdentityReducer
+from repro.api.writables import BytesWritable, IntWritable, Text
+from repro.apps.wordcount import generate_text, wordcount_job
+from repro.hadoop_engine.engine import DEFAULT_SORT_BUFFER, SORT_BUFFER_KEY
+
+from conftest import make_hadoop
+
+
+def identity_conf(src, dst, reducers=2):
+    conf = JobConf()
+    conf.set_input_paths(src)
+    conf.set_input_format(SequenceFileInputFormat)
+    conf.set_mapper_class(IdentityMapper)
+    conf.set_reducer_class(IdentityReducer)
+    conf.set_output_format(SequenceFileOutputFormat)
+    conf.set_output_path(dst)
+    conf.set_num_reduce_tasks(reducers)
+    return conf
+
+
+class TestSpillAndMerge:
+    def test_small_sort_buffer_triggers_merge_passes(self):
+        """Map output larger than io.sort.mb spills repeatedly and pays an
+        on-disk merge of the spill files."""
+        pairs = [(IntWritable(i), BytesWritable(bytes(512))) for i in range(100)]
+
+        def run(sort_buffer):
+            engine = make_hadoop()
+            engine.filesystem.write_pairs("/in/part-00000", pairs)
+            conf = identity_conf("/in", "/out")
+            conf.set_int(SORT_BUFFER_KEY, sort_buffer)
+            result = engine.run_job(conf)
+            assert result.succeeded, result.error
+            return result
+
+        roomy = run(DEFAULT_SORT_BUFFER)
+        cramped = run(2048)  # forces many spills per map task
+        assert cramped.metrics.time.get("merge") > roomy.metrics.time.get("merge")
+        assert cramped.simulated_seconds > roomy.simulated_seconds
+        # outputs identical either way
+        assert roomy.counters.value(TaskCounter.SPILLED_RECORDS) == (
+            cramped.counters.value(TaskCounter.SPILLED_RECORDS)
+        )
+
+    def test_shuffle_bytes_counter(self):
+        engine = make_hadoop()
+        pairs = [(IntWritable(i), BytesWritable(bytes(256))) for i in range(50)]
+        engine.filesystem.write_pairs("/in/part-00000", pairs)
+        result = engine.run_job(identity_conf("/in", "/out", reducers=4))
+        shuffled = result.counters.value(TaskCounter.REDUCE_SHUFFLE_BYTES)
+        assert shuffled >= 50 * 256
+
+    def test_spilled_records_counter(self):
+        engine = make_hadoop()
+        engine.filesystem.write_text("/in.txt", generate_text(100))
+        result = engine.run_job(
+            wordcount_job("/in.txt", "/out", 4, use_combiner=False)
+        )
+        assert result.counters.value(TaskCounter.SPILLED_RECORDS) == (
+            result.counters.value(TaskCounter.MAP_OUTPUT_RECORDS)
+        )
+
+    def test_combiner_reduces_spill(self):
+        text = generate_text(200)
+        results = {}
+        for use_combiner in (True, False):
+            engine = make_hadoop()
+            engine.filesystem.write_text("/in.txt", text)
+            results[use_combiner] = engine.run_job(
+                wordcount_job("/in.txt", "/out", 4, use_combiner=use_combiner)
+            )
+        with_c, without_c = results[True], results[False]
+        assert with_c.counters.value(TaskCounter.SPILLED_RECORDS) < (
+            without_c.counters.value(TaskCounter.SPILLED_RECORDS)
+        )
+        assert with_c.counters.value(TaskCounter.REDUCE_SHUFFLE_BYTES) < (
+            without_c.counters.value(TaskCounter.REDUCE_SHUFFLE_BYTES)
+        )
+        # same final answer regardless
+        assert (
+            with_c.counters.value(TaskCounter.REDUCE_OUTPUT_RECORDS)
+            == without_c.counters.value(TaskCounter.REDUCE_OUTPUT_RECORDS)
+        )
+
+
+class TestLocalityAccounting:
+    def test_data_local_maps_counted(self):
+        engine = make_hadoop()
+        # Input written with an explicit home node: its block locations make
+        # the map placement data-local.
+        pairs = [(IntWritable(i), Text("x" * 50)) for i in range(40)]
+        engine.filesystem.write_pairs("/in/part-00000", pairs, at_node=2)
+        result = engine.run_job(identity_conf("/in", "/out"))
+        launched = result.counters.value(JobCounter.TOTAL_LAUNCHED_MAPS)
+        local = result.counters.value(JobCounter.DATA_LOCAL_MAPS)
+        assert launched >= 1
+        assert 0 <= local <= launched
+
+    def test_remote_read_charged_when_not_local(self):
+        """A single-replica file on one node read by many mappers: at most
+        the local ones avoid the network."""
+        engine = make_hadoop()
+        pairs = [(IntWritable(i), BytesWritable(bytes(1024))) for i in range(64)]
+        # replication=2 on the fixture HDFS; write at node 0
+        engine.filesystem.write_pairs("/in/part-00000", pairs, at_node=0)
+        result = engine.run_job(identity_conf("/in", "/out"))
+        assert result.succeeded
+        # network time appears either in shuffle or remote reads
+        assert result.metrics.time.get("network") >= 0
+
+
+class TestSlots:
+    def test_more_slots_shorter_map_phase(self):
+        pairs_per_file = 30
+        files = 8
+
+        def run(map_slots):
+            engine = make_hadoop(map_slots_per_node=map_slots)
+            for i in range(files):
+                engine.filesystem.write_pairs(
+                    f"/in/part-{i:05d}",
+                    [(IntWritable(j), BytesWritable(bytes(4096)))
+                     for j in range(pairs_per_file)],
+                    at_node=0,  # all on one node: slot count matters
+                )
+            result = engine.run_job(identity_conf("/in", "/out"))
+            assert result.succeeded
+            return result.simulated_seconds
+
+        assert run(map_slots=1) > run(map_slots=8)
+
+    def test_single_slot_serializes_tasks(self):
+        engine = make_hadoop(map_slots_per_node=1, reduce_slots_per_node=1)
+        engine.filesystem.write_text("/in.txt", generate_text(50))
+        result = engine.run_job(wordcount_job("/in.txt", "/out", 4))
+        assert result.succeeded
+        # with one reduce slot per node, 4 reducers over 4 nodes still work
+        assert result.counters.value(JobCounter.TOTAL_LAUNCHED_REDUCES) == 4

@@ -1,0 +1,177 @@
+"""Long multi-job integration pipelines and cross-layer invariants.
+
+These tests run realistic job sequences on one long-lived M3R instance —
+the deployment shape the paper targets — and check the invariants that
+only show up across many jobs: cache bookkeeping, namespace coherence,
+determinism of simulated time, and mixed-workload coexistence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.conf import JobConf
+from repro.api.formats import SequenceFileInputFormat, SequenceFileOutputFormat
+from repro.api.writables import IntWritable, Text
+from repro.apps.microbenchmark import (
+    generate_input,
+    microbenchmark_job,
+    run_microbenchmark,
+)
+from repro.apps.wordcount import generate_text, wordcount_job
+from repro.mrlib import MatrixContext
+from repro.pig import PigRunner
+from repro.sysml import run_script
+from repro.sysml import scripts as dml
+
+from conftest import make_hadoop, make_m3r
+
+
+def cache_invariants(engine) -> None:
+    """Invariants that must hold after any job on an M3R engine."""
+    total = 0
+    for entry in engine.cache.entries():
+        assert 0 <= entry.place_id < engine.num_places
+        assert entry.records == len(entry.pairs)
+        assert entry.nbytes >= 0
+        total += entry.nbytes
+        # every cached path is visible through the filesystem view
+        assert engine.filesystem.exists(entry.path), entry.path
+    assert engine.cache.total_bytes() == total
+    assert sum(
+        engine.cache.bytes_at_place(p) for p in range(engine.num_places)
+    ) == total
+
+
+class TestLongSequences:
+    def test_ten_chained_identity_jobs(self):
+        engine = make_m3r()
+        generate_input(engine.filesystem, "/chain/in", 60, 64, 4)
+        current = "/chain/in"
+        for step in range(10):
+            nxt = f"/chain/temp-{step}"
+            result = engine.run_job(microbenchmark_job(current, nxt, 30, 4,
+                                                       seed=step))
+            assert result.succeeded, result.error
+            cache_invariants(engine)
+            if step > 0:
+                # chained steps run fully out of memory
+                assert result.metrics.time.get("disk_read") == 0.0
+            engine.filesystem.delete(current, recursive=True)
+            cache_invariants(engine)
+            current = nxt
+        assert len(engine.filesystem.read_kv_pairs(current)) == 60
+
+    def test_mixed_workloads_share_one_engine(self):
+        """WordCount, Pig and SystemML coexisting on the same places."""
+        engine = make_m3r()
+        engine.filesystem.write_text("/w/in.txt", generate_text(80))
+        assert engine.run_job(wordcount_job("/w/in.txt", "/w/out", 4)).succeeded
+        cache_invariants(engine)
+
+        engine.filesystem.write_text("/p/data.txt", "a\t1\nb\t2\na\t3\n")
+        runner = PigRunner(engine, num_reducers=4)
+        runner.run("r = LOAD '/p/data.txt' AS (k, v);"
+                   " g = GROUP r BY k;"
+                   " s = FOREACH g GENERATE group, SUM(r.v) AS t;"
+                   " STORE s INTO '/p/out';")
+        assert sorted(runner.read_output("/p/out")) == ["a\t4", "b\t2"]
+        cache_invariants(engine)
+
+        inputs = dml.pagerank_inputs(engine.filesystem, 60, 30,
+                                     sparsity=0.1, num_partitions=4)
+        _, runtime = run_script(dml.with_iterations(dml.PAGERANK_SCRIPT, 1),
+                                engine, inputs=inputs, block_size=30,
+                                num_reducers=4)
+        assert runtime.jobs_run > 0
+        cache_invariants(engine)
+
+        ctx = MatrixContext(engine, block_size=5, num_partitions=4)
+        a = np.eye(10)
+        A = ctx.from_numpy("/mat/a", a)
+        assert np.allclose((A @ A).to_numpy(), a)
+        cache_invariants(engine)
+
+    def test_simulated_time_is_deterministic_across_runs(self):
+        def pipeline_seconds():
+            engine = make_m3r()
+            engine.filesystem.write_text("/in.txt", generate_text(120))
+            total = engine.run_job(
+                wordcount_job("/in.txt", "/out1", 4)
+            ).simulated_seconds
+            generate_input(engine.filesystem, "/m/in", 80, 128, 4)
+            result = run_microbenchmark(engine, 30, num_pairs=80,
+                                        value_bytes=128, num_reducers=4,
+                                        base_path="/m2")
+            return total + sum(result.iteration_seconds)
+
+        assert pipeline_seconds() == pipeline_seconds()
+
+    def test_cache_never_leaks_deleted_paths(self):
+        engine = make_m3r()
+        for round_number in range(5):
+            generate_input(engine.filesystem, f"/r{round_number}/in", 40, 64, 4)
+            result = engine.run_job(
+                microbenchmark_job(f"/r{round_number}/in",
+                                   f"/r{round_number}/temp-out", 0, 4)
+            )
+            assert result.succeeded
+            engine.filesystem.delete(f"/r{round_number}", recursive=True)
+            assert not engine.cache.contains_path(f"/r{round_number}/in")
+            assert not engine.cache.contains_path(f"/r{round_number}/temp-out")
+        assert engine.cache.total_bytes() == 0
+
+    def test_rename_moves_cache_with_namespace(self):
+        engine = make_m3r()
+        generate_input(engine.filesystem, "/old/in", 40, 64, 4)
+        assert engine.run_job(
+            microbenchmark_job("/old/in", "/old/temp-out", 0, 4)
+        ).succeeded
+        engine.filesystem.rename("/old", "/new")
+        assert engine.cache.contains_path("/new/temp-out/part-00000")
+        assert not engine.cache.contains_path("/old/temp-out/part-00000")
+        # The renamed temp output feeds a follow-up job from memory.
+        follow = engine.run_job(microbenchmark_job("/new/temp-out", "/fin", 0, 4))
+        assert follow.succeeded
+        assert follow.metrics.get("cache_hits") == 4
+
+
+class TestHadoopLongSequences:
+    def test_ten_jobs_constant_overhead_each(self):
+        """The baseline pays its fixed costs on every single job."""
+        engine = make_hadoop()
+        generate_input(engine.filesystem, "/chain/in", 40, 64, 4)
+        seconds = []
+        current = "/chain/in"
+        for step in range(10):
+            nxt = f"/chain/out-{step}"
+            result = engine.run_job(microbenchmark_job(current, nxt, 30, 4,
+                                                       seed=step))
+            assert result.succeeded
+            seconds.append(result.simulated_seconds)
+            current = nxt
+        # every job pays at least submission + cleanup
+        assert all(s > 8.0 for s in seconds)
+
+
+@given(st.integers(0, 100), st.integers(2, 5))
+@settings(max_examples=15, deadline=None)
+def test_microbenchmark_equivalence_property(remote, reducers):
+    """For any remote fraction and reducer count, both engines produce the
+    same multiset of output pairs."""
+    outputs = {}
+    for factory in (make_hadoop, make_m3r):
+        engine = factory()
+        generate_input(engine.filesystem, "/in", 30, 16, reducers)
+        result = engine.run_job(
+            microbenchmark_job("/in", "/out", remote, reducers)
+        )
+        assert result.succeeded, result.error
+        outputs[factory.__name__] = sorted(
+            (k.get(), v.get_bytes())
+            for k, v in engine.filesystem.read_kv_pairs("/out")
+        )
+    assert outputs["make_hadoop"] == outputs["make_m3r"]

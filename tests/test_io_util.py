@@ -1,0 +1,108 @@
+"""Byte-level I/O buffers: the Hadoop wire conventions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.io_util import DataInputBuffer, DataOutputBuffer, vint_size
+
+
+class TestPrimitives:
+    def test_int_is_big_endian(self):
+        out = DataOutputBuffer()
+        out.write_int(1)
+        assert out.to_bytes() == b"\x00\x00\x00\x01"
+
+    def test_long_roundtrip(self):
+        out = DataOutputBuffer()
+        out.write_long(-(2**40))
+        assert DataInputBuffer(out.to_bytes()).read_long() == -(2**40)
+
+    def test_double_roundtrip(self):
+        out = DataOutputBuffer()
+        out.write_double(3.141592653589793)
+        assert DataInputBuffer(out.to_bytes()).read_double() == 3.141592653589793
+
+    def test_boolean(self):
+        out = DataOutputBuffer()
+        out.write_boolean(True)
+        out.write_boolean(False)
+        inp = DataInputBuffer(out.to_bytes())
+        assert inp.read_boolean() is True
+        assert inp.read_boolean() is False
+
+    def test_byte_masking(self):
+        out = DataOutputBuffer()
+        out.write_byte(0x1FF)
+        assert DataInputBuffer(out.to_bytes()).read_byte() == 0xFF
+
+    def test_mixed_sequence(self):
+        out = DataOutputBuffer()
+        out.write_int(7)
+        out.write_utf("hi")
+        out.write_double(1.5)
+        inp = DataInputBuffer(out.to_bytes())
+        assert inp.read_int() == 7
+        assert inp.read_utf() == "hi"
+        assert inp.read_double() == 1.5
+        assert inp.remaining == 0
+
+    def test_eof_raises(self):
+        inp = DataInputBuffer(b"\x00")
+        with pytest.raises(EOFError):
+            inp.read_int()
+
+    def test_len(self):
+        out = DataOutputBuffer()
+        out.write_int(1)
+        assert len(out) == 4
+
+
+class TestVLong:
+    @pytest.mark.parametrize(
+        "value", [0, 1, -1, 127, -112, 128, -113, 255, 256, 2**31, -(2**31), 2**62]
+    )
+    def test_roundtrip(self, value):
+        out = DataOutputBuffer()
+        out.write_vlong(value)
+        assert DataInputBuffer(out.to_bytes()).read_vlong() == value
+
+    def test_single_byte_range(self):
+        # Hadoop encodes [-112, 127] in one byte.
+        for value in (-112, 0, 127):
+            out = DataOutputBuffer()
+            out.write_vlong(value)
+            assert len(out.to_bytes()) == 1
+
+    def test_vint_size_matches_encoding(self):
+        for value in (-(2**40), -300, -113, -112, 0, 127, 128, 5000, 2**33):
+            out = DataOutputBuffer()
+            out.write_vlong(value)
+            assert len(out.to_bytes()) == vint_size(value), value
+
+    @given(st.integers(min_value=-(2**63) + 1, max_value=2**63 - 1))
+    @settings(max_examples=300)
+    def test_roundtrip_property(self, value):
+        out = DataOutputBuffer()
+        out.write_vlong(value)
+        encoded = out.to_bytes()
+        assert len(encoded) == vint_size(value)
+        assert DataInputBuffer(encoded).read_vlong() == value
+
+
+class TestUtf:
+    @given(st.text(max_size=300))
+    @settings(max_examples=150)
+    def test_roundtrip_property(self, text):
+        out = DataOutputBuffer()
+        out.write_utf(text)
+        assert DataInputBuffer(out.to_bytes()).read_utf() == text
+
+    def test_concatenated_strings(self):
+        out = DataOutputBuffer()
+        for word in ("a", "", "bc", "ßü"):
+            out.write_utf(word)
+        inp = DataInputBuffer(out.to_bytes())
+        assert [inp.read_utf() for _ in range(4)] == ["a", "", "bc", "ßü"]

@@ -1,0 +1,115 @@
+"""Integrated mode and server mode (paper Section 5.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.conf import JobConf
+from repro.api.extensions import FORCE_HADOOP_ENGINE_KEY
+from repro.api.job import JobSequence
+from repro.apps.wordcount import generate_text, wordcount_job
+from repro.core import IntegratedJobClient, M3RServer
+from repro.fs import SimulatedHDFS
+from repro.sim import Cluster
+
+from repro import hadoop_engine, m3r_engine
+
+
+@pytest.fixture
+def shared_pair():
+    """M3R and Hadoop engines sharing one filesystem (integrated mode)."""
+    fs = SimulatedHDFS(Cluster(4), block_size=64 * 1024)
+    m3r = m3r_engine(filesystem=fs)
+    hadoop = hadoop_engine(filesystem=fs)
+    m3r.filesystem.write_text("/in.txt", generate_text(80))
+    return m3r, hadoop
+
+
+class TestIntegratedMode:
+    def test_jobs_redirected_to_m3r(self, shared_pair):
+        m3r, hadoop = shared_pair
+        client = IntegratedJobClient(m3r, hadoop=hadoop)
+        result = client.submit_job(wordcount_job("/in.txt", "/out", 4))
+        assert result.engine == "m3r"
+        assert result.succeeded
+
+    def test_force_hadoop_property(self, shared_pair):
+        m3r, hadoop = shared_pair
+        client = IntegratedJobClient(m3r, hadoop=hadoop)
+        conf = wordcount_job("/in.txt", "/out", 4)
+        conf.set_boolean(FORCE_HADOOP_ENGINE_KEY, True)
+        result = client.submit_job(conf)
+        assert result.engine == "hadoop"
+        assert result.succeeded
+
+    def test_force_hadoop_without_fallback_raises(self, shared_pair):
+        m3r, _ = shared_pair
+        client = IntegratedJobClient(m3r)
+        conf = wordcount_job("/in.txt", "/out", 4)
+        conf.set_boolean(FORCE_HADOOP_ENGINE_KEY, True)
+        with pytest.raises(RuntimeError):
+            client.submit_job(conf)
+
+    def test_run_sequence_stops_on_failure(self, shared_pair):
+        m3r, hadoop = shared_pair
+        client = IntegratedJobClient(m3r, hadoop=hadoop)
+        good = wordcount_job("/in.txt", "/out1", 2)
+        bad = wordcount_job("/does-not-exist", "/out2", 2)
+        never = wordcount_job("/in.txt", "/out3", 2)
+        results = client.run_sequence(JobSequence([good, bad, never]))
+        assert len(results) == 2
+        assert results[0].succeeded and not results[1].succeeded
+
+    def test_run_job_alias(self, shared_pair):
+        m3r, hadoop = shared_pair
+        client = IntegratedJobClient(m3r, hadoop=hadoop)
+        assert client.run_job.__func__ is client.submit_job.__func__
+
+
+class TestServerMode:
+    def test_submit_to_bound_port(self, shared_pair):
+        m3r, _ = shared_pair
+        with M3RServer(m3r, port=19001):
+            result = M3RServer.submit_to_port(
+                19001, wordcount_job("/in.txt", "/out", 4)
+            )
+            assert result.engine == "m3r" and result.succeeded
+        # after stop the port is free again
+        with pytest.raises(ConnectionRefusedError):
+            M3RServer.submit_to_port(19001, wordcount_job("/in.txt", "/o2", 2))
+
+    def test_server_replacement_story(self, shared_pair):
+        """The BigSheets swap: stop the Hadoop server, start M3R on the
+        same port; the unmodified client notices nothing."""
+        m3r, hadoop = shared_pair
+        port = 19002
+
+        hadoop_server = M3RServer(hadoop, port=port).start()
+        first = M3RServer.submit_to_port(port, wordcount_job("/in.txt", "/o1", 4))
+        assert first.engine == "hadoop"
+        hadoop_server.stop()
+
+        with M3RServer(m3r, port=port):
+            second = M3RServer.submit_to_port(port, wordcount_job("/in.txt", "/o2", 4))
+            assert second.engine == "m3r"
+        counts = lambda path: dict(
+            (str(k), v.get()) for k, v in m3r.filesystem.read_kv_pairs(path)
+        )
+        assert counts("/o1") == counts("/o2")
+
+    def test_coexisting_servers_on_different_ports(self, shared_pair):
+        m3r, hadoop = shared_pair
+        with M3RServer(hadoop, port=19003), M3RServer(m3r, port=19004):
+            assert M3RServer.submit_to_port(
+                19003, wordcount_job("/in.txt", "/oa", 2)
+            ).engine == "hadoop"
+            assert M3RServer.submit_to_port(
+                19004, wordcount_job("/in.txt", "/ob", 2)
+            ).engine == "m3r"
+            assert M3RServer.bound_ports() == [19003, 19004]
+
+    def test_double_bind_rejected(self, shared_pair):
+        m3r, _ = shared_pair
+        with M3RServer(m3r, port=19005):
+            with pytest.raises(RuntimeError):
+                M3RServer(m3r, port=19005).start()

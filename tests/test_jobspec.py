@@ -1,0 +1,201 @@
+"""JobSpec normalization: API resolution, immutability rules, grouping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.conf import JobConf
+from repro.api.extensions import ImmutableOutput
+from repro.api.formats import SequenceFileInputFormat, SequenceFileOutputFormat
+from repro.api.job import JobSequence, JobSpec
+from repro.api.mapred import (
+    IdentityMapper,
+    IdentityReducer,
+    MapRunnable,
+    Mapper,
+    Reducer,
+)
+from repro.api.mapreduce import Job, NewMapper, NewReducer
+from repro.api.multiple_io import TaggedInputSplit
+from repro.api.partitioner import HashPartitioner
+from repro.api.splits import FileSplit
+from repro.api.writables import IntWritable, Text
+
+
+class ImmMapper(Mapper, ImmutableOutput):
+    pass
+
+
+class PlainMapper(Mapper):
+    pass
+
+
+class ImmNewMapper(NewMapper, ImmutableOutput):
+    pass
+
+
+class ImmReducer(Reducer, ImmutableOutput):
+    pass
+
+
+class ImmRunner(MapRunnable, ImmutableOutput):
+    def __init__(self, mapper):
+        self.mapper = mapper
+
+
+class PlainRunner(MapRunnable):
+    def __init__(self, mapper):
+        self.mapper = mapper
+
+
+def basic_conf(**kwargs):
+    conf = JobConf()
+    conf.set_input_paths("/in")
+    conf.set_output_path("/out")
+    for key, value in kwargs.items():
+        getattr(conf, f"set_{key}")(value)
+    return conf
+
+
+SPLIT = FileSplit("/in/f", 0, 10)
+
+
+class TestResolution:
+    def test_defaults(self):
+        spec = JobSpec.from_conf(basic_conf())
+        assert isinstance(spec.input_format, SequenceFileInputFormat)
+        assert isinstance(spec.output_format, SequenceFileOutputFormat)
+        assert isinstance(spec.partitioner, HashPartitioner)
+        assert spec.num_reducers == 1
+        assert not spec.is_map_only
+        assert spec.resolve_mapper_class(SPLIT) is IdentityMapper
+
+    def test_map_only(self):
+        conf = basic_conf()
+        conf.set_num_reduce_tasks(0)
+        assert JobSpec.from_conf(conf).is_map_only
+
+    def test_new_api_classes_win(self):
+        job = Job()
+        job.conf.set_input_paths("/in")
+        job.set_mapper_class(ImmNewMapper)
+        job.conf.set_mapper_class(PlainMapper)  # old-API setting too
+        spec = JobSpec.from_conf(job.conf)
+        assert spec.mapper_class is ImmNewMapper
+
+    def test_tagged_split_overrides_mapper(self):
+        spec = JobSpec.from_conf(basic_conf(mapper_class=PlainMapper))
+        tagged = TaggedInputSplit(SPLIT, SequenceFileInputFormat, ImmMapper)
+        assert spec.resolve_mapper_class(tagged) is ImmMapper
+        assert spec.resolve_mapper_class(SPLIT) is PlainMapper
+
+
+class TestImmutabilityRules:
+    def test_unmarked_mapper_never_immutable(self):
+        spec = JobSpec.from_conf(basic_conf(mapper_class=PlainMapper))
+        assert not spec.map_output_immutable(SPLIT, fresh_runner=True)
+        assert not spec.map_output_immutable(SPLIT, fresh_runner=False)
+
+    def test_marked_mapper_needs_fresh_runner(self):
+        """Paper Section 4.1: the default MapRunnable breaks the contract;
+        M3R's fresh-object replacement restores it."""
+        spec = JobSpec.from_conf(basic_conf(mapper_class=ImmMapper))
+        assert spec.map_output_immutable(SPLIT, fresh_runner=True)
+        assert not spec.map_output_immutable(SPLIT, fresh_runner=False)
+
+    def test_custom_runner_must_be_marked(self):
+        marked = basic_conf(mapper_class=ImmMapper, map_runner_class=ImmRunner)
+        unmarked = basic_conf(mapper_class=ImmMapper, map_runner_class=PlainRunner)
+        assert JobSpec.from_conf(marked).map_output_immutable(SPLIT, True)
+        assert not JobSpec.from_conf(unmarked).map_output_immutable(SPLIT, True)
+
+    def test_new_api_marker_sufficient(self):
+        conf = basic_conf()
+        job = Job(conf)
+        job.set_mapper_class(ImmNewMapper)
+        spec = JobSpec.from_conf(job.conf)
+        assert spec.map_output_immutable(SPLIT, fresh_runner=False)
+
+    def test_reduce_side(self):
+        marked = JobSpec.from_conf(basic_conf(reducer_class=ImmReducer))
+        unmarked = JobSpec.from_conf(basic_conf(reducer_class=IdentityReducer))
+        none = JobSpec.from_conf(basic_conf())
+        assert marked.reduce_output_immutable()
+        assert not unmarked.reduce_output_immutable()
+        assert not none.reduce_output_immutable()
+
+
+class TestGrouping:
+    def test_group_sorted_pairs_default_equality(self):
+        spec = JobSpec.from_conf(basic_conf())
+        pairs = [
+            (IntWritable(1), Text("a")),
+            (IntWritable(1), Text("b")),
+            (IntWritable(2), Text("c")),
+        ]
+        groups = list(spec.group_sorted_pairs(pairs))
+        assert [(k.get(), len(vs)) for k, vs in groups] == [(1, 2), (2, 1)]
+
+    def test_grouping_comparator_merges_keys(self):
+        class Parity:
+            def compare(self, a, b):
+                return (a.get() % 2) - (b.get() % 2)
+
+        conf = basic_conf()
+        conf.set_output_value_grouping_comparator(Parity)
+        spec = JobSpec.from_conf(conf)
+        pairs = [(IntWritable(k), Text(str(k))) for k in (2, 4, 1, 3)]
+        groups = list(spec.group_sorted_pairs(pairs))
+        assert [len(vs) for _, vs in groups] == [2, 2]
+
+    def test_sort_key_orders_pairs(self):
+        spec = JobSpec.from_conf(basic_conf())
+        pairs = [(IntWritable(3), None), (IntWritable(1), None), (IntWritable(2), None)]
+        ordered = sorted(pairs, key=spec.sort_key())
+        assert [k.get() for k, _ in ordered] == [1, 2, 3]
+
+    def test_empty_group_stream(self):
+        spec = JobSpec.from_conf(basic_conf())
+        assert list(spec.group_sorted_pairs([])) == []
+
+
+class TestDrivers:
+    def test_run_combine_without_combiner_raises(self):
+        spec = JobSpec.from_conf(basic_conf())
+        with pytest.raises(RuntimeError):
+            spec.run_combine([], None, None)
+
+    def test_reduce_without_reducer_is_identity(self):
+        spec = JobSpec.from_conf(basic_conf())
+        collected = []
+
+        class Sink:
+            def collect(self, k, v):
+                collected.append((k, v))
+
+        from repro.api.mapred import Reporter
+
+        spec.run_reduce_task(
+            [(IntWritable(1), [Text("a"), Text("b")])], Sink(), Reporter()
+        )
+        assert len(collected) == 2
+
+
+class TestJobSequence:
+    def test_iteration_and_len(self):
+        seq = JobSequence()
+        seq.add(basic_conf()).add(basic_conf())
+        assert len(seq) == 2
+        assert list(seq)
+
+    def test_run_all_raises_on_failure(self):
+        class FailingEngine:
+            def run_job(self, conf):
+                class R:
+                    succeeded = False
+                    error = "nope"
+
+                return R()
+
+        with pytest.raises(RuntimeError):
+            JobSequence([basic_conf()]).run_all(FailingEngine())

@@ -1,0 +1,161 @@
+"""The new-style ``mapreduce`` API: contexts, lifecycle hooks, Job."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.conf import JobConf, USE_NEW_API_KEY
+from repro.api.job import JobSpec
+from repro.api.mapreduce import (
+    Job,
+    MapContext,
+    NewMapper,
+    NewReducer,
+    ReduceContext,
+)
+from repro.api.writables import IntWritable, Text
+
+
+class TokenizeMapper(NewMapper):
+    def setup(self, context):
+        self.calls = ["setup"]
+
+    def map(self, key, value, context):
+        self.calls.append("map")
+        for token in value.to_string().split():
+            context.write(Text(token), IntWritable(1))
+
+    def cleanup(self, context):
+        self.calls.append("cleanup")
+        context.write(Text("__done__"), IntWritable(0))
+
+
+class SumNewReducer(NewReducer):
+    def reduce(self, key, values, context):
+        context.write(key, IntWritable(sum(v.get() for v in values)))
+
+
+def run_mapper(mapper, records):
+    out = []
+    context = MapContext(JobConf(), iter(records), lambda k, v: out.append((k, v)))
+    mapper.run(context)
+    return out
+
+
+def run_reducer(reducer, groups):
+    out = []
+    context = ReduceContext(JobConf(), iter(groups), lambda k, v: out.append((k, v)))
+    reducer.run(context)
+    return out
+
+
+class TestNewMapper:
+    def test_lifecycle_order(self):
+        mapper = TokenizeMapper()
+        run_mapper(mapper, [(IntWritable(0), Text("a b"))])
+        assert mapper.calls == ["setup", "map", "cleanup"]
+
+    def test_output(self):
+        out = run_mapper(TokenizeMapper(), [(IntWritable(0), Text("x y x"))])
+        words = [str(k) for k, _ in out]
+        assert words == ["x", "y", "x", "__done__"]
+
+    def test_default_map_is_identity(self):
+        out = run_mapper(NewMapper(), [(IntWritable(1), Text("v"))])
+        assert out == [(IntWritable(1), Text("v"))]
+
+    def test_cleanup_runs_after_exception(self):
+        class Exploding(NewMapper):
+            cleaned = False
+
+            def map(self, key, value, context):
+                raise RuntimeError("boom")
+
+            def cleanup(self, context):
+                Exploding.cleaned = True
+
+        with pytest.raises(RuntimeError):
+            run_mapper(Exploding(), [(IntWritable(0), Text("x"))])
+        assert Exploding.cleaned
+
+
+class TestNewReducer:
+    def test_sum(self):
+        out = run_reducer(
+            SumNewReducer(),
+            [(Text("a"), [IntWritable(1), IntWritable(2)]), (Text("b"), [IntWritable(5)])],
+        )
+        assert [(str(k), v.get()) for k, v in out] == [("a", 3), ("b", 5)]
+
+    def test_default_reduce_is_identity(self):
+        out = run_reducer(NewReducer(), [(Text("k"), [Text("v1"), Text("v2")])])
+        assert [str(v) for _, v in out] == ["v1", "v2"]
+
+
+class TestContexts:
+    def test_map_context_iteration(self):
+        context = MapContext(
+            JobConf(), iter([(1, "a"), (2, "b")]), lambda k, v: None
+        )
+        assert context.next_key_value()
+        assert context.get_current_key() == 1
+        assert context.get_current_value() == "a"
+        assert context.next_key_value()
+        assert not context.next_key_value()
+
+    def test_context_counters(self):
+        context = MapContext(JobConf(), iter([]), lambda k, v: None)
+        context.get_counter("g", "c").increment(3)
+        assert context.counters.value("g", "c") == 3
+
+    def test_context_charge_compute(self):
+        context = MapContext(JobConf(), iter([]), lambda k, v: None)
+        context.charge_compute(0.25)
+        assert context.reporter.consume_compute_seconds() == 0.25
+
+    def test_configuration_access(self):
+        conf = JobConf()
+        conf.set("custom", "yes")
+        context = ReduceContext(conf, iter([]), lambda k, v: None)
+        assert context.configuration.get("custom") == "yes"
+        assert context.get_configuration() is conf
+
+
+class TestJob:
+    def test_job_sets_new_api_flag(self):
+        job = Job(job_name="j")
+        assert job.conf.get_boolean(USE_NEW_API_KEY)
+        assert job.conf.get_job_name() == "j"
+
+    def test_job_class_wiring_resolves_in_jobspec(self):
+        job = Job()
+        job.set_mapper_class(TokenizeMapper)
+        job.set_reducer_class(SumNewReducer)
+        job.set_num_reduce_tasks(2)
+        spec = JobSpec.from_conf(job.conf)
+        assert spec.mapper_class is TokenizeMapper
+        assert spec.reducer_class is SumNewReducer
+        assert spec.num_reducers == 2
+
+    def test_wait_for_completion_needs_engine(self):
+        with pytest.raises(RuntimeError):
+            Job().wait_for_completion()
+
+    def test_wait_for_completion_submits(self):
+        class FakeEngine:
+            def __init__(self):
+                self.submitted = []
+
+            def run_job(self, conf):
+                self.submitted.append(conf)
+
+                class R:
+                    succeeded = True
+
+                return R()
+
+        engine = FakeEngine()
+        job = Job(job_name="x")
+        job.set_engine(engine)
+        assert job.wait_for_completion() is True
+        assert engine.submitted

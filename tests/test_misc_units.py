@@ -1,0 +1,153 @@
+"""Unit-level gaps: sort/grep apps, store internals, runtime odds and ends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.conf import JobConf
+from repro.api.writables import IntWritable, LongWritable, Text
+from repro.apps.grep import grep_count_job, grep_sort_job
+from repro.apps.sortapp import (
+    DescendingComparator,
+    is_sorted,
+    read_globally_sorted,
+    sample_and_build_job,
+)
+from repro.kvstore import BlockInfo, KeyValueStore
+from repro.x10.places import Place
+
+from conftest import make_hadoop, make_m3r
+
+
+class TestSortApp:
+    def test_descending_comparator(self):
+        cmp = DescendingComparator()
+        assert cmp.compare(IntWritable(1), IntWritable(2)) > 0
+        assert cmp.compare(IntWritable(2), IntWritable(1)) < 0
+        assert cmp.compare(IntWritable(3), IntWritable(3)) == 0
+
+    def test_is_sorted(self):
+        ok = [(IntWritable(1), None), (IntWritable(2), None), (IntWritable(2), None)]
+        bad = [(IntWritable(3), None), (IntWritable(1), None)]
+        assert is_sorted(ok)
+        assert not is_sorted(bad)
+        assert is_sorted([])
+
+    def test_sample_and_build_shrinks_reducers_on_duplicates(self):
+        engine = make_m3r()
+        pairs = [(IntWritable(5), Text("x"))] * 20  # all keys identical
+        engine.filesystem.write_pairs("/in/part-00000", pairs)
+        conf = sample_and_build_job(engine.filesystem, "/in", "/out", 4)
+        # one distinct key -> at most one cut survives deduplication
+        assert conf.get_num_reduce_tasks() <= 2
+        assert engine.run_job(conf).succeeded
+        assert len(read_globally_sorted(engine.filesystem, "/out")) == 20
+
+    def test_descending_not_implemented(self):
+        engine = make_m3r()
+        engine.filesystem.write_pairs("/in/part-00000",
+                                      [(IntWritable(1), Text("a"))])
+        with pytest.raises(NotImplementedError):
+            sample_and_build_job(engine.filesystem, "/in", "/out", 2,
+                                 descending=True)
+
+
+class TestGrepApp:
+    def test_count_job_with_capture_group(self):
+        engine = make_m3r()
+        engine.filesystem.write_text(
+            "/in.txt", "error: disk full\nok\nerror: net down\nerror: disk full\n"
+        )
+        conf = grep_count_job("/in.txt", "/counts", r"error: (\w+)", group=1)
+        assert engine.run_job(conf).succeeded
+        counts = {
+            str(k): v.get() for k, v in engine.filesystem.read_kv_pairs("/counts")
+        }
+        assert counts == {"disk": 2, "net": 1}
+
+    def test_sort_job_orders_descending(self):
+        engine = make_m3r()
+        engine.filesystem.write_pairs(
+            "/counts/part-00000",
+            [(Text("rare"), LongWritable(1)), (Text("hot"), LongWritable(9)),
+             (Text("mid"), LongWritable(4))],
+        )
+        assert engine.run_job(grep_sort_job("/counts", "/ranked")).succeeded
+        ranked = [
+            (k.get(), str(v))
+            for k, v in engine.filesystem.read_kv_pairs("/ranked")
+        ]
+        assert ranked == [(9, "hot"), (4, "mid"), (1, "rare")]
+
+    def test_no_matches_yields_empty(self):
+        engine = make_hadoop()
+        engine.filesystem.write_text("/in.txt", "nothing here\n")
+        conf = grep_count_job("/in.txt", "/counts", r"zzz+")
+        assert engine.run_job(conf).succeeded
+        assert engine.filesystem.read_kv_pairs("/counts") == []
+
+
+class TestKvStoreExtras:
+    def test_reader_iterates_lazily(self):
+        store = KeyValueStore([Place(0)])
+        with store.create_writer("/f", BlockInfo(0)) as writer:
+            writer.write_pairs([(IntWritable(i), Text("v")) for i in range(5)])
+        reader = store.create_reader("/f")
+        assert len(list(iter(reader))) == 5
+
+    def test_list_paths_prefix_semantics(self):
+        store = KeyValueStore([Place(0), Place(1)])
+        for path in ("/a/x", "/a/y", "/ab/z"):
+            with store.create_writer(path, BlockInfo(0)) as writer:
+                writer.write(IntWritable(1), Text("v"))
+        under_a = store.list_paths("/a")
+        assert "/a/x" in under_a and "/a/y" in under_a
+        assert "/ab/z" not in under_a  # '/ab' is not under '/a'
+
+    def test_get_info_on_directory(self):
+        store = KeyValueStore([Place(0)])
+        store.mkdirs("/dir")
+        info = store.get_info("/dir")
+        assert info.is_dir and info.total_records == 0 and info.total_bytes == 0
+
+    def test_block_info_equality(self):
+        assert BlockInfo(1, "t") == BlockInfo(1, "t")
+        assert BlockInfo(1, "t") != BlockInfo(2, "t")
+        assert BlockInfo(1, "a") != BlockInfo(1, "b")
+
+
+class TestRuntimeFactories:
+    def test_factory_defaults(self):
+        from repro import hadoop_engine, m3r_engine
+
+        hadoop = hadoop_engine(num_nodes=3)
+        assert hadoop.cluster.num_nodes == 3
+        m3r = m3r_engine(num_places=5)
+        assert m3r.num_places == 5
+        m3r.shutdown()
+
+    def test_factories_share_supplied_filesystem(self):
+        from repro import hadoop_engine, m3r_engine
+        from repro.fs import SimulatedHDFS
+        from repro.sim import Cluster
+
+        fs = SimulatedHDFS(Cluster(2))
+        hadoop = hadoop_engine(filesystem=fs)
+        m3r = m3r_engine(filesystem=fs)
+        assert hadoop.filesystem is fs
+        assert m3r.raw_filesystem is fs
+        assert hadoop.cluster is fs.cluster
+        m3r.shutdown()
+
+    def test_package_names_not_shadowed(self):
+        """Regression: importing the engine subpackages must not clobber the
+        factory functions on the top-level package."""
+        import importlib
+
+        import repro
+        import repro.hadoop_engine.engine  # noqa: F401
+
+        importlib.reload(repro)
+        from repro import hadoop_engine
+
+        assert callable(hadoop_engine)

@@ -1,0 +1,97 @@
+"""Partitioners: range invariants and total-order semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.conf import JobConf
+from repro.api.partitioner import HashPartitioner, TotalOrderPartitioner
+from repro.api.writables import IntWritable, Text
+
+
+class TestHashPartitioner:
+    @given(st.integers(), st.integers(min_value=1, max_value=64))
+    @settings(max_examples=200)
+    def test_in_range(self, key, n):
+        p = HashPartitioner().get_partition(IntWritable(key), None, n)
+        assert 0 <= p < n
+
+    def test_deterministic(self):
+        hp = HashPartitioner()
+        assert hp.get_partition(Text("abc"), None, 8) == hp.get_partition(
+            Text("abc"), None, 8
+        )
+
+    def test_equal_keys_same_partition(self):
+        hp = HashPartitioner()
+        assert hp.get_partition(IntWritable(5), None, 7) == hp.get_partition(
+            IntWritable(5), None, 7
+        )
+
+    def test_zero_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            HashPartitioner().get_partition(IntWritable(1), None, 0)
+
+    def test_spreads_keys(self):
+        hp = HashPartitioner()
+        hits = {hp.get_partition(IntWritable(i), None, 8) for i in range(100)}
+        assert len(hits) > 1
+
+
+class TestTotalOrderPartitioner:
+    def test_basic_ranges(self):
+        top = TotalOrderPartitioner([IntWritable(10), IntWritable(20)])
+        assert top.get_partition(IntWritable(5), None, 3) == 0
+        assert top.get_partition(IntWritable(10), None, 3) == 1
+        assert top.get_partition(IntWritable(15), None, 3) == 1
+        assert top.get_partition(IntWritable(20), None, 3) == 2
+        assert top.get_partition(IntWritable(99), None, 3) == 2
+
+    def test_partition_count_must_match_cuts(self):
+        top = TotalOrderPartitioner([IntWritable(10)])
+        with pytest.raises(ValueError):
+            top.get_partition(IntWritable(1), None, 3)
+
+    def test_cuts_must_increase(self):
+        with pytest.raises(ValueError):
+            TotalOrderPartitioner([IntWritable(5), IntWritable(5)])
+
+    def test_configure_reads_cuts(self):
+        conf = JobConf()
+        conf.set("total.order.partitioner.cuts", [IntWritable(3)])
+        top = TotalOrderPartitioner()
+        top.configure(conf)
+        assert top.get_partition(IntWritable(1), None, 2) == 0
+        assert top.get_partition(IntWritable(4), None, 2) == 1
+
+    def test_sample_cut_points(self):
+        sample = [IntWritable(i) for i in range(100)]
+        cuts = TotalOrderPartitioner.sample_cut_points(sample, 4)
+        assert len(cuts) == 3
+        assert cuts[0] < cuts[1] < cuts[2]
+
+    def test_sample_with_duplicates_dedupes(self):
+        sample = [IntWritable(1)] * 10 + [IntWritable(2)] * 10
+        cuts = TotalOrderPartitioner.sample_cut_points(sample, 4)
+        # Strictly increasing even though the raw quantiles collide.
+        assert all(a < b for a, b in zip(cuts, cuts[1:]))
+
+    @given(
+        st.lists(st.integers(-1000, 1000), min_size=2, max_size=100),
+        st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=100)
+    def test_partitions_respect_global_order(self, keys, n):
+        sample = [IntWritable(k) for k in keys]
+        cuts = TotalOrderPartitioner.sample_cut_points(sample, n)
+        top = TotalOrderPartitioner(cuts)
+        partitions = len(cuts) + 1
+        assigned = [
+            (k, top.get_partition(IntWritable(k), None, partitions))
+            for k in sorted(keys)
+        ]
+        # Partition numbers are non-decreasing when keys are sorted.
+        parts = [p for _, p in assigned]
+        assert parts == sorted(parts)

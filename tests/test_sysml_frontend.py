@@ -1,0 +1,159 @@
+"""The mini-SystemML front end: lexer, parser, AST shapes, error paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sysml.ast_nodes import (
+    Assign,
+    BinOp,
+    Call,
+    ExprStatement,
+    ForLoop,
+    IfElse,
+    Neg,
+    Num,
+    Str,
+    Var,
+    WhileLoop,
+)
+from repro.sysml.lexer import LexError, Token, tokenize
+from repro.sysml.parser import SyntaxErrorDML, parse_script
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        kinds = [(t.kind, t.text) for t in tokenize("x = 3.5 + y")]
+        assert kinds == [
+            ("ID", "x"), ("OP", "="), ("NUMBER", "3.5"), ("OP", "+"),
+            ("ID", "y"), ("EOF", ""),
+        ]
+
+    def test_matmul_operator_is_one_token(self):
+        tokens = tokenize("A %*% B")
+        assert [t.text for t in tokens[:3]] == ["A", "%*%", "B"]
+
+    def test_strings(self):
+        tokens = tokenize('read("path/to.csv")')
+        assert tokens[2] == Token("STRING", "path/to.csv", 1, 6)
+
+    def test_comments_stripped(self):
+        tokens = tokenize("a = 1 # comment with %*% junk\nb = 2")
+        texts = [t.text for t in tokens if t.kind != "EOF"]
+        assert texts == ["a", "=", "1", "b", "=", "2"]
+
+    def test_keywords_classified(self):
+        tokens = tokenize("for (i in 1:3) {}")
+        assert tokens[0].kind == "KEYWORD"
+        assert tokens[3].kind == "KEYWORD"
+
+    def test_scientific_numbers(self):
+        assert tokenize("1e-6")[0].text == "1e-6"
+        assert tokenize("2.5E+3")[0].text == "2.5E+3"
+
+    def test_line_tracking(self):
+        tokens = tokenize("a = 1\nbb = 2")
+        assert tokens[3].line == 2
+
+    def test_lex_errors(self):
+        with pytest.raises(LexError):
+            tokenize("a = @")
+        with pytest.raises(LexError):
+            tokenize('a = "unterminated')
+
+
+class TestParser:
+    def test_assignment(self):
+        program = parse_script("x = 1 + 2 * 3")
+        assert len(program.statements) == 1
+        stmt = program.statements[0]
+        assert isinstance(stmt, Assign) and stmt.name == "x"
+        assert isinstance(stmt.value, BinOp) and stmt.value.op == "+"
+        assert stmt.value.right.op == "*"  # precedence
+
+    def test_matmul_binds_tighter_than_elementwise(self):
+        stmt = parse_script("y = A * B %*% C").statements[0]
+        assert stmt.value.op == "*"
+        assert isinstance(stmt.value.right, BinOp)
+        assert stmt.value.right.op == "%*%"
+
+    def test_left_associativity(self):
+        stmt = parse_script("y = a - b - c").statements[0]
+        assert stmt.value.op == "-"
+        assert isinstance(stmt.value.left, BinOp)  # (a - b) - c
+
+    def test_unary_minus(self):
+        stmt = parse_script("y = -x + 1").statements[0]
+        assert isinstance(stmt.value.left, Neg)
+
+    def test_parentheses(self):
+        stmt = parse_script("y = (a + b) * c").statements[0]
+        assert stmt.value.op == "*"
+        assert stmt.value.left.op == "+"
+
+    def test_calls_with_args(self):
+        stmt = parse_script('w = read("X")').statements[0]
+        assert isinstance(stmt.value, Call)
+        assert stmt.value.name == "read"
+        assert isinstance(stmt.value.args[0], Str)
+
+    def test_nested_calls(self):
+        stmt = parse_script("n = sum(t(A) %*% A)").statements[0]
+        call = stmt.value
+        assert call.name == "sum"
+        assert isinstance(call.args[0], BinOp)
+
+    def test_for_loop(self):
+        program = parse_script("for (i in 1:10) { x = i\n y = x }")
+        loop = program.statements[0]
+        assert isinstance(loop, ForLoop)
+        assert loop.var == "i"
+        assert isinstance(loop.start, Num) and isinstance(loop.stop, Num)
+        assert len(loop.body) == 2
+
+    def test_while_loop(self):
+        loop = parse_script("while (x < 10) { x = x + 1 }").statements[0]
+        assert isinstance(loop, WhileLoop)
+        assert loop.condition.op == "<"
+
+    def test_if_else(self):
+        stmt = parse_script("if (a > b) { c = 1 } else { c = 2 }").statements[0]
+        assert isinstance(stmt, IfElse)
+        assert len(stmt.then_body) == 1 and len(stmt.else_body) == 1
+
+    def test_if_without_else(self):
+        stmt = parse_script("if (a == 1) { b = 2 }").statements[0]
+        assert stmt.else_body == []
+
+    def test_bare_call_statement(self):
+        stmt = parse_script('write(W, "/out/W")').statements[0]
+        assert isinstance(stmt, ExprStatement)
+        assert stmt.value.name == "write"
+
+    def test_arrow_assignment(self):
+        stmt = parse_script("x <- 5").statements[0]
+        assert isinstance(stmt, Assign)
+
+    def test_semicolons_allowed(self):
+        program = parse_script("a = 1; b = 2;")
+        assert len(program.statements) == 2
+
+    def test_comparison_in_expression(self):
+        stmt = parse_script("flag = a >= b + 1").statements[0]
+        assert stmt.value.op == ">="
+
+    @pytest.mark.parametrize("bad", [
+        "x = ", "for (i in 1) { }", "x = (1 + 2", "if (x { }",
+        "while x { }", "} stray", "x = 1 +",
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(SyntaxErrorDML):
+            parse_script(bad)
+
+    def test_paper_scripts_parse(self):
+        from repro.sysml import scripts
+
+        for script in (scripts.GNMF_SCRIPT, scripts.LINREG_SCRIPT,
+                       scripts.PAGERANK_SCRIPT):
+            program = parse_script(scripts.with_iterations(script, 2))
+            assert program.statements

@@ -1,0 +1,287 @@
+"""The SystemML matrix runtime and interpreter, verified against numpy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse
+
+from repro.sysml import run_script
+from repro.sysml.blocks import CellMatrixBlockWritable, TaggedBlockWritable
+from repro.sysml.interp import DMLRuntimeError
+from repro.sysml.matrix import (
+    MatrixHandle,
+    generate_matrix,
+    read_matrix_as_dense,
+    write_dense_matrix,
+)
+from repro.sysml.runtime import MatrixRuntime
+from repro.api.io_util import DataInputBuffer, DataOutputBuffer
+
+from conftest import make_hadoop, make_m3r
+
+
+@pytest.fixture
+def rt():
+    engine = make_m3r()
+    return MatrixRuntime(engine, num_reducers=4)
+
+
+def dense(rt, handle):
+    return read_matrix_as_dense(rt.engine.filesystem, handle)
+
+
+def make(rt, name, array, block=30):
+    return write_dense_matrix(rt.engine.filesystem, f"/data/{name}", np.asarray(array),
+                              block, num_partitions=4)
+
+
+class TestBlocks:
+    def test_cell_block_roundtrip(self):
+        m = sparse.random(25, 35, density=0.2, random_state=1)
+        block = CellMatrixBlockWritable(m)
+        out = DataOutputBuffer()
+        block.write(out)
+        assert len(out.to_bytes()) <= block.serialized_size()
+        fresh = CellMatrixBlockWritable()
+        fresh.read_fields(DataInputBuffer(out.to_bytes()))
+        assert fresh == block
+
+    def test_cell_block_bulkier_than_csc(self):
+        """The paper's space-inefficiency observation, structurally."""
+        from repro.api.writables import MatrixBlockWritable
+
+        m = sparse.random(100, 100, density=0.05, format="csc", random_state=2)
+        assert (
+            CellMatrixBlockWritable(m).serialized_size()
+            > MatrixBlockWritable(m).serialized_size()
+        )
+
+    def test_tagged_block_roundtrip(self):
+        m = sparse.eye(4)
+        tagged = TaggedBlockWritable("B", 7, CellMatrixBlockWritable(m))
+        out = DataOutputBuffer()
+        tagged.write(out)
+        fresh = TaggedBlockWritable()
+        fresh.read_fields(DataInputBuffer(out.to_bytes()))
+        assert fresh.tag == "B" and fresh.index == 7 and fresh.block == tagged.block
+
+    def test_clone_is_deep(self):
+        block = CellMatrixBlockWritable(sparse.eye(3))
+        clone = block.clone()
+        clone.cell_vals[0] = 9.0
+        assert block.cell_vals[0] == 1.0
+
+
+class TestMatrixHandle:
+    def test_blocking_arithmetic(self):
+        handle = MatrixHandle("/x", rows=250, cols=90, block_size=100)
+        assert handle.row_blocks == 3
+        assert handle.col_blocks == 1
+        assert handle.block_shape(2, 0) == (50, 90)
+
+    def test_generate_and_read_roundtrip(self):
+        engine = make_m3r()
+        handle = generate_matrix(engine.filesystem, "/g", 60, 40, 20,
+                                 sparsity=0.3, seed=9, num_partitions=4)
+        array = read_matrix_as_dense(engine.filesystem, handle)
+        assert array.shape == (60, 40)
+        assert np.count_nonzero(array) > 0
+
+
+class TestRuntimeOps:
+    def test_matmul(self, rt):
+        a = np.arange(12.0).reshape(4, 3)
+        b = np.arange(6.0).reshape(3, 2)
+        handle = rt.matmul(make(rt, "a", a, 2), make(rt, "b", b, 2))
+        assert np.allclose(dense(rt, handle), a @ b)
+        assert (handle.rows, handle.cols) == (4, 2)
+
+    def test_matmul_shape_mismatch(self, rt):
+        a = make(rt, "a", np.ones((2, 3)))
+        b = make(rt, "b", np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            rt.matmul(a, b)
+
+    def test_matmul_blocking_mismatch(self, rt):
+        a = make(rt, "a", np.ones((4, 4)), block=2)
+        b = make(rt, "b", np.ones((4, 4)), block=4)
+        with pytest.raises(ValueError):
+            rt.matmul(a, b)
+
+    @pytest.mark.parametrize("op,fn", [
+        ("add", np.add), ("sub", np.subtract), ("mul", np.multiply),
+    ])
+    def test_elementwise(self, rt, op, fn):
+        a = np.arange(1.0, 13.0).reshape(3, 4)
+        b = (np.arange(12.0).reshape(3, 4) % 3) + 1
+        handle = rt.elementwise(make(rt, "a", a, 2), make(rt, "b", b, 2), op)
+        assert np.allclose(dense(rt, handle), fn(a, b))
+
+    def test_elementwise_div_zero_denominator_is_zero(self, rt):
+        a = np.array([[2.0, 4.0]])
+        b = np.array([[2.0, 0.0]])
+        handle = rt.elementwise(make(rt, "a", a, 2), make(rt, "b", b, 2), "div")
+        assert np.allclose(dense(rt, handle), [[1.0, 0.0]])
+
+    def test_transpose(self, rt):
+        a = np.arange(6.0).reshape(2, 3)
+        handle = rt.transpose(make(rt, "a", a, 2))
+        assert np.allclose(dense(rt, handle), a.T)
+        assert (handle.rows, handle.cols) == (3, 2)
+
+    def test_scalar_ops(self, rt):
+        a = np.array([[1.0, -4.0], [9.0, 16.0]])
+        h = make(rt, "a", a, 2)
+        assert np.allclose(dense(rt, rt.scalar_multiply(h, 3)), 3 * a)
+        assert np.allclose(dense(rt, rt.scalar_op(h, "spow", 2)), a**2)
+        assert np.allclose(dense(rt, rt.scalar_op(h, "abs")), np.abs(a))
+        assert np.allclose(dense(rt, rt.scalar_op(h, "sqrt")), np.sqrt(np.abs(a)))
+
+    def test_aggregates(self, rt):
+        a = np.arange(12.0).reshape(3, 4)
+        h = make(rt, "a", a, 2)
+        assert rt.sum(h) == pytest.approx(a.sum())
+        assert np.allclose(dense(rt, rt.row_sums(h)).ravel(), a.sum(axis=1))
+        assert np.allclose(dense(rt, rt.col_sums(h)).ravel(), a.sum(axis=0))
+
+    def test_cast_as_scalar(self, rt):
+        one_by_one = make(rt, "s", np.array([[42.0]]), 2)
+        assert rt.cast_as_scalar(one_by_one) == 42.0
+        with pytest.raises(ValueError):
+            rt.cast_as_scalar(make(rt, "m", np.ones((2, 2)), 2))
+
+    def test_write_persists(self, rt):
+        h = make(rt, "a", np.eye(3), 2)
+        rt.write(h, "/persisted")
+        assert rt.engine.raw_filesystem.exists("/persisted")
+
+    def test_intermediates_are_temporary(self, rt):
+        h = make(rt, "a", np.eye(4), 2)
+        result = rt.transpose(h)
+        assert result.path.rsplit("/", 1)[-1].startswith("temp-")
+        # On M3R the intermediate never reached the disk.
+        assert not rt.engine.raw_filesystem.exists(result.path)
+
+    def test_results_tracked(self, rt):
+        h = make(rt, "a", np.eye(4), 2)
+        rt.transpose(h)
+        rt.sum(h)
+        assert rt.jobs_run == 2
+        assert rt.total_seconds > 0
+
+    @given(st.integers(2, 5), st.integers(2, 5), st.integers(2, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_matmul_property(self, m, k, n):
+        rng = np.random.default_rng(m * 100 + k * 10 + n)
+        a = rng.standard_normal((m, k))
+        b = rng.standard_normal((k, n))
+        engine = make_m3r()
+        rt = MatrixRuntime(engine, num_reducers=2)
+        ha = write_dense_matrix(engine.filesystem, "/a", a, 2, 2)
+        hb = write_dense_matrix(engine.filesystem, "/b", b, 2, 2)
+        assert np.allclose(
+            read_matrix_as_dense(engine.filesystem, rt.matmul(ha, hb)), a @ b,
+            atol=1e-9,
+        )
+
+
+class TestInterpreter:
+    def run(self, script, engine=None, **inputs):
+        engine = engine if engine is not None else make_m3r()
+        handles = {}
+        for name, array in inputs.items():
+            handles[name] = write_dense_matrix(
+                engine.filesystem, f"/data/{name}", np.asarray(array), 2, 4
+            )
+        env, rt = run_script(script, engine, inputs=handles, block_size=2,
+                             num_reducers=4)
+        return env, rt, engine
+
+    def test_scalar_arithmetic(self):
+        env, _, _ = self.run("x = 2 + 3 * 4\ny = x / 2 - 1\nz = 2 ^ 3")
+        assert env["x"] == 14.0
+        assert env["y"] == 6.0
+        assert env["z"] == 8.0
+
+    def test_matrix_scalar_mix(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        env, _, engine = self.run("B = 2 * A + 1\nC = 10 / A", A=a)
+        assert np.allclose(read_matrix_as_dense(engine.filesystem, env["B"]), 2 * a + 1)
+        assert np.allclose(read_matrix_as_dense(engine.filesystem, env["C"]), 10 / a)
+
+    def test_for_loop_accumulates(self):
+        env, _, _ = self.run("total = 0\nfor (i in 1:5) { total = total + i }")
+        assert env["total"] == 15.0
+
+    def test_while_loop(self):
+        env, _, _ = self.run("x = 1\nwhile (x < 100) { x = x * 2 }")
+        assert env["x"] == 128.0
+
+    def test_if_else(self):
+        env, _, _ = self.run("a = 3\nif (a > 2) { b = 1 } else { b = 2 }")
+        assert env["b"] == 1.0
+
+    def test_matrix_pipeline(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        env, rt, engine = self.run(
+            "B = t(A) %*% A\nn = sum(B * B)\nr = nrow(A) + ncol(A)", A=a
+        )
+        expected = a.T @ a
+        assert np.allclose(read_matrix_as_dense(engine.filesystem, env["B"]), expected)
+        assert env["n"] == pytest.approx((expected * expected).sum())
+        assert env["r"] == 4.0
+
+    def test_read_unknown_input(self):
+        with pytest.raises(DMLRuntimeError):
+            self.run('X = read("missing")')
+
+    def test_undefined_variable(self):
+        with pytest.raises(DMLRuntimeError):
+            self.run("y = x + 1")
+
+    def test_matmul_of_scalars_rejected(self):
+        with pytest.raises(DMLRuntimeError):
+            self.run("y = 1 %*% 2")
+
+    def test_rand_generates(self):
+        env, _, engine = self.run("R = rand(6, 4, 1.0, 7)\ns = sum(R * R)")
+        assert env["R"].rows == 6 and env["R"].cols == 4
+        assert env["s"] > 0
+
+    def test_same_script_same_results_on_both_engines(self):
+        a = np.arange(1.0, 17.0).reshape(4, 4)
+        script = "B = (t(A) %*% A) * 0.5\nn = sum(B)\nwrite(B, '/out/B')"
+        values = {}
+        for factory in (make_hadoop, make_m3r):
+            engine = factory()
+            handle = write_dense_matrix(engine.filesystem, "/data/A", a, 2, 4)
+            env, _ = run_script(script, engine, inputs={"A": handle},
+                                block_size=2, num_reducers=4)
+            values[factory.__name__] = (
+                env["n"],
+                read_matrix_as_dense(engine.filesystem, env["B"]),
+            )
+        n_hadoop, b_hadoop = values["make_hadoop"]
+        n_m3r, b_m3r = values["make_m3r"]
+        assert n_hadoop == pytest.approx(n_m3r)
+        assert np.allclose(b_hadoop, b_m3r)
+
+    def test_optimized_codegen_same_answers_fewer_clones(self):
+        a = np.arange(1.0, 17.0).reshape(4, 4)
+        outputs = {}
+        clones = {}
+        for optimized in (False, True):
+            engine = make_m3r()
+            handle = write_dense_matrix(engine.filesystem, "/data/A", a, 2, 4)
+            env, rt = run_script("B = t(A) %*% A", engine, inputs={"A": handle},
+                                 block_size=2, num_reducers=4,
+                                 optimized=optimized)
+            outputs[optimized] = read_matrix_as_dense(engine.filesystem, env["B"])
+            clones[optimized] = sum(
+                r.metrics.get("cloned_records") for r in rt.results
+            )
+        assert np.allclose(outputs[False], outputs[True])
+        assert clones[True] < clones[False]

@@ -1,0 +1,248 @@
+"""The mini X10 runtime: places, finish/async, teams, dedup serialization."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.writables import BytesWritable, IntWritable, Text
+from repro.x10 import (
+    DedupSerializer,
+    Place,
+    PlaceLocalHandle,
+    Team,
+    X10Runtime,
+    deep_copy_value,
+    estimate_size,
+)
+from repro.x10.runtime import ActivityError
+from repro.x10.serializer import BACKREF_BYTES
+
+
+class TestPlaces:
+    def test_place_identity(self):
+        assert Place(1) == Place(1)
+        assert Place(1) != Place(2)
+        assert hash(Place(3)) == hash(Place(3))
+
+    def test_place_heap_roots(self):
+        place = Place(0)
+        value = place.get_root("cache", dict)
+        value["k"] = 1
+        assert place.get_root("cache", dict) is value
+        place.drop_root("cache")
+        assert place.get_root("cache", dict) == {}
+
+    def test_invalid_place(self):
+        with pytest.raises(ValueError):
+            Place(-1)
+        with pytest.raises(ValueError):
+            Place(0, workers=0)
+
+    def test_place_local_handle(self):
+        places = [Place(i) for i in range(3)]
+        handle = PlaceLocalHandle(places, lambda p: {"id": p.place_id})
+        assert handle.at(places[2]) == {"id": 2}
+        assert handle.at(places[0]) is not handle.at(places[1])
+        handle.free()
+        with pytest.raises(KeyError):
+            handle.at(places[0])
+
+
+class TestRuntime:
+    def test_finish_waits_for_asyncs(self):
+        with X10Runtime(4, workers_per_place=2) as runtime:
+            results = []
+            lock = threading.Lock()
+
+            def work(i):
+                with lock:
+                    results.append(i)
+                return i * i
+
+            activities = runtime.finish(
+                lambda scope: [
+                    scope.async_at(runtime.place(i % 4), work, i) for i in range(16)
+                ]
+            )
+            assert sorted(results) == list(range(16))
+            assert [a.result() for a in activities] == [i * i for i in range(16)]
+
+    def test_finish_propagates_failures(self):
+        with X10Runtime(2) as runtime:
+            def explode():
+                raise ValueError("place died")
+
+            with pytest.raises(ActivityError) as excinfo:
+                runtime.finish(lambda scope: scope.async_at(runtime.place(1), explode))
+            assert isinstance(excinfo.value.first, ValueError)
+
+    def test_at_runs_synchronously(self):
+        with X10Runtime(2) as runtime:
+            assert runtime.at(runtime.place(1), lambda x: x + 1, 41) == 42
+
+    def test_shutdown_rejects_new_work(self):
+        runtime = X10Runtime(2)
+        runtime.shutdown()
+        with pytest.raises(RuntimeError):
+            runtime.finish(lambda scope: None)
+
+
+class TestTeam:
+    def test_barrier_synchronizes(self):
+        team = Team(4)
+        phase_log = []
+        lock = threading.Lock()
+
+        def member(i):
+            with lock:
+                phase_log.append(("before", i))
+            team.barrier(i)
+            with lock:
+                phase_log.append(("after", i))
+
+        threads = [threading.Thread(target=member, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        befores = [idx for idx, (phase, _) in enumerate(phase_log) if phase == "before"]
+        afters = [idx for idx, (phase, _) in enumerate(phase_log) if phase == "after"]
+        assert max(befores) < min(afters)
+        assert team.barriers_crossed == 1
+
+    def test_allreduce_sum(self):
+        team = Team(3)
+        outputs = {}
+
+        def member(i):
+            outputs[i] = team.allreduce(i, i + 1, lambda a, b: a + b)
+
+        threads = [threading.Thread(target=member, args=(i,)) for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert set(outputs.values()) == {6}
+
+    def test_allreduce_ordered_fold(self):
+        team = Team(3)
+        outputs = {}
+
+        def member(i):
+            outputs[i] = team.allreduce(i, str(i), lambda a, b: a + b)
+
+        threads = [threading.Thread(target=member, args=(i,)) for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert set(outputs.values()) == {"012"}  # member order, deterministic
+
+    def test_member_out_of_range(self):
+        with pytest.raises(ValueError):
+            Team(2).barrier(5)
+
+
+class TestEstimateSize:
+    def test_writables_use_wire_size(self):
+        assert estimate_size(Text("abcd")) == 4 + Text("abcd").serialized_size()
+
+    def test_scalars(self):
+        assert estimate_size(None) == 1
+        assert estimate_size(True) == 1
+        assert estimate_size(3) >= 1
+        assert estimate_size(3.5) == 8
+
+    def test_big_ints_grow(self):
+        assert estimate_size(2**40) > estimate_size(1)
+
+    def test_containers_recurse(self):
+        flat = estimate_size([1, 2, 3])
+        nested = estimate_size([[1, 2, 3], [1, 2, 3]])
+        assert nested > flat
+
+    def test_numpy(self):
+        arr = np.zeros(100)
+        assert estimate_size(arr) >= arr.nbytes
+
+    def test_bytes(self):
+        assert estimate_size(b"x" * 100) >= 100
+
+
+class TestDedupSerializer:
+    def test_repeated_object_counted_once(self):
+        serializer = DedupSerializer()
+        shared = BytesWritable(b"z" * 1000)
+        message = serializer.measure_message([shared, shared, shared])
+        assert message.duplicate_refs == 2
+        assert message.wire_bytes < message.raw_bytes
+        assert message.wire_bytes == pytest.approx(
+            estimate_size(shared) + 2 * BACKREF_BYTES
+        )
+
+    def test_equal_but_distinct_objects_not_deduped(self):
+        serializer = DedupSerializer()
+        message = serializer.measure_message(
+            [BytesWritable(b"z" * 100), BytesWritable(b"z" * 100)]
+        )
+        assert message.duplicate_refs == 0
+        assert message.wire_bytes == message.raw_bytes
+
+    def test_memo_is_per_message(self):
+        serializer = DedupSerializer()
+        shared = Text("x" * 50)
+        first = serializer.measure_message([shared])
+        second = serializer.measure_message([shared])
+        assert first.wire_bytes == second.wire_bytes  # no cross-message memo
+
+    def test_measure_pairs_counts_records(self):
+        serializer = DedupSerializer()
+        one = IntWritable(1)
+        message = serializer.measure_pairs([(Text("a"), one), (Text("b"), one)])
+        assert message.records == 2
+        assert message.duplicate_refs == 1  # the shared IntWritable
+
+    def test_broadcast_idiom_savings(self):
+        """The matvec broadcast: one big value to many keys."""
+        serializer = DedupSerializer()
+        vector = BytesWritable(b"v" * 10_000)
+        pairs = [(IntWritable(i), vector) for i in range(20)]
+        message = serializer.measure_pairs(pairs)
+        assert message.dedup_savings > 19 * 9_000
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=30))
+    @settings(max_examples=60)
+    def test_dedup_never_exceeds_raw(self, indexes):
+        pool = [Text("payload-%d" % i * 5) for i in range(6)]
+        values = [pool[i] for i in indexes]
+        message = DedupSerializer().measure_message(values)
+        assert message.wire_bytes <= message.raw_bytes
+        assert message.unique_objects <= len(set(indexes))
+
+
+class TestDeepCopy:
+    def test_uses_clone_when_available(self):
+        original = Text("x")
+        copy = deep_copy_value(original)
+        assert copy == original and copy is not original
+
+    def test_falls_back_to_deepcopy(self):
+        original = {"a": [1, 2]}
+        copy = deep_copy_value(original)
+        copy["a"].append(3)
+        assert original["a"] == [1, 2]
+
+    def test_deepcopy_list_preserves_sharing(self):
+        """What the M3R shuffle relies on: aliases survive transport."""
+        import copy as copy_module
+
+        shared = Text("shared")
+        pairs = [(IntWritable(0), shared), (IntWritable(1), shared)]
+        transported = copy_module.deepcopy(pairs)
+        assert transported[0][1] is transported[1][1]
+        assert transported[0][1] is not shared
