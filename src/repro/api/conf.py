@@ -125,6 +125,12 @@ USE_NEW_API_KEY = "mapred.mapper.new-api"
 JOB_END_NOTIFICATION_URL_KEY = "job.end.notification.url"
 JOB_QUEUE_NAME_KEY = "mapred.job.queue.name"
 
+# M3R engine knob (rides on the paper's custom-JobConf-settings convention,
+# Section 4.2.3): run map/reduce tasks on real worker threads (default) or
+# fall back to the serial debugging path.  Both engines honour it so
+# equivalence runs compare like for like.
+REAL_THREADS_KEY = "m3r.engine.real-threads"
+
 
 class JobConf(Configuration):
     """The old-style job configuration, with the usual convenience setters.

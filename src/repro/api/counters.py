@@ -12,6 +12,7 @@ result is the same object shape).
 from __future__ import annotations
 
 import enum
+import threading
 from collections import defaultdict
 from typing import Dict, Iterator, Tuple, Union
 
@@ -67,16 +68,23 @@ def _resolve(key_or_group: Union[str, CounterKey], name: str = "") -> Tuple[str,
 
 
 class Counter:
-    """One named counter inside a group."""
+    """One named counter inside a group.
 
-    __slots__ = ("name", "value")
+    Increments are atomic: with real multi-threaded task execution many
+    tasks update the same counter concurrently, and a bare ``+=`` would
+    lose updates between the read and the write-back.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str, value: int = 0):
         self.name = name
         self.value = value
+        self._lock = threading.Lock()
 
     def increment(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def get_value(self) -> int:
         return self.value
@@ -86,20 +94,27 @@ class Counter:
 
 
 class Counters:
-    """Grouped counters with Hadoop's addressing conventions."""
+    """Grouped counters with Hadoop's addressing conventions.
+
+    Safe for concurrent use: the group/name maps are guarded by a lock (so
+    two tasks creating the same counter race to one object, not two) and the
+    counters themselves take atomic increments.
+    """
 
     def __init__(self) -> None:
         self._groups: Dict[str, Dict[str, Counter]] = defaultdict(dict)
+        self._lock = threading.Lock()
 
     def find_counter(
         self, key_or_group: Union[str, CounterKey], name: str = ""
     ) -> Counter:
         """Find (creating if needed) the addressed counter."""
         group, counter_name = _resolve(key_or_group, name)
-        counters = self._groups[group]
-        if counter_name not in counters:
-            counters[counter_name] = Counter(counter_name)
-        return counters[counter_name]
+        with self._lock:
+            counters = self._groups[group]
+            if counter_name not in counters:
+                counters[counter_name] = Counter(counter_name)
+            return counters[counter_name]
 
     def increment(
         self, key_or_group: Union[str, CounterKey], name_or_amount: Union[str, int] = 1,
@@ -118,26 +133,37 @@ class Counters:
     def value(self, key_or_group: Union[str, CounterKey], name: str = "") -> int:
         """Current value (0 when the counter was never touched)."""
         group, counter_name = _resolve(key_or_group, name)
-        counter = self._groups.get(group, {}).get(counter_name)
+        with self._lock:
+            counter = self._groups.get(group, {}).get(counter_name)
         return 0 if counter is None else counter.value
 
     def groups(self) -> Iterator[str]:
-        return iter(self._groups)
+        with self._lock:
+            return iter(list(self._groups))
 
     def group(self, group: str) -> Dict[str, int]:
         """A name → value snapshot of one group."""
-        return {name: c.value for name, c in self._groups.get(group, {}).items()}
+        with self._lock:
+            counters = list(self._groups.get(group, {}).items())
+        return {name: c.value for name, c in counters}
 
     def merge(self, other: "Counters") -> "Counters":
         """Fold another counters object into this one; returns self."""
-        for group, counters in other._groups.items():
-            for name, counter in counters.items():
+        with other._lock:
+            snapshot = [
+                (group, list(counters.items()))
+                for group, counters in other._groups.items()
+            ]
+        for group, counters in snapshot:
+            for name, counter in counters:
                 self.find_counter(group, name).increment(counter.value)
         return self
 
     def as_dict(self) -> Dict[str, Dict[str, int]]:
         """A nested plain-dict snapshot."""
-        return {group: self.group(group) for group in self._groups}
+        with self._lock:
+            groups = list(self._groups)
+        return {group: self.group(group) for group in groups}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Counters({self.as_dict()!r})"

@@ -18,6 +18,7 @@ job sequences communication-free.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -60,6 +61,10 @@ class KeyValueCache:
         # name -> (path, place_id); the store holds the data blocks.  This
         # index exists because lookups arrive by path *or* by split name.
         self._index: Dict[str, CacheEntry] = {}
+        # Guards the index AND keeps each registration (store put_block +
+        # name-map update) atomic: two reducers caching outputs concurrently
+        # must not interleave the block write with the index write.
+        self._lock = threading.RLock()
 
     # -- writes ------------------------------------------------------------- #
 
@@ -98,121 +103,137 @@ class KeyValueCache:
         pairs: List[Tuple[Any, Any]],
         nbytes: int,
     ) -> CacheEntry:
-        if name in self._index:
-            self._store.delete(name)
-            del self._index[name]
-        # The store keeps the list reference — this is an in-memory cache,
-        # the whole point is that nothing is copied or serialized here.
-        stored = self._store.put_block(name, BlockInfo(place_id=place_id), pairs, nbytes)
-        entry = CacheEntry(
-            name=name, path=path, place_id=place_id, pairs=stored, nbytes=nbytes
-        )
-        self._index[name] = entry
-        return entry
+        with self._lock:
+            if name in self._index:
+                self._store.delete(name)
+                del self._index[name]
+            # The store keeps the list reference — this is an in-memory cache,
+            # the whole point is that nothing is copied or serialized here.
+            stored = self._store.put_block(
+                name, BlockInfo(place_id=place_id), pairs, nbytes
+            )
+            entry = CacheEntry(
+                name=name, path=path, place_id=place_id, pairs=stored, nbytes=nbytes
+            )
+            self._index[name] = entry
+            return entry
 
     # -- lookups --------------------------------------------------------- #
 
     def get_file(self, path: str) -> Optional[CacheEntry]:
         """The whole-file entry for ``path``, if cached."""
-        return self._index.get(normalize_path(path))
+        with self._lock:
+            return self._index.get(normalize_path(path))
 
     def get_split(
         self, path: str, start: int, length: int, file_length: Optional[int] = None
     ) -> Optional[CacheEntry]:
         """An entry serving the given split: exact range match, or the
         whole-file entry when the split covers the entire file."""
-        entry = self._index.get(split_cache_name(path, start, length))
-        if entry is not None:
-            return entry
-        whole = self.get_file(path)
-        if whole is not None and start == 0:
-            if file_length is None or length >= file_length or length >= whole.nbytes:
-                return whole
-        return None
+        with self._lock:
+            entry = self._index.get(split_cache_name(path, start, length))
+            if entry is not None:
+                return entry
+            whole = self.get_file(path)
+            if whole is not None and start == 0:
+                if file_length is None or length >= file_length or length >= whole.nbytes:
+                    return whole
+            return None
 
     def get_named(self, name: str) -> Optional[CacheEntry]:
         if not name.startswith("/"):
             name = "/" + name
-        return self._index.get(name)
+        with self._lock:
+            return self._index.get(name)
 
     def contains_path(self, path: str) -> bool:
         """Is anything cached for ``path`` — the file itself, one of its
         splits, or (for directories) anything beneath it?"""
         path = normalize_path(path)
-        if path in self._index:
-            return True
-        range_prefix = path + RANGE_SEP
-        child_prefix = path + "/"
-        return any(
-            name.startswith(range_prefix) or entry.path.startswith(child_prefix)
-            for name, entry in self._index.items()
-        )
+        with self._lock:
+            if path in self._index:
+                return True
+            range_prefix = path + RANGE_SEP
+            child_prefix = path + "/"
+            return any(
+                name.startswith(range_prefix) or entry.path.startswith(child_prefix)
+                for name, entry in self._index.items()
+            )
 
     def paths_under(self, directory: str) -> List[str]:
         """Whole-file cache paths at or under ``directory`` (for listing)."""
         directory = normalize_path(directory)
         prefix = "/" if directory == "/" else directory + "/"
-        return sorted(
-            {
-                entry.path
-                for entry in self._index.values()
-                if entry.name == entry.path
-                and (entry.path == directory or entry.path.startswith(prefix))
-            }
-        )
+        with self._lock:
+            return sorted(
+                {
+                    entry.path
+                    for entry in self._index.values()
+                    if entry.name == entry.path
+                    and (entry.path == directory or entry.path.startswith(prefix))
+                }
+            )
 
     # -- invalidation (mirrors filesystem mutation) --------------------------- #
 
     def delete_path(self, path: str) -> bool:
         """Drop every entry for ``path`` (and, for directories, below it)."""
         path = normalize_path(path)
-        doomed = [
-            name
-            for name, entry in self._index.items()
-            if entry.path == path
-            or entry.path.startswith(path + "/")
-            or name.startswith(path + RANGE_SEP)
-        ]
-        for name in doomed:
-            self._store.delete(name)
-            del self._index[name]
-        return bool(doomed)
+        with self._lock:
+            doomed = [
+                name
+                for name, entry in self._index.items()
+                if entry.path == path
+                or entry.path.startswith(path + "/")
+                or name.startswith(path + RANGE_SEP)
+            ]
+            for name in doomed:
+                self._store.delete(name)
+                del self._index[name]
+            return bool(doomed)
 
     def rename_path(self, src: str, dst: str) -> None:
         """Re-key every entry for ``src`` to ``dst`` (data stays in place)."""
         src = normalize_path(src)
         dst = normalize_path(dst)
-        moves: List[Tuple[str, str, CacheEntry]] = []
-        for name, entry in list(self._index.items()):
-            if entry.path == src or entry.path.startswith(src + "/"):
-                new_path = dst + entry.path[len(src):]
-                new_name = new_path + name[len(entry.path):]
-                moves.append((name, new_name, entry))
-        for old_name, new_name, entry in moves:
-            self._store.rename(old_name, new_name)
-            del self._index[old_name]
-            entry.name = new_name
-            entry.path = dst + entry.path[len(src):]
-            self._index[new_name] = entry
+        with self._lock:
+            moves: List[Tuple[str, str, CacheEntry]] = []
+            for name, entry in list(self._index.items()):
+                if entry.path == src or entry.path.startswith(src + "/"):
+                    new_path = dst + entry.path[len(src):]
+                    new_name = new_path + name[len(entry.path):]
+                    moves.append((name, new_name, entry))
+            for old_name, new_name, entry in moves:
+                self._store.rename(old_name, new_name)
+                del self._index[old_name]
+                entry.name = new_name
+                entry.path = dst + entry.path[len(src):]
+                self._index[new_name] = entry
 
     def clear(self) -> None:
         """Flush the whole cache."""
-        for name in list(self._index):
-            self._store.delete(name)
-        self._index.clear()
+        with self._lock:
+            for name in list(self._index):
+                self._store.delete(name)
+            self._index.clear()
 
     # -- accounting ---------------------------------------------------------- #
 
     def total_bytes(self) -> int:
-        return sum(entry.nbytes for entry in self._index.values())
+        with self._lock:
+            return sum(entry.nbytes for entry in self._index.values())
 
     def bytes_at_place(self, place_id: int) -> int:
-        return sum(
-            entry.nbytes for entry in self._index.values() if entry.place_id == place_id
-        )
+        with self._lock:
+            return sum(
+                entry.nbytes
+                for entry in self._index.values()
+                if entry.place_id == place_id
+            )
 
     def entries(self) -> Iterator[CacheEntry]:
-        return iter(self._index.values())
+        with self._lock:
+            return iter(list(self._index.values()))
 
     def __len__(self) -> int:
         return len(self._index)

@@ -14,6 +14,15 @@ Compared to the Hadoop engine there is **no jobtracker, no heartbeat, no
 per-task JVM start-up and no disk in the shuffle** — the five advantages of
 paper Section 1 are each visible as an absent cost term.
 
+Map and reduce phases run on **real worker threads**: one X10 ``finish``
+block per phase, one ``async`` activity per task at its assigned place,
+with ``workers_per_place`` bounding per-place concurrency (the paper's
+"long-lived multi-threaded JVMs").  Benchmark numbers stay deterministic
+because simulated time is still charged to the :class:`SlotLanes` virtual
+clock in task-index order after the ``finish`` joins.  The
+``m3r.engine.real-threads`` JobConf knob (default on) restores the serial
+debugging path; ``workers_per_place=1`` forces it too.
+
 The engine is deliberately fail-fast: if any place's node is marked failed,
 the job raises :class:`~repro.engine_common.JobFailedError` ("the engine
 will fail if any node goes down — it does not recover from node failure").
@@ -23,9 +32,9 @@ from __future__ import annotations
 
 import copy
 import hashlib
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.api.conf import JobConf, NUM_MAPS_HINT_KEY
+from repro.api.conf import JobConf, NUM_MAPS_HINT_KEY, REAL_THREADS_KEY
 from repro.api.counters import Counters, JobCounter, TaskCounter
 from repro.api.extensions import (
     DelegatingSplit,
@@ -48,6 +57,7 @@ from repro.engine_common import (
     JobFailedError,
     MaterializedReader,
     PartitionBuffer,
+    bounded_task_fn,
     pairs_bytes,
     run_combiner_if_any,
 )
@@ -59,7 +69,7 @@ from repro.sim.clock import PhaseTimer
 from repro.sim.cluster import Cluster
 from repro.sim.cost_model import CostModel
 from repro.sim.metrics import Metrics
-from repro.x10.runtime import X10Runtime
+from repro.x10.runtime import ActivityError, X10Runtime
 
 
 class M3REngine:
@@ -204,6 +214,44 @@ class M3REngine:
                     "resilience; the engine instance is dead"
                 )
 
+    def _use_real_threads(self, conf: JobConf) -> bool:
+        """Real threaded execution, unless the knob (or a single worker)
+        forces the serial debugging path."""
+        return self.workers_per_place > 1 and conf.get_boolean(
+            REAL_THREADS_KEY, True
+        )
+
+    def _run_phase(
+        self,
+        conf: JobConf,
+        placements: Sequence[int],
+        task_fn: Callable[[int], Any],
+    ) -> List[Any]:
+        """Run one barrier-delimited phase: ``task_fn(i)`` at place
+        ``placements[i]`` for every task index.
+
+        In real-threads mode this is one ``finish`` block spawning one
+        ``async`` activity per task at its place, with a per-place semaphore
+        bounding concurrency to ``workers_per_place``.  Results come back in
+        task-index order either way, and the first task exception is
+        re-raised exactly as the serial loop would raise it (unwrapped from
+        :class:`ActivityError`), preserving the fail-fast "no resilience"
+        semantics — a :class:`JobFailedError` from a task still reaches
+        :meth:`run_job` as a :class:`JobFailedError`.
+        """
+        if len(placements) <= 1 or not self._use_real_threads(conf):
+            return [task_fn(index) for index in range(len(placements))]
+        bounded = bounded_task_fn(placements, self.workers_per_place, task_fn)
+
+        def spawn(scope: Any) -> None:
+            for index, place_id in enumerate(placements):
+                scope.async_at(self.runtime.place(place_id), bounded, index)
+
+        try:
+            return self.runtime.finish_collect(spawn)
+        except ActivityError as error:
+            raise error.first from error
+
     def _execute(
         self, spec: JobSpec, conf: JobConf, counters: Counters, metrics: Metrics
     ) -> float:
@@ -233,18 +281,24 @@ class M3REngine:
             for index, split in enumerate(splits)
         ]
 
-        # --- map phase (multi-threaded within each place) ------------------ #
+        # --- map phase (real threads, multi-threaded within each place) ---- #
+        def map_task(index: int) -> Tuple[float, List[PartitionBuffer]]:
+            return self._run_map_task(
+                spec, conf, splits[index], index, placements[index],
+                counters, metrics,
+            )
+
+        map_results = self._run_phase(conf, placements, map_task)
+        # Virtual-clock accounting happens after the finish joins, in
+        # task-index order, so the makespan is identical to the serial path
+        # no matter how the worker threads interleaved.
         map_lanes = SlotLanes(self.num_places, self.workers_per_place)
         map_outputs: List[List[PartitionBuffer]] = []
         map_places: List[int] = []
-        for index, split in enumerate(splits):
-            place = placements[index]
-            duration, buffers = self._run_map_task(
-                spec, conf, split, index, place, counters, metrics
-            )
-            map_lanes.add_task(place, duration)
+        for index, (duration, buffers) in enumerate(map_results):
+            map_lanes.add_task(placements[index], duration)
             map_outputs.append(buffers)
-            map_places.append(place)
+            map_places.append(placements[index])
         clock += map_lanes.makespan()
         self._report_progress(spec.name, "map", 0.5)
 
@@ -266,15 +320,22 @@ class M3REngine:
         self._report_progress(spec.name, "shuffle", 0.7)
 
         # --- reduce phase ---------------------------------------------------- #
-        reduce_lanes = SlotLanes(self.num_places, self.workers_per_place)
         temp_output = job_is_temp
-        for partition in range(spec.num_reducers):
-            place = self.partition_place(partition)
-            duration = self._run_reduce_task(
-                spec, conf, partition, place, reduce_inputs[partition],
-                temp_output, counters, metrics,
+        reduce_places = [
+            self.partition_place(partition)
+            for partition in range(spec.num_reducers)
+        ]
+
+        def reduce_task(partition: int) -> float:
+            return self._run_reduce_task(
+                spec, conf, partition, reduce_places[partition],
+                reduce_inputs[partition], temp_output, counters, metrics,
             )
-            reduce_lanes.add_task(place, duration)
+
+        durations = self._run_phase(conf, reduce_places, reduce_task)
+        reduce_lanes = SlotLanes(self.num_places, self.workers_per_place)
+        for partition, duration in enumerate(durations):
+            reduce_lanes.add_task(reduce_places[partition], duration)
         clock += reduce_lanes.makespan() + model.m3r_barrier
         metrics.time.charge("barrier", model.m3r_barrier)
         if not (job_is_temp and self.enable_cache):

@@ -10,7 +10,8 @@ after the task finishes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
 from repro.fs.filesystem import FileStatus, FileSystem
@@ -18,20 +19,43 @@ from repro.fs.filesystem import FileStatus, FileSystem
 
 @dataclass
 class FsTally:
-    """What one task did through the filesystem."""
+    """What one task did through the filesystem.
+
+    Updates are atomic: a tally is usually private to one task, but user
+    code may hand one filesystem view to helper threads, and the engines'
+    real-threads mode must never lose an I/O tally to a torn ``+=``.
+    """
 
     bytes_read: int = 0
     bytes_written: int = 0
     read_ops: int = 0
     write_ops: int = 0
     metadata_ops: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def add_read(self, nbytes: int) -> None:
+        with self._lock:
+            self.read_ops += 1
+            self.bytes_read += nbytes
+
+    def add_write(self, nbytes: int) -> None:
+        with self._lock:
+            self.write_ops += 1
+            self.bytes_written += nbytes
+
+    def add_metadata_op(self) -> None:
+        with self._lock:
+            self.metadata_ops += 1
 
     def reset(self) -> None:
-        self.bytes_read = 0
-        self.bytes_written = 0
-        self.read_ops = 0
-        self.write_ops = 0
-        self.metadata_ops = 0
+        with self._lock:
+            self.bytes_read = 0
+            self.bytes_written = 0
+            self.read_ops = 0
+            self.write_ops = 0
+            self.metadata_ops = 0
 
 
 class InstrumentedFileSystem(FileSystem):
@@ -59,50 +83,48 @@ class InstrumentedFileSystem(FileSystem):
     # -- namespace ---------------------------------------------------------- #
 
     def exists(self, path: str) -> bool:
-        self.tally.metadata_ops += 1
+        self.tally.add_metadata_op()
         return self.inner.exists(path)
 
     def is_directory(self, path: str) -> bool:
-        self.tally.metadata_ops += 1
+        self.tally.add_metadata_op()
         return self.inner.is_directory(path)
 
     def mkdirs(self, path: str) -> bool:
-        self.tally.metadata_ops += 1
+        self.tally.add_metadata_op()
         return self.inner.mkdirs(path)
 
     def get_file_status(self, path: str) -> Optional[FileStatus]:
-        self.tally.metadata_ops += 1
+        self.tally.add_metadata_op()
         return self.inner.get_file_status(path)
 
     def list_status(self, path: str) -> List[FileStatus]:
-        self.tally.metadata_ops += 1
+        self.tally.add_metadata_op()
         return self.inner.list_status(path)
 
     def list_files_recursive(self, path: str) -> List[FileStatus]:
-        self.tally.metadata_ops += 1
+        self.tally.add_metadata_op()
         return self.inner.list_files_recursive(path)
 
     def delete(self, path: str, recursive: bool = False) -> bool:
-        self.tally.metadata_ops += 1
+        self.tally.add_metadata_op()
         return self.inner.delete(path, recursive=recursive)
 
     def rename(self, src: str, dst: str) -> bool:
-        self.tally.metadata_ops += 1
+        self.tally.add_metadata_op()
         return self.inner.rename(src, dst)
 
     # -- data ------------------------------------------------------------ #
 
     def write_bytes(self, path: str, data: bytes, at_node: Optional[int] = None) -> None:
-        self.tally.write_ops += 1
-        self.tally.bytes_written += len(data)
+        self.tally.add_write(len(data))
         self.inner.write_bytes(
             path, data, at_node=at_node if at_node is not None else self.at_node
         )
 
     def read_bytes(self, path: str) -> bytes:
         data = self.inner.read_bytes(path)
-        self.tally.read_ops += 1
-        self.tally.bytes_read += len(data)
+        self.tally.add_read(len(data))
         return data
 
     def write_text(self, path: str, text: str, at_node: Optional[int] = None) -> None:
@@ -118,14 +140,12 @@ class InstrumentedFileSystem(FileSystem):
             path, pairs, at_node=at_node if at_node is not None else self.at_node
         )
         status = self.inner.get_file_status(path)
-        self.tally.write_ops += 1
-        self.tally.bytes_written += status.length if status else 0
+        self.tally.add_write(status.length if status else 0)
 
     def read_pairs(self, path: str) -> List[Tuple[Any, Any]]:
         status = self.inner.get_file_status(path)
         pairs = self.inner.read_pairs(path)
-        self.tally.read_ops += 1
-        self.tally.bytes_read += status.length if status else 0
+        self.tally.add_read(status.length if status else 0)
         return pairs
 
     def read_kv_pairs(self, path_or_dir: str) -> List[Tuple[Any, Any]]:
@@ -143,7 +163,7 @@ class InstrumentedFileSystem(FileSystem):
     # -- locality ----------------------------------------------------------- #
 
     def get_block_locations(self, path: str, start: int, length: int) -> List[str]:
-        self.tally.metadata_ops += 1
+        self.tally.add_metadata_op()
         return self.inner.get_block_locations(path, start, length)
 
     def total_bytes(self) -> int:

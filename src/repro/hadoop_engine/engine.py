@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 from typing import Any, List, Set, Tuple
 
-from repro.api.conf import JobConf, NUM_MAPS_HINT_KEY
+from repro.api.conf import JobConf, NUM_MAPS_HINT_KEY, REAL_THREADS_KEY
 from repro.api.counters import Counters, JobCounter, TaskCounter
 from repro.api.extensions import is_immutable_output
 from repro.api.formats import FileOutputFormat
@@ -34,6 +34,7 @@ from repro.engine_common import (
     PartitionBuffer,
     WriterCollector,
     run_combiner_if_any,
+    run_tasks_threaded,
 )
 from repro.fs.filesystem import FileSystem
 from repro.fs.hdfs import SimulatedHDFS
@@ -152,36 +153,53 @@ class HadoopEngine:
         placements = self._reroute_failures(placements, metrics)
         counters.increment(JobCounter.DATA_LOCAL_MAPS, data_local)
 
-        # --- map phase ----------------------------------------------------- #
+        # --- map phase (real threads, slot-bounded per node) --------------- #
+        def map_task(index: int) -> Tuple[float, List[PartitionBuffer]]:
+            return self._run_map_task(
+                spec, conf, splits[index], index, placements[index],
+                counters, metrics,
+            )
+
+        map_results = self._run_phase(conf, placements, self.map_slots, map_task)
+        # Slot-lane accounting stays on the driver thread, in task-index
+        # order, so the simulated makespan matches the serial path exactly.
         map_lanes = SlotLanes(self.cluster.num_nodes, self.map_slots)
         map_outputs: List[List[PartitionBuffer]] = []
         map_nodes: List[int] = []
-        for index, split in enumerate(splits):
-            node = placements[index]
-            duration, buffers = self._run_map_task(
-                spec, conf, split, index, node, counters, metrics
-            )
-            map_lanes.add_task(node, duration)
+        for index, (duration, buffers) in enumerate(map_results):
+            map_lanes.add_task(placements[index], duration)
             map_outputs.append(buffers)
-            map_nodes.append(node)
+            map_nodes.append(placements[index])
         clock += map_lanes.makespan()
         self._report_progress(spec.name, "map", 0.5)
 
         # --- reduce phase -------------------------------------------------- #
         if not spec.is_map_only:
             counters.increment(JobCounter.TOTAL_LAUNCHED_REDUCES, spec.num_reducers)
-            reduce_lanes = SlotLanes(self.cluster.num_nodes, self.reduce_slots)
+            reduce_nodes: List[int] = []
+            failovers: List[bool] = []
             for partition in range(spec.num_reducers):
                 node = reduce_node_for(job_salt, partition, self.cluster.num_nodes)
                 node, failover = self._healthy_node(node)
+                reduce_nodes.append(node)
+                failovers.append(failover)
+
+            def reduce_task(partition: int) -> float:
                 duration = self._run_reduce_task(
-                    spec, conf, partition, node, map_outputs, map_nodes,
-                    counters, metrics,
+                    spec, conf, partition, reduce_nodes[partition],
+                    map_outputs, map_nodes, counters, metrics,
                 )
-                if failover:
+                if failovers[partition]:
                     duration += model.task_scheduling * FAILURE_DETECT_FACTOR
                     metrics.incr("reduce_task_failovers")
-                reduce_lanes.add_task(node, duration)
+                return duration
+
+            durations = self._run_phase(
+                conf, reduce_nodes, self.reduce_slots, reduce_task
+            )
+            reduce_lanes = SlotLanes(self.cluster.num_nodes, self.reduce_slots)
+            for partition, duration in enumerate(durations):
+                reduce_lanes.add_task(reduce_nodes[partition], duration)
             clock += reduce_lanes.makespan()
 
         # --- commit / cleanup ----------------------------------------------- #
@@ -194,6 +212,24 @@ class HadoopEngine:
     def _report_progress(self, job_name: str, phase: str, fraction: float) -> None:
         if self.progress_listener is not None:
             self.progress_listener(job_name, phase, fraction)
+
+    def _run_phase(
+        self,
+        conf: JobConf,
+        nodes: List[int],
+        slots: int,
+        task_fn,
+    ) -> List[Any]:
+        """One phase of tasks: threaded like real tasktrackers (bounded to
+        ``slots`` concurrent tasks per node), or serial when the
+        ``m3r.engine.real-threads`` knob is off — the same knob the M3R
+        engine honours, so engine-equivalence runs compare like for like.
+        Results are returned in task-index order either way."""
+        if len(nodes) <= 1 or not conf.get_boolean(REAL_THREADS_KEY, True):
+            return [task_fn(index) for index in range(len(nodes))]
+        return run_tasks_threaded(
+            nodes, slots, task_fn, thread_name_prefix="hadoop-task"
+        )
 
     def _reroute_failures(
         self, placements: List[int], metrics: Metrics

@@ -16,19 +16,23 @@ barrier).  That structure lets us model time without a discrete-event queue:
 
 from __future__ import annotations
 
+import threading
+
 
 class SimClock:
     """An accumulator of simulated seconds.
 
     The clock never reads wall time; engines advance it explicitly with
     :meth:`advance`.  Negative advances are rejected so a cost-model bug
-    cannot silently run time backwards.
+    cannot silently run time backwards.  Advances are atomic, so activities
+    running on real worker threads can share one clock.
     """
 
-    __slots__ = ("_now",)
+    __slots__ = ("_now", "_lock")
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
+        self._lock = threading.Lock()
 
     @property
     def now(self) -> float:
@@ -39,18 +43,21 @@ class SimClock:
         """Advance the clock by ``seconds`` and return the new time."""
         if seconds < 0:
             raise ValueError(f"cannot advance clock by negative time: {seconds}")
-        self._now += seconds
-        return self._now
+        with self._lock:
+            self._now += seconds
+            return self._now
 
     def advance_to(self, t: float) -> float:
         """Advance the clock to absolute time ``t`` (no-op if already past)."""
-        if t > self._now:
-            self._now = t
-        return self._now
+        with self._lock:
+            if t > self._now:
+                self._now = t
+            return self._now
 
     def reset(self) -> None:
         """Reset the clock to zero."""
-        self._now = 0.0
+        with self._lock:
+            self._now = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimClock(now={self._now:.6f})"
@@ -67,22 +74,25 @@ class PhaseTimer:
         job_clock.advance(timer.barrier())   # everyone waits for the slowest
     """
 
-    __slots__ = ("_elapsed",)
+    __slots__ = ("_elapsed", "_lock")
 
     def __init__(self, participants: int) -> None:
         if participants <= 0:
             raise ValueError("a phase needs at least one participant")
         self._elapsed = [0.0] * participants
+        self._lock = threading.Lock()
 
     @property
     def participants(self) -> int:
         return len(self._elapsed)
 
     def charge(self, participant: int, seconds: float) -> None:
-        """Add ``seconds`` of work to one participant's lane."""
+        """Add ``seconds`` of work to one participant's lane (atomic, so
+        concurrent activities at different places can share one timer)."""
         if seconds < 0:
             raise ValueError(f"cannot charge negative time: {seconds}")
-        self._elapsed[participant] += seconds
+        with self._lock:
+            self._elapsed[participant] += seconds
 
     def elapsed(self, participant: int) -> float:
         """Seconds charged so far to ``participant``."""

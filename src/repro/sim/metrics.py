@@ -15,6 +15,7 @@ polling model, disk-based out-of-core shuffling, and JVM startup costs").
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from typing import Dict, Tuple
 
@@ -42,20 +43,27 @@ TIME_CATEGORIES: Tuple[str, ...] = (
 
 
 class TimeBreakdown:
-    """Simulated seconds attributed to named categories."""
+    """Simulated seconds attributed to named categories.
+
+    Charges are atomic: concurrent tasks all charge the same breakdown, and
+    a float ``+=`` is a read-modify-write that would otherwise lose time.
+    """
 
     def __init__(self) -> None:
         self._seconds: Dict[str, float] = defaultdict(float)
+        self._lock = threading.Lock()
 
     def charge(self, category: str, seconds: float) -> None:
         """Attribute ``seconds`` to ``category``."""
         if seconds < 0:
             raise ValueError(f"cannot charge negative time: {seconds}")
-        self._seconds[category] += seconds
+        with self._lock:
+            self._seconds[category] += seconds
 
     def get(self, category: str) -> float:
         """Seconds attributed so far to ``category`` (0.0 when never charged)."""
-        return self._seconds.get(category, 0.0)
+        with self._lock:
+            return self._seconds.get(category, 0.0)
 
     def total(self) -> float:
         """Sum over all categories.
@@ -63,16 +71,21 @@ class TimeBreakdown:
         Note this is *work* time, not wall-clock: parallel lanes overlap, so
         engines report wall-clock separately and this total can exceed it.
         """
-        return sum(self._seconds.values())
+        with self._lock:
+            return sum(self._seconds.values())
 
     def merge(self, other: "TimeBreakdown") -> None:
         """Fold another breakdown into this one."""
-        for category, seconds in other._seconds.items():
-            self._seconds[category] += seconds
+        with other._lock:
+            snapshot = list(other._seconds.items())
+        with self._lock:
+            for category, seconds in snapshot:
+                self._seconds[category] += seconds
 
     def as_dict(self) -> Dict[str, float]:
         """A plain dict snapshot (categories with zero time omitted)."""
-        return dict(self._seconds)
+        with self._lock:
+            return dict(self._seconds)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = ", ".join(f"{k}={v:.3f}" for k, v in sorted(self._seconds.items()))
@@ -85,26 +98,34 @@ class Metrics:
     def __init__(self) -> None:
         self.counters: Dict[str, int] = defaultdict(int)
         self.time = TimeBreakdown()
+        self._lock = threading.Lock()
 
     # -- counters --------------------------------------------------------- #
 
     def incr(self, name: str, amount: int = 1) -> None:
-        """Increment the counter ``name`` by ``amount``."""
-        self.counters[name] += amount
+        """Increment the counter ``name`` by ``amount`` (atomic)."""
+        with self._lock:
+            self.counters[name] += amount
 
     def get(self, name: str) -> int:
         """Counter value (0 when never incremented)."""
-        return self.counters.get(name, 0)
+        with self._lock:
+            return self.counters.get(name, 0)
 
     def merge(self, other: "Metrics") -> None:
         """Fold another metrics object into this one."""
-        for name, value in other.counters.items():
-            self.counters[name] += value
+        with other._lock:
+            snapshot = list(other.counters.items())
+        with self._lock:
+            for name, value in snapshot:
+                self.counters[name] += value
         self.time.merge(other.time)
 
     def as_dict(self) -> Dict[str, object]:
         """A plain snapshot suitable for printing or JSON."""
-        return {"counters": dict(self.counters), "time": self.time.as_dict()}
+        with self._lock:
+            counters = dict(self.counters)
+        return {"counters": counters, "time": self.time.as_dict()}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Metrics(counters={dict(self.counters)!r}, time={self.time!r})"

@@ -131,6 +131,22 @@ class X10Runtime:
         scope._finish.wait()
         return result
 
+    def finish_collect(self, body: Callable[["_FinishScope"], Any]) -> List[Any]:
+        """``finish`` that returns the spawned activities' results.
+
+        Results come back in *spawn order*, not completion order, so a
+        phase that spawns one activity per task index gets its outputs in
+        deterministic task-index order no matter how the worker threads
+        interleave.  Activity failures surface as :class:`ActivityError`
+        after every activity has settled (fail-fast without orphaning
+        still-running activities — the ``finish`` never hangs).
+        """
+        if self._closed:
+            raise RuntimeError("runtime has been shut down")
+        scope = _FinishScope(self)
+        body(scope)
+        return scope._finish.wait()
+
     def at(self, place: Place, fn: Callable[..., Any], *args: Any) -> Any:
         """X10 ``at (p) S``: run ``fn(*args)`` synchronously "at" ``place``.
 

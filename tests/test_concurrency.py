@@ -1,0 +1,303 @@
+"""Concurrency stress tests for real multi-threaded task execution.
+
+The M3R engine now runs each map/reduce phase as one X10 ``finish`` block
+spawning an ``async`` per task on real worker threads, with
+``workers_per_place`` bounding per-place concurrency; the Hadoop engine
+mirrors this with slot-bounded worker threads.  These tests pin down the
+contract that makes that safe:
+
+* **Determinism** — with ``workers_per_place >= 4`` over ~64 splits, the
+  committed output, every counter total, and the cached blocks are
+  byte-identical to the serial debugging path
+  (``m3r.engine.real-threads = false``), across many seeded datasets.
+* **No lost updates** — per-record counters (system and user) are exact,
+  not merely close, under concurrent increments.
+* **Fail-fast** — a mapper raising at an arbitrary task index fails the
+  whole job (``JobFailedError`` propagates; plain exceptions surface as a
+  failed :class:`EngineResult`), the ``finish`` never hangs, no output is
+  committed, and the engine stays usable afterwards.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as PyCounter
+
+import numpy as np
+import pytest
+
+from repro.api.conf import REAL_THREADS_KEY, JobConf
+from repro.api.counters import TaskCounter
+from repro.api.formats import SequenceFileOutputFormat, TextInputFormat
+from repro.api.mapred import Mapper
+from repro.api.writables import IntWritable, Text
+from repro.apps import matvec
+from repro.apps.wordcount import SumReducer, generate_text, wordcount_job
+from repro.engine_common import JobFailedError
+
+from conftest import make_hadoop, make_m3r
+
+NUM_SPLITS = 64
+
+
+def write_corpus(fs, path: str, seed: int, parts: int = NUM_SPLITS,
+                 lines_per_part: int = 6) -> str:
+    """Write ``parts`` small text files under ``path``; returns the corpus."""
+    chunks = []
+    for part in range(parts):
+        text = generate_text(lines_per_part, seed=seed * 1000 + part)
+        fs.write_text(f"{path}/part-{part:05d}", text, at_node=None)
+        chunks.append(text)
+    return "\n".join(chunks)
+
+
+def snapshot(engine, out_dir: str = "/out"):
+    """Everything the determinism contract covers: committed output pairs,
+    per-file layout, all counter totals, and (for M3R) the cached blocks."""
+    per_file = {}
+    for status in engine.filesystem.list_status(out_dir):
+        per_file[status.path] = [
+            (repr(k), repr(v)) for k, v in engine.filesystem.read_kv_pairs(status.path)
+        ] if not status.path.endswith("_SUCCESS") else []
+    cached = None
+    if hasattr(engine, "cache"):
+        cached = sorted(
+            (e.name, e.path, e.place_id, e.nbytes,
+             sorted((repr(k), repr(v)) for k, v in e.pairs))
+            for e in engine.cache.entries()
+        )
+    return per_file, cached
+
+
+class WordStressMapper(Mapper):
+    """Word splitter with a per-record user counter (lost updates under
+    concurrent increments would show up as an inexact total)."""
+
+    def map(self, key, value, output, reporter):
+        reporter.incr_counter("stress", "records", 1)
+        for word in str(value).split():
+            reporter.incr_counter("stress", "words", 1)
+            output.collect(Text(word), IntWritable(1))
+
+
+def stress_job(input_path: str, output_path: str, reducers: int = 8) -> JobConf:
+    conf = JobConf()
+    conf.set_job_name("wordcount-stress")
+    conf.set_input_paths(input_path)
+    conf.set_output_path(output_path)
+    conf.set_input_format(TextInputFormat)
+    conf.set_output_format(SequenceFileOutputFormat)
+    conf.set_num_reduce_tasks(reducers)
+    conf.set_mapper_class(WordStressMapper)
+    conf.set_reducer_class(SumReducer)
+    conf.set_combiner_class(SumReducer)
+    return conf
+
+
+def run_stress(factory, seed: int, threaded: bool, parts: int = NUM_SPLITS,
+               engine_kwargs=None):
+    """One engine, one seeded corpus, one run; returns the full snapshot."""
+    engine = factory(**(engine_kwargs or {}))
+    try:
+        corpus = write_corpus(engine.filesystem, "/in", seed, parts=parts)
+        conf = stress_job("/in", "/out")
+        conf.set_boolean(REAL_THREADS_KEY, threaded)
+        result = engine.run_job(conf)
+        assert result.succeeded, result.error
+        per_file, cached = snapshot(engine)
+        counts = PyCounter()
+        for k, v in engine.filesystem.read_kv_pairs("/out"):
+            counts[str(k)] += v.get()
+        return {
+            "corpus": corpus,
+            "output": per_file,
+            "cached": cached,
+            "counts": counts,
+            "counters": result.counters.as_dict(),
+            "counters_obj": result.counters,
+            "seconds": result.simulated_seconds,
+        }
+    finally:
+        if hasattr(engine, "shutdown"):
+            engine.shutdown()
+
+
+class TestM3RStress:
+    def test_threaded_matches_serial_on_64_splits(self):
+        """workers_per_place=4, 64 splits: byte-identical to the serial path."""
+        threaded = run_stress(make_m3r, seed=1, threaded=True,
+                              engine_kwargs={"workers_per_place": 4})
+        serial = run_stress(make_m3r, seed=1, threaded=False,
+                            engine_kwargs={"workers_per_place": 4})
+        assert threaded["output"] == serial["output"]
+        assert threaded["counters"] == serial["counters"]
+        assert threaded["cached"] == serial["cached"]
+        assert threaded["seconds"] == pytest.approx(serial["seconds"])
+        # And the answer itself is right.
+        expected = PyCounter(threaded["corpus"].split())
+        assert dict(threaded["counts"]) == dict(expected)
+
+    def test_counters_exact_under_threads(self):
+        """Per-record system and user counters: exact totals, no lost
+        updates, across 64 concurrently-mapped splits."""
+        run = run_stress(make_m3r, seed=2, threaded=True,
+                         engine_kwargs={"workers_per_place": 4})
+        words = len(run["corpus"].split())
+        lines = sum(1 for line in run["corpus"].splitlines() if line)
+        counters = run["counters_obj"]
+        assert counters.value("stress", "words") == words
+        assert counters.value("stress", "records") == lines
+        assert counters.value(TaskCounter.MAP_INPUT_RECORDS) == lines
+        assert counters.value(TaskCounter.MAP_OUTPUT_RECORDS) == words
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_twenty_seeded_runs_deterministic(self, seed):
+        """Acceptance sweep: 20 seeded corpora, threaded == serial on
+        output, counters and cached blocks."""
+        threaded = run_stress(make_m3r, seed=seed, threaded=True, parts=16,
+                              engine_kwargs={"workers_per_place": 4})
+        serial = run_stress(make_m3r, seed=seed, threaded=False, parts=16,
+                            engine_kwargs={"workers_per_place": 4})
+        assert threaded["output"] == serial["output"]
+        assert threaded["counters"] == serial["counters"]
+        assert threaded["cached"] == serial["cached"]
+
+    def test_single_worker_forces_serial_path_same_answer(self):
+        """workers_per_place=1 forces the serial debugging path; the job's
+        answer is unchanged (the split *hint* scales with workers, so task
+        counts differ legitimately — the committed counts must not)."""
+        serial = run_stress(make_m3r, seed=3, threaded=True, parts=16,
+                            engine_kwargs={"workers_per_place": 1})
+        threaded = run_stress(make_m3r, seed=3, threaded=True, parts=16,
+                              engine_kwargs={"workers_per_place": 8})
+        assert dict(threaded["counts"]) == dict(serial["counts"])
+        assert dict(serial["counts"]) == dict(PyCounter(serial["corpus"].split()))
+
+
+class TestHadoopStress:
+    def test_threaded_matches_serial(self):
+        """The Hadoop engine honours the same knob — like for like."""
+        threaded = run_stress(make_hadoop, seed=4, threaded=True)
+        serial = run_stress(make_hadoop, seed=4, threaded=False)
+        assert threaded["output"] == serial["output"]
+        assert threaded["counters"] == serial["counters"]
+        assert threaded["seconds"] == pytest.approx(serial["seconds"])
+
+
+class TestMatvecStress:
+    def test_matvec_iteration_threaded_matches_serial_and_numpy(self):
+        rows, block = 256, 32
+        num_blocks = rows // block
+        g = matvec.generate_blocked_matrix(rows, block, sparsity=0.05, seed=21)
+        v = matvec.generate_blocked_vector(rows, block, seed=22)
+        reference = matvec.reference_multiply(g, v, rows, block)
+        vectors = {}
+        for threaded in (True, False):
+            engine = make_m3r(num_nodes=4, workers_per_place=4)
+            try:
+                matvec.write_partitioned(engine.filesystem, "/G", g, num_blocks, 8)
+                matvec.write_partitioned(engine.filesystem, "/v0", v, num_blocks, 8)
+                sequence = matvec.iteration_jobs(
+                    "/G", "/v0", "/v1", "/tmp", 0, num_blocks, 8
+                )
+                for conf in sequence.confs:
+                    conf.set_boolean(REAL_THREADS_KEY, threaded)
+                results = engine.run_sequence(sequence)
+                assert all(r.succeeded for r in results)
+                pairs = engine.filesystem.read_kv_pairs("/v1")
+                vectors[threaded] = matvec.blocked_vector_to_array(pairs, rows)
+            finally:
+                engine.shutdown()
+        # threaded vs serial: bit-identical floats, not just close
+        assert np.array_equal(vectors[True], vectors[False])
+        assert np.allclose(vectors[True], reference)
+
+
+class PoisonedMapper(Mapper):
+    """Raises mid-phase when it encounters the poisoned record."""
+
+    exception: type = ValueError
+
+    def map(self, key, value, output, reporter):
+        if "POISON" in str(value):
+            raise self.exception("injected task failure")
+        output.collect(Text(str(value)), IntWritable(1))
+
+
+class NodeLossMapper(PoisonedMapper):
+    exception = JobFailedError
+
+
+def poison_corpus(fs, seed: int, parts: int = NUM_SPLITS) -> int:
+    """64 part files, one of which (seeded-random) contains the poison."""
+    import random
+
+    victim = random.Random(seed).randrange(parts)
+    for part in range(parts):
+        text = generate_text(4, seed=seed * 77 + part)
+        if part == victim:
+            text += "\nPOISON\n"
+        fs.write_text(f"/in/part-{part:05d}", text)
+    return victim
+
+
+def failing_job(mapper_cls) -> JobConf:
+    conf = JobConf()
+    conf.set_job_name("fault-injection")
+    conf.set_input_paths("/in")
+    conf.set_output_path("/out")
+    conf.set_input_format(TextInputFormat)
+    conf.set_output_format(SequenceFileOutputFormat)
+    conf.set_num_reduce_tasks(4)
+    conf.set_mapper_class(mapper_cls)
+    conf.set_reducer_class(SumReducer)
+    return conf
+
+
+class TestFaultInjection:
+    @pytest.mark.parametrize("seed", [0, 7, 19])
+    def test_job_failed_error_propagates_under_threads(self, seed):
+        """A task simulating node loss fails the whole job: JobFailedError
+        reaches the caller, the finish does not hang, nothing is committed."""
+        engine = make_m3r(num_nodes=4, workers_per_place=4)
+        try:
+            poison_corpus(engine.filesystem, seed)
+            with pytest.raises(JobFailedError):
+                engine.run_job(failing_job(NodeLossMapper))
+            # No partially committed output: the failure struck in the map
+            # phase, so no reducer ever wrote a part file, and the success
+            # marker never appeared.
+            assert not engine.filesystem.exists("/out/_SUCCESS")
+            assert engine.filesystem.read_kv_pairs("/out") == []
+        finally:
+            engine.shutdown()
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_user_exception_reported_same_as_serial(self, seed):
+        """A plain user exception surfaces as a failed EngineResult with the
+        same error string as the serial path — and the engine (and its
+        cache) stays usable for the next job."""
+        results = {}
+        for threaded in (True, False):
+            engine = make_m3r(num_nodes=4, workers_per_place=4)
+            try:
+                poison_corpus(engine.filesystem, seed)
+                conf = failing_job(PoisonedMapper)
+                conf.set_boolean(REAL_THREADS_KEY, threaded)
+                result = engine.run_job(conf)
+                assert not result.succeeded
+                assert "ValueError" in result.error
+                results[threaded] = result.error
+                assert not engine.filesystem.exists("/out/_SUCCESS")
+                # Engine survives the failure: a clean job runs fine and the
+                # cache is still consistent (registrations from the failed
+                # map phase must not wedge later lookups).
+                follow_up = engine.run_job(
+                    wordcount_job("/in/part-00000", "/out2", 2)
+                )
+                assert follow_up.succeeded, follow_up.error
+                assert engine.filesystem.exists("/out2/_SUCCESS")
+                for entry in engine.cache.entries():
+                    assert entry.nbytes >= 0 and entry.pairs is not None
+            finally:
+                engine.shutdown()
+        assert results[True] == results[False]

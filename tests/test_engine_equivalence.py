@@ -265,6 +265,69 @@ class TestPipelines:
         assert [k for k, _ in results["m3r"]] == sorted(k.get() for k, _ in pairs)
 
 
+class ToOneMapper(Mapper):
+    """(key, anything) → (key, 1); with SumValuesReducer this is a
+    combiner-safe key histogram."""
+
+    def map(self, key, value, output, reporter):
+        output.collect(key, IntWritable(1))
+
+
+class SumValuesReducer(Reducer):
+    def reduce(self, key, values, output, reporter):
+        output.collect(key, IntWritable(sum(v.get() for v in values)))
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_seeded_random_jobs_differential(seed):
+    """Seeded-random differential sweep (both engines on real threads):
+    random key skew, split count, reducer count and combiner choice — M3R's
+    committed output must equal Hadoop's, pair for pair."""
+    import random
+
+    rng = random.Random(seed)
+    num_keys = rng.randint(1, 40)
+    num_pairs = rng.randint(1, 200)
+    num_parts = rng.randint(1, 8)
+    reducers = rng.randint(1, 6)
+    use_combiner = rng.random() < 0.5
+    skew = rng.choice([1.0, 2.0])  # uniform vs quadratically skewed keys
+    pairs = []
+    for i in range(num_pairs):
+        draw = rng.random() ** skew
+        key = int(draw * num_keys)
+        pairs.append((IntWritable(key), Text(f"v{i % 5}")))
+    reference = Counter(k.get() for k, _ in pairs)
+
+    outputs = {}
+    for kind, factory in (("hadoop", make_hadoop), ("m3r", make_m3r)):
+        engine = factory()
+        for part in range(num_parts):
+            engine.filesystem.write_pairs(
+                f"/in/part-{part:05d}", pairs[part::num_parts]
+            )
+        conf = JobConf()
+        conf.set_job_name(f"differential-{seed}")
+        conf.set_input_paths("/in")
+        conf.set_input_format(SequenceFileInputFormat)
+        conf.set_mapper_class(ToOneMapper)
+        conf.set_reducer_class(SumValuesReducer)
+        if use_combiner:
+            conf.set_combiner_class(SumValuesReducer)
+        conf.set_output_format(SequenceFileOutputFormat)
+        conf.set_output_path("/out")
+        conf.set_num_reduce_tasks(reducers)
+        result = engine.run_job(conf)
+        assert result.succeeded, result.error
+        outputs[kind] = sorted(
+            (k.get(), v.get()) for k, v in engine.filesystem.read_kv_pairs("/out")
+        )
+        if hasattr(engine, "shutdown"):
+            engine.shutdown()
+    assert outputs["hadoop"] == outputs["m3r"]
+    assert dict(outputs["m3r"]) == dict(reference)
+
+
 @given(
     st.lists(
         st.tuples(st.integers(0, 20), st.text(max_size=6)),
