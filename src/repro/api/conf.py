@@ -131,6 +131,17 @@ JOB_QUEUE_NAME_KEY = "mapred.job.queue.name"
 # equivalence runs compare like for like.
 REAL_THREADS_KEY = "m3r.engine.real-threads"
 
+# Memory-governance knobs (repro.memory): per-place cache budget, watermark
+# hysteresis, replacement strategy, spill-to-filesystem demotion, and
+# eviction-exempt path prefixes.  All ride on the same custom-settings
+# convention; the Hadoop engine ignores them entirely.
+CACHE_CAPACITY_KEY = "m3r.cache.capacity-bytes"
+CACHE_HIGH_WATERMARK_KEY = "m3r.cache.high-watermark"
+CACHE_LOW_WATERMARK_KEY = "m3r.cache.low-watermark"
+CACHE_EVICTION_POLICY_KEY = "m3r.cache.eviction-policy"
+CACHE_SPILL_KEY = "m3r.cache.spill"
+CACHE_PINNED_PATHS_KEY = "m3r.cache.pinned-paths"
+
 
 class JobConf(Configuration):
     """The old-style job configuration, with the usual convenience setters.

@@ -192,6 +192,76 @@ def cmd_pig(args: argparse.Namespace) -> int:
     return _check_equivalence(outputs)
 
 
+def cmd_cache_stats(args: argparse.Namespace) -> int:
+    """Admin view of memory governance: run an iterative workload on an
+    M3R engine with the requested budget, then print per-place occupancy
+    and the lifetime eviction/spill/rehydration counters."""
+    from repro.apps import matvec
+
+    cluster = Cluster(args.nodes)
+    fs = SimulatedHDFS(cluster, block_size=256 * 1024, replication=1)
+    engine = m3r_engine(
+        filesystem=fs,
+        cache_capacity_bytes=args.capacity_bytes,
+        cache_high_watermark=args.high_watermark,
+        cache_low_watermark=args.low_watermark,
+        cache_eviction_policy=args.policy,
+        cache_spill=not args.no_spill,
+    )
+    block = max(1, args.rows // 8)
+    num_row_blocks = (args.rows + block - 1) // block
+    g = matvec.generate_blocked_matrix(args.rows, block, sparsity=args.sparsity)
+    v = matvec.generate_blocked_vector(args.rows, block)
+    matvec.write_partitioned(engine.filesystem, "/G", g, num_row_blocks, args.nodes)
+    matvec.write_partitioned(engine.filesystem, "/V0", v, num_row_blocks, args.nodes)
+    engine.warm_cache_from("/G")
+    engine.warm_cache_from("/V0")
+    current = "/V0"
+    for iteration in range(args.iterations):
+        nxt = f"/V{iteration + 1}"
+        sequence = matvec.iteration_jobs(
+            "/G", current, nxt, "/scratch", iteration, num_row_blocks, args.nodes,
+        )
+        for result in sequence.run_all(engine):
+            if not result.succeeded:
+                print(f"  {result.job_name}: FAILED — {result.error}")
+                return 1
+        current = nxt
+
+    stats = engine.cache.stats()
+    capacity = stats["capacity_bytes"]
+    print(
+        f"cache-stats after {args.iterations} matvec iteration(s), "
+        f"{args.nodes} places:"
+    )
+    print(
+        f"  policy={stats['policy']}"
+        f"  capacity={'unbounded' if capacity <= 0 else f'{capacity:,} B'}"
+        f"  watermarks={stats['high_watermark']:.2f}/{stats['low_watermark']:.2f}"
+        f"  spill={'on' if stats['spill_enabled'] else 'off'}"
+    )
+    header = (f"  {'place':>5}  {'entries':>7}  {'spilled':>7}  "
+              f"{'resident B':>12}  {'occupancy B':>12}  {'high-water B':>12}")
+    print(header)
+    for place_id in sorted(stats["places"]):
+        slot = stats["places"][place_id]
+        print(
+            f"  {place_id:>5}  {slot['entries']:>7}  {slot['spilled']:>7}  "
+            f"{slot['resident_bytes']:>12,}  {slot['occupancy_bytes']:>12,}  "
+            f"{slot['high_water_bytes']:>12,}"
+        )
+    counters = stats["lifetime"]["counters"]
+    print(
+        f"  totals: hits={counters.get('cache_lookup_hits', 0)}"
+        f" misses={counters.get('cache_lookup_misses', 0)}"
+        f" evictions={counters.get('cache_evictions', 0)}"
+        f" spills={counters.get('cache_spills', 0)}"
+        f" rehydrations={counters.get('cache_rehydrations', 0)}"
+        f" spill-bytes={counters.get('cache_spill_bytes', 0):,}"
+    )
+    return 0
+
+
 def _check_equivalence(outputs: Dict[str, object]) -> int:
     if len(outputs) == 2:
         hadoop_out, m3r_out = outputs.get("hadoop"), outputs.get("m3r")
@@ -241,6 +311,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sparsity", type=float, default=0.02)
     p.add_argument("--iterations", type=int, default=2)
     p.set_defaults(func=cmd_sysml)
+
+    p = sub.add_parser(
+        "cache-stats",
+        help="memory-governance admin view: per-place occupancy, budget "
+             "and eviction/spill counters after an iterative workload",
+    )
+    p.add_argument("--capacity-bytes", type=int, default=0,
+                   help="per-place cache budget (0 = unbounded)")
+    p.add_argument("--high-watermark", type=float, default=0.9)
+    p.add_argument("--low-watermark", type=float, default=0.75)
+    p.add_argument("--policy", choices=("lru", "fifo", "gds"), default="lru")
+    p.add_argument("--no-spill", action="store_true",
+                   help="drop evicted durable entries instead of spilling")
+    p.add_argument("--rows", type=int, default=400)
+    p.add_argument("--iterations", type=int, default=3)
+    p.add_argument("--sparsity", type=float, default=0.01)
+    p.set_defaults(func=cmd_cache_stats)
 
     p = sub.add_parser("jaql", help="run a Jaql JSON pipeline")
     p.add_argument("--script", required=True, help="path to the pipeline file")

@@ -14,17 +14,29 @@ The cache associates key/value sequences with *names*:
 Entries carry the place that holds them; the engine schedules mappers to
 that place, which together with partition stability is what keeps iterative
 job sequences communication-free.
+
+Every byte the cache holds is governed by a
+:class:`~repro.memory.governor.MemoryGovernor` (see :mod:`repro.memory`):
+admissions charge a per-place budget, crossing the high watermark evicts
+unpinned entries in the order the active policy chooses, and evicted
+entries are demoted to a spill file on the underlying filesystem rather
+than dropped — a spilled entry stays in the index (so the namespace union
+in :mod:`repro.core.cachefs` still sees it) and is transparently
+rehydrated by the next materializing lookup.  The default governor is
+unbounded with no spill, which is exactly the historical behaviour.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.fs.filesystem import normalize_path
 from repro.kvstore.store import BlockInfo, KeyValueStore
+from repro.memory import EvictionCandidate, MemoryGovernor, SpillRecord
 from repro.x10.places import Place
+from repro.x10.serializer import estimate_size
 
 
 #: Separator between a path and a split range in internal cache names.
@@ -39,40 +51,67 @@ def split_cache_name(path: str, start: int, length: int) -> str:
 
 @dataclass
 class CacheEntry:
-    """One cached key/value sequence."""
+    """One cached key/value sequence.
+
+    ``pairs`` is ``None`` while the entry is spilled; metadata (``nbytes``,
+    ``place_id``) stays valid so namespace queries keep working.  ``durable``
+    records whether the same data also exists on the underlying filesystem —
+    a non-durable entry (temporary output, named split) must never be
+    dropped without a spill, or its data would be lost.
+    """
 
     name: str
     path: str
     place_id: int
-    pairs: List[Tuple[Any, Any]]
+    pairs: Optional[List[Tuple[Any, Any]]]
     nbytes: int
+    durable: bool = True
+    spilled: bool = False
+    spill: Optional[SpillRecord] = None
+    pins: int = field(default=0, compare=False)
 
     @property
     def records(self) -> int:
-        return len(self.pairs)
+        return len(self.pairs) if self.pairs is not None else 0
 
 
 class KeyValueCache:
     """The engine-wide cache: one instance per M3R engine, distributed over
     the engine's places through the key/value store."""
 
-    def __init__(self, places: Sequence[Place]):
+    def __init__(
+        self,
+        places: Sequence[Place],
+        governor: Optional[MemoryGovernor] = None,
+    ):
         self._store = KeyValueStore(places)
         # name -> (path, place_id); the store holds the data blocks.  This
         # index exists because lookups arrive by path *or* by split name.
         self._index: Dict[str, CacheEntry] = {}
+        #: Budget/policy/spill coordinator; unbounded + no spill by default.
+        self.governor = governor if governor is not None else MemoryGovernor()
         # Guards the index AND keeps each registration (store put_block +
         # name-map update) atomic: two reducers caching outputs concurrently
-        # must not interleave the block write with the index write.
+        # must not interleave the block write with the index write.  Eviction
+        # and rehydration run under the same lock, so an entry can never be
+        # observed mid-demotion.
         self._lock = threading.RLock()
 
     # -- writes ------------------------------------------------------------- #
 
     def put_file(
-        self, path: str, place_id: int, pairs: List[Tuple[Any, Any]], nbytes: int
+        self,
+        path: str,
+        place_id: int,
+        pairs: List[Tuple[Any, Any]],
+        nbytes: int,
+        durable: bool = True,
     ) -> CacheEntry:
         """Cache a whole file's pair sequence at ``place_id``."""
-        return self._put(normalize_path(path), normalize_path(path), place_id, pairs, nbytes)
+        return self._put(
+            normalize_path(path), normalize_path(path), place_id, pairs,
+            nbytes, durable,
+        )
 
     def put_split(
         self,
@@ -82,18 +121,28 @@ class KeyValueCache:
         place_id: int,
         pairs: List[Tuple[Any, Any]],
         nbytes: int,
+        durable: bool = True,
     ) -> CacheEntry:
         """Cache the pair sequence of one split of ``path``."""
         name = split_cache_name(path, start, length)
-        return self._put(name, normalize_path(path), place_id, pairs, nbytes)
+        return self._put(name, normalize_path(path), place_id, pairs, nbytes, durable)
 
     def put_named(
-        self, name: str, place_id: int, pairs: List[Tuple[Any, Any]], nbytes: int
+        self,
+        name: str,
+        place_id: int,
+        pairs: List[Tuple[Any, Any]],
+        nbytes: int,
+        durable: bool = False,
     ) -> CacheEntry:
-        """Cache under a user-provided name (the ``NamedSplit`` path)."""
+        """Cache under a user-provided name (the ``NamedSplit`` path).
+
+        Named data has no filesystem backing, so it defaults to
+        non-durable: eviction must spill it, never drop it.
+        """
         if not name.startswith("/"):
             name = "/" + name
-        return self._put(name, name, place_id, pairs, nbytes)
+        return self._put(name, name, place_id, pairs, nbytes, durable)
 
     def _put(
         self,
@@ -102,49 +151,206 @@ class KeyValueCache:
         place_id: int,
         pairs: List[Tuple[Any, Any]],
         nbytes: int,
+        durable: bool = True,
     ) -> CacheEntry:
+        if nbytes <= 0:
+            # Callers normally pass the measured wire size; a zero or
+            # negative size would poison the budget accounting (an entry
+            # that occupies memory but charges nothing), so fall back to
+            # the serializer's estimate.
+            nbytes = estimate_size(pairs)
         with self._lock:
             if name in self._index:
-                self._store.delete(name)
-                del self._index[name]
+                self._forget(name)
             # The store keeps the list reference — this is an in-memory cache,
             # the whole point is that nothing is copied or serialized here.
             stored = self._store.put_block(
                 name, BlockInfo(place_id=place_id), pairs, nbytes
             )
             entry = CacheEntry(
-                name=name, path=path, place_id=place_id, pairs=stored, nbytes=nbytes
+                name=name, path=path, place_id=place_id, pairs=stored,
+                nbytes=nbytes, durable=durable,
             )
             self._index[name] = entry
+            self.governor.budget.charge(place_id, nbytes)
+            self.governor.policy.on_admit(name, nbytes)
+            self._enforce(place_id)
             return entry
+
+    # -- memory governance --------------------------------------------------- #
+
+    def _enforce(self, place_id: int) -> None:
+        """Evict at ``place_id`` until it is back under the low watermark
+        (or nothing evictable remains).  Caller holds the lock."""
+        governor = self.governor
+        while governor.needs_eviction(place_id):
+            spill_active = governor.spill_active
+            candidates = [
+                EvictionCandidate(entry.name, entry.place_id, entry.nbytes)
+                for entry in self._index.values()
+                if entry.place_id == place_id
+                and not entry.spilled
+                # Without spill, dropping a non-durable entry (a temporary
+                # output that was never flushed) would lose data — treat
+                # it as implicitly pinned.
+                and (spill_active or entry.durable)
+                and not governor.is_pinned(entry.name, entry.path, entry.pins)
+            ]
+            victims = governor.plan_eviction(place_id, candidates)
+            evicted = 0
+            for name in victims:
+                entry = self._index.get(name)
+                if entry is None or entry.spilled:
+                    continue
+                self._evict(entry)
+                evicted += 1
+            if not evicted:
+                break  # everything left is pinned; high-water records it
+
+    def _evict(self, entry: CacheEntry) -> None:
+        """Demote one resident entry: spill if available, else drop."""
+        governor = self.governor
+        if governor.spill_active:
+            record, seconds = governor.spill.spill(entry.pairs)
+            self._store.delete(entry.name)
+            entry.pairs = None
+            entry.spilled = True
+            entry.spill = record
+            governor.incr("cache_spills")
+            governor.incr("cache_spill_bytes", record.wire_bytes)
+            governor.charge_seconds("spill_write", seconds)
+        else:
+            self._store.delete(entry.name)
+            del self._index[entry.name]
+        governor.budget.release(entry.place_id, entry.nbytes)
+        governor.policy.on_remove(entry.name)
+        governor.incr("cache_evictions")
+
+    def _rehydrate(self, entry: CacheEntry) -> None:
+        """Bring a spilled entry back to residency.  Caller holds the lock."""
+        governor = self.governor
+        pairs, seconds = governor.spill.rehydrate(entry.spill)
+        stored = self._store.put_block(
+            entry.name, BlockInfo(place_id=entry.place_id), pairs, entry.nbytes
+        )
+        entry.pairs = stored
+        entry.spilled = False
+        entry.spill = None
+        governor.budget.charge(entry.place_id, entry.nbytes)
+        governor.policy.on_admit(entry.name, entry.nbytes)
+        governor.incr("cache_rehydrations")
+        governor.charge_seconds("spill_read", seconds)
+        # Re-admission can push the place back over its watermark; protect
+        # the entry being handed to the caller from its own eviction wave.
+        entry.pins += 1
+        try:
+            self._enforce(entry.place_id)
+        finally:
+            entry.pins -= 1
+
+    def _forget(self, name: str) -> None:
+        """Remove an entry outright (replacement, delete, clear)."""
+        entry = self._index.pop(name)
+        if entry.spilled:
+            self.governor.spill.discard(entry.spill)
+        else:
+            self._store.delete(name)
+            self.governor.budget.release(entry.place_id, entry.nbytes)
+        self.governor.policy.on_remove(name)
+
+    def pin(self, name: str) -> bool:
+        """Ref-count-pin an entry against eviction; False when unknown."""
+        with self._lock:
+            entry = self._index.get(name)
+            if entry is None:
+                return False
+            entry.pins += 1
+            return True
+
+    def unpin(self, name: str) -> None:
+        with self._lock:
+            entry = self._index.get(name)
+            if entry is not None and entry.pins > 0:
+                entry.pins -= 1
+
+    def reconfigure(self, **overrides: Any) -> None:
+        """Apply ``m3r.cache.*`` overrides, then re-enforce every budget."""
+        with self._lock:
+            self.governor.reconfigure(
+                resident_entries=[
+                    (entry.name, entry.nbytes)
+                    for entry in self._index.values()
+                    if not entry.spilled
+                ],
+                **overrides,
+            )
+            for place_id in {e.place_id for e in self._index.values()}:
+                self._enforce(place_id)
 
     # -- lookups --------------------------------------------------------- #
 
-    def get_file(self, path: str) -> Optional[CacheEntry]:
+    def _resolve(
+        self, entry: Optional[CacheEntry], materialize: bool, pin: bool
+    ) -> Optional[CacheEntry]:
+        """Post-process one index lookup.  Caller holds the lock.
+
+        ``materialize=False`` is the metadata peek: no rehydration, no
+        policy touch, no hit/miss tally — namespace queries must not
+        perturb replacement order or drag data back from spill.
+        """
+        if entry is None:
+            if materialize:
+                self.governor.incr_lifetime("cache_lookup_misses")
+            return None
+        if not materialize:
+            return entry
+        self.governor.incr_lifetime("cache_lookup_hits")
+        if entry.spilled:
+            self._rehydrate(entry)
+        self.governor.policy.on_access(entry.name, entry.nbytes)
+        if pin:
+            entry.pins += 1
+        return entry
+
+    def get_file(
+        self, path: str, materialize: bool = True, pin: bool = False
+    ) -> Optional[CacheEntry]:
         """The whole-file entry for ``path``, if cached."""
         with self._lock:
-            return self._index.get(normalize_path(path))
+            return self._resolve(
+                self._index.get(normalize_path(path)), materialize, pin
+            )
 
     def get_split(
-        self, path: str, start: int, length: int, file_length: Optional[int] = None
+        self,
+        path: str,
+        start: int,
+        length: int,
+        file_length: Optional[int] = None,
+        materialize: bool = True,
+        pin: bool = False,
     ) -> Optional[CacheEntry]:
         """An entry serving the given split: exact range match, or the
         whole-file entry when the split covers the entire file."""
         with self._lock:
             entry = self._index.get(split_cache_name(path, start, length))
-            if entry is not None:
-                return entry
-            whole = self.get_file(path)
-            if whole is not None and start == 0:
-                if file_length is None or length >= file_length or length >= whole.nbytes:
-                    return whole
-            return None
+            if entry is None and start == 0:
+                whole = self._index.get(normalize_path(path))
+                if whole is not None and (
+                    file_length is None
+                    or length >= file_length
+                    or length >= whole.nbytes
+                ):
+                    entry = whole
+            return self._resolve(entry, materialize, pin)
 
-    def get_named(self, name: str) -> Optional[CacheEntry]:
+    def get_named(
+        self, name: str, materialize: bool = True, pin: bool = False
+    ) -> Optional[CacheEntry]:
         if not name.startswith("/"):
             name = "/" + name
         with self._lock:
-            return self._index.get(name)
+            return self._resolve(self._index.get(name), materialize, pin)
 
     def contains_path(self, path: str) -> bool:
         """Is anything cached for ``path`` — the file itself, one of its
@@ -177,7 +383,12 @@ class KeyValueCache:
     # -- invalidation (mirrors filesystem mutation) --------------------------- #
 
     def delete_path(self, path: str) -> bool:
-        """Drop every entry for ``path`` (and, for directories, below it)."""
+        """Drop every entry for ``path`` (and, for directories, below it).
+
+        Explicit deletion wins over pins (the CacheFS contract: a job that
+        deletes data it knows is dead must actually free the memory), and
+        releases the budget bytes and any spill file immediately.
+        """
         path = normalize_path(path)
         with self._lock:
             doomed = [
@@ -188,8 +399,7 @@ class KeyValueCache:
                 or name.startswith(path + RANGE_SEP)
             ]
             for name in doomed:
-                self._store.delete(name)
-                del self._index[name]
+                self._forget(name)
             return bool(doomed)
 
     def rename_path(self, src: str, dst: str) -> None:
@@ -204,24 +414,33 @@ class KeyValueCache:
                     new_name = new_path + name[len(entry.path):]
                     moves.append((name, new_name, entry))
             for old_name, new_name, entry in moves:
-                self._store.rename(old_name, new_name)
+                if not entry.spilled:
+                    self._store.rename(old_name, new_name)
                 del self._index[old_name]
                 entry.name = new_name
                 entry.path = dst + entry.path[len(src):]
                 self._index[new_name] = entry
+                self.governor.policy.on_rename(old_name, new_name)
 
     def clear(self) -> None:
         """Flush the whole cache."""
         with self._lock:
             for name in list(self._index):
-                self._store.delete(name)
-            self._index.clear()
+                self._forget(name)
 
     # -- accounting ---------------------------------------------------------- #
 
     def total_bytes(self) -> int:
+        """Logical bytes of every entry, resident or spilled."""
         with self._lock:
             return sum(entry.nbytes for entry in self._index.values())
+
+    def resident_bytes(self) -> int:
+        """Bytes actually held in memory (what the budget charges)."""
+        with self._lock:
+            return sum(
+                entry.nbytes for entry in self._index.values() if not entry.spilled
+            )
 
     def bytes_at_place(self, place_id: int) -> int:
         with self._lock:
@@ -234,6 +453,39 @@ class KeyValueCache:
     def entries(self) -> Iterator[CacheEntry]:
         with self._lock:
             return iter(list(self._index.values()))
+
+    def stats(self) -> Dict[str, Any]:
+        """Per-place occupancy/budget plus lifetime governance counters
+        (the ``cache-stats`` admin command's data source)."""
+        governor = self.governor
+        with self._lock:
+            per_place: Dict[int, Dict[str, int]] = {}
+            for entry in self._index.values():
+                slot = per_place.setdefault(
+                    entry.place_id,
+                    {"entries": 0, "spilled": 0, "resident_bytes": 0,
+                     "spilled_bytes": 0},
+                )
+                slot["entries"] += 1
+                if entry.spilled:
+                    slot["spilled"] += 1
+                    slot["spilled_bytes"] += entry.nbytes
+                else:
+                    slot["resident_bytes"] += entry.nbytes
+        budget = governor.budget
+        for place_id, slot in per_place.items():
+            slot["occupancy_bytes"] = budget.occupancy(place_id)
+            slot["high_water_bytes"] = budget.high_water(place_id)
+        lifetime = governor.lifetime.as_dict()
+        return {
+            "capacity_bytes": budget.capacity_bytes,
+            "high_watermark": budget.high_watermark,
+            "low_watermark": budget.low_watermark,
+            "policy": governor.policy.name,
+            "spill_enabled": governor.spill_active,
+            "places": per_place,
+            "lifetime": lifetime,
+        }
 
     def __len__(self) -> int:
         return len(self._index)

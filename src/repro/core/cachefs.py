@@ -57,8 +57,9 @@ class M3RFileSystem(FileSystem, CacheFS):
         if self.inner.exists(path):
             return self.inner.is_directory(path)
         # A cache-only path is a directory iff cached files live below it.
+        # Metadata peek: must not rehydrate a spilled entry or touch recency.
         path = normalize_path(path)
-        if self.cache.get_file(path) is not None:
+        if self.cache.get_file(path, materialize=False) is not None:
             return False
         return any(p != path for p in self.cache.paths_under(path))
 
@@ -69,7 +70,7 @@ class M3RFileSystem(FileSystem, CacheFS):
         status = self.inner.get_file_status(path)
         if status is not None:
             return status
-        entry = self.cache.get_file(path)
+        entry = self.cache.get_file(path, materialize=False)
         if entry is not None:
             return FileStatus(entry.path, entry.nbytes, is_dir=False)
         if self.is_directory(path):
@@ -102,7 +103,7 @@ class M3RFileSystem(FileSystem, CacheFS):
         ) else {}
         for cached in self.cache.paths_under(path):
             if cached not in found:
-                entry = self.cache.get_file(cached)
+                entry = self.cache.get_file(cached, materialize=False)
                 if entry is not None:
                     found[cached] = FileStatus(cached, entry.nbytes, is_dir=False)
         return sorted(found.values(), key=lambda s: s.path)
@@ -170,7 +171,8 @@ class M3RFileSystem(FileSystem, CacheFS):
     def get_block_locations(self, path: str, start: int, length: int) -> List[str]:
         if self.inner.exists(path):
             return self.inner.get_block_locations(path, start, length)
-        entry = self.cache.get_file(path)
+        # Placement only needs the place id, which spilled entries retain.
+        entry = self.cache.get_file(path, materialize=False)
         if entry is not None:
             return [f"node{entry.place_id:02d}"]
         return []
@@ -195,7 +197,7 @@ class CacheOnlyFileSystem(FileSystem):
 
     def is_directory(self, path: str) -> bool:
         path = normalize_path(path)
-        if self.cache.get_file(path) is not None:
+        if self.cache.get_file(path, materialize=False) is not None:
             return False
         return bool(self.cache.paths_under(path))
 
@@ -203,7 +205,7 @@ class CacheOnlyFileSystem(FileSystem):
         raise NotImplementedError("the raw cache has no independent namespace")
 
     def get_file_status(self, path: str) -> Optional[FileStatus]:
-        entry = self.cache.get_file(path)
+        entry = self.cache.get_file(path, materialize=False)
         if entry is not None:
             return FileStatus(entry.path, entry.nbytes, is_dir=False)
         if self.is_directory(path):
@@ -213,7 +215,7 @@ class CacheOnlyFileSystem(FileSystem):
     def list_status(self, path: str) -> List[FileStatus]:
         statuses = []
         for cached in self.cache.paths_under(path):
-            entry = self.cache.get_file(cached)
+            entry = self.cache.get_file(cached, materialize=False)
             if entry is not None:
                 statuses.append(FileStatus(cached, entry.nbytes, is_dir=False))
         return statuses
@@ -248,7 +250,7 @@ class CacheOnlyFileSystem(FileSystem):
         raise NotImplementedError("write through the real filesystem instead")
 
     def get_block_locations(self, path: str, start: int, length: int) -> List[str]:
-        entry = self.cache.get_file(path)
+        entry = self.cache.get_file(path, materialize=False)
         if entry is None:
             return []
         return [f"node{entry.place_id:02d}"]

@@ -34,7 +34,17 @@ import copy
 import hashlib
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.api.conf import JobConf, NUM_MAPS_HINT_KEY, REAL_THREADS_KEY
+from repro.api.conf import (
+    CACHE_CAPACITY_KEY,
+    CACHE_EVICTION_POLICY_KEY,
+    CACHE_HIGH_WATERMARK_KEY,
+    CACHE_LOW_WATERMARK_KEY,
+    CACHE_PINNED_PATHS_KEY,
+    CACHE_SPILL_KEY,
+    JobConf,
+    NUM_MAPS_HINT_KEY,
+    REAL_THREADS_KEY,
+)
 from repro.api.counters import Counters, JobCounter, TaskCounter
 from repro.api.extensions import (
     DelegatingSplit,
@@ -61,10 +71,11 @@ from repro.engine_common import (
     pairs_bytes,
     run_combiner_if_any,
 )
-from repro.fs.filesystem import FileSystem
+from repro.fs.filesystem import FileSystem, normalize_path
 from repro.fs.hdfs import SimulatedHDFS
 from repro.fs.instrumented import FsTally, InstrumentedFileSystem
 from repro.hadoop_engine.scheduler import SlotLanes
+from repro.memory import MemoryBudget, MemoryGovernor, SpillManager, create_policy
 from repro.sim.clock import PhaseTimer
 from repro.sim.cluster import Cluster
 from repro.sim.cost_model import CostModel
@@ -85,6 +96,11 @@ class M3REngine:
         enable_cache: bool = True,
         enable_dedup: bool = True,
         enable_partition_stability: bool = True,
+        cache_capacity_bytes: int = 0,
+        cache_high_watermark: float = 0.9,
+        cache_low_watermark: float = 0.75,
+        cache_eviction_policy: str = "lru",
+        cache_spill: bool = True,
     ):
         self.cluster = cluster
         self.cost_model = cost_model
@@ -93,7 +109,21 @@ class M3REngine:
             raise ValueError("need at least one place")
         self.workers_per_place = workers_per_place
         self.runtime = X10Runtime(self.num_places, workers_per_place)
-        self.cache = KeyValueCache(self.runtime.places)
+        #: Memory governance: per-place budget (0 = unbounded, the default),
+        #: pluggable eviction policy, and spill-to-filesystem demotion.  The
+        #: spill manager writes to the RAW filesystem — the cache overlay
+        #: must never see its own spill files.
+        self.governor = MemoryGovernor(
+            budget=MemoryBudget(
+                capacity_bytes=cache_capacity_bytes,
+                high_watermark=cache_high_watermark,
+                low_watermark=cache_low_watermark,
+            ),
+            policy=create_policy(cache_eviction_policy),
+            spill=SpillManager(filesystem, cost_model),
+            spill_enabled=cache_spill,
+        )
+        self.cache = KeyValueCache(self.runtime.places, governor=self.governor)
         #: The filesystem view jobs see: cache overlay on the real FS.
         self.filesystem = M3RFileSystem(filesystem, self.cache)
         self.raw_filesystem = filesystem
@@ -147,8 +177,19 @@ class M3REngine:
         counters = Counters()
         metrics = Metrics()
         self._check_alive()
+        self._apply_cache_conf(conf)
+        # The running job's outputs (plus any explicitly listed paths) are
+        # never evicted while it runs: a reducer's freshly cached part file
+        # must survive until the job commits.
+        pins = self._job_pins(spec, conf)
+        for prefix in pins:
+            self.governor.pin_prefix(prefix)
+        self.governor.attach_job_metrics(metrics)
         try:
             seconds = self._execute(spec, conf, counters, metrics)
+            # Spill/rehydration I/O charged by the governor during the job
+            # lands on the job clock here.
+            seconds += self.governor.drain_seconds()
         except JobFailedError:
             raise
         except Exception as exc:  # noqa: BLE001 - reported, not swallowed
@@ -162,6 +203,10 @@ class M3REngine:
                 output_path=spec.output_path,
                 error=f"{type(exc).__name__}: {exc}",
             )
+        finally:
+            self.governor.detach_job_metrics()
+            for prefix in pins:
+                self.governor.unpin_prefix(prefix)
         return EngineResult(
             job_name=spec.name,
             engine="m3r",
@@ -173,14 +218,54 @@ class M3REngine:
         )
 
     def run_sequence(self, sequence: JobSequence) -> List[EngineResult]:
-        """Run a job pipeline on the shared places (cache persists across jobs)."""
+        """Run a job pipeline on the shared places (cache persists across jobs).
+
+        Each successful job's output stays pinned for the rest of the
+        sequence — it is (potentially) the next job's input, and evicting
+        it between jobs would defeat the in-memory hand-off the sequence
+        exists for.
+        """
         results: List[EngineResult] = []
-        for conf in sequence:
-            result = self.run_job(conf)
-            results.append(result)
-            if not result.succeeded:
-                break
+        sequence_pins: List[str] = []
+        try:
+            for conf in sequence:
+                result = self.run_job(conf)
+                results.append(result)
+                if not result.succeeded:
+                    break
+                if result.output_path:
+                    prefix = normalize_path(result.output_path)
+                    self.governor.pin_prefix(prefix)
+                    sequence_pins.append(prefix)
+        finally:
+            for prefix in sequence_pins:
+                self.governor.unpin_prefix(prefix)
         return results
+
+    def _apply_cache_conf(self, conf: JobConf) -> None:
+        """Fold any ``m3r.cache.*`` JobConf overrides into the governor
+        (only keys actually present change anything)."""
+        overrides: Dict[str, Any] = {}
+        if CACHE_CAPACITY_KEY in conf:
+            overrides["capacity_bytes"] = conf.get_int(CACHE_CAPACITY_KEY)
+        if CACHE_HIGH_WATERMARK_KEY in conf:
+            overrides["high_watermark"] = conf.get_float(CACHE_HIGH_WATERMARK_KEY)
+        if CACHE_LOW_WATERMARK_KEY in conf:
+            overrides["low_watermark"] = conf.get_float(CACHE_LOW_WATERMARK_KEY)
+        if CACHE_EVICTION_POLICY_KEY in conf:
+            overrides["policy_name"] = conf.get(CACHE_EVICTION_POLICY_KEY)
+        if CACHE_SPILL_KEY in conf:
+            overrides["spill_enabled"] = conf.get_boolean(CACHE_SPILL_KEY, True)
+        if overrides:
+            self.cache.reconfigure(**overrides)
+
+    def _job_pins(self, spec: JobSpec, conf: JobConf) -> List[str]:
+        prefixes: List[str] = []
+        if spec.output_path:
+            prefixes.append(normalize_path(spec.output_path))
+        for path in conf.get_strings(CACHE_PINNED_PATHS_KEY):
+            prefixes.append(normalize_path(path))
+        return prefixes
 
     def warm_cache_from(self, path: str) -> int:
         """Pre-populate the cache from an on-disk directory of part files.
@@ -377,7 +462,16 @@ class M3REngine:
             return ("named", split.get_name())
         return None
 
-    def _cache_lookup(self, split: InputSplit):
+    def _cache_lookup(
+        self, split: InputSplit, materialize: bool = True, pin: bool = False
+    ):
+        """Find the cache entry serving ``split``.
+
+        ``materialize=False`` is a placement peek: it returns spilled
+        entries without rehydrating them (placement only needs the place
+        id).  ``pin=True`` takes a ref-count pin the caller must release
+        via ``cache.unpin``.
+        """
         identity = self._split_cache_identity(split)
         if identity is None or not self.enable_cache:
             return None
@@ -387,9 +481,10 @@ class M3REngine:
             status = self.filesystem.get_file_status(file_split.path)
             file_length = status.length if status is not None else None
             return self.cache.get_split(
-                file_split.path, file_split.start, file_split.length, file_length
+                file_split.path, file_split.start, file_split.length, file_length,
+                materialize=materialize, pin=pin,
             )
-        return self.cache.get_named(payload)
+        return self.cache.get_named(payload, materialize=materialize, pin=pin)
 
     def _place_for_split(self, split: InputSplit, index: int, spec: JobSpec) -> int:
         """Where to run the mapper for ``split``.
@@ -401,7 +496,7 @@ class M3REngine:
         for candidate in (split, self._unwrap(split)):
             if isinstance(candidate, PlacedSplit):
                 return self.partition_place(candidate.get_partition())
-        entry = self._cache_lookup(split)
+        entry = self._cache_lookup(split, materialize=False)
         if entry is not None:
             return entry.place_id
         for host in self._unwrap(split).get_locations():
@@ -424,6 +519,29 @@ class M3REngine:
         counters: Counters,
         metrics: Metrics,
     ) -> Tuple[float, List[PartitionBuffer]]:
+        # The cached input (if any) is pinned for the task's duration — a
+        # concurrent task's eviction wave must not spill the sequence this
+        # task is actively reading.
+        pinned: List[str] = []
+        try:
+            return self._map_task_body(
+                spec, conf, split, task_index, place, counters, metrics, pinned
+            )
+        finally:
+            for name in pinned:
+                self.cache.unpin(name)
+
+    def _map_task_body(
+        self,
+        spec: JobSpec,
+        conf: JobConf,
+        split: InputSplit,
+        task_index: int,
+        place: int,
+        counters: Counters,
+        metrics: Metrics,
+        pinned: List[str],
+    ) -> Tuple[float, List[PartitionBuffer]]:
         model = self.cost_model
         duration = 0.0
         node = self.place_node(place)
@@ -439,8 +557,9 @@ class M3REngine:
         mapper_immutable = is_immutable_output(mapper_class)
 
         # --- input: cache, or filesystem + cache insert ------------------- #
-        entry = self._cache_lookup(split)
+        entry = self._cache_lookup(split, pin=True)
         if entry is not None:
+            pinned.append(entry.name)
             metrics.incr("cache_hits")
             pairs = entry.pairs
             nbytes = entry.nbytes
@@ -818,7 +937,11 @@ class M3REngine:
         else:
             metrics.incr("temp_outputs_skipped")
         if self.enable_cache:
-            self.cache.put_file(part_path, place, pairs, nbytes)
+            # A temp output exists ONLY here — mark it non-durable so
+            # eviction must spill it (never drop it).
+            self.cache.put_file(
+                part_path, place, pairs, nbytes, durable=not temp_output
+            )
             cost = model.handoff_time(len(pairs))
             metrics.time.charge("framework", cost)
             duration += cost

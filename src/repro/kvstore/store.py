@@ -157,6 +157,12 @@ class KeyValueStore:
             dict() for _ in places
         ]
         self._table_guards = [threading.Lock() for _ in places]
+        # Running per-place byte totals, maintained on commit/delete, so
+        # memory-governance callers get O(1) occupancy instead of a full
+        # metadata scan.  Rename keeps blocks at their place, so it never
+        # touches these.
+        self._place_bytes: List[int] = [0 for _ in places]
+        self._bytes_guard = threading.Lock()
 
     # -- placement ---------------------------------------------------------- #
 
@@ -253,6 +259,8 @@ class KeyValueStore:
             block_id = len(meta.blocks)
             meta.blocks.append(BlockMeta(info=info, records=len(pairs), nbytes=nbytes))
             self._data_put(info.place_id, (path, block_id), pairs)
+            with self._bytes_guard:
+                self._place_bytes[info.place_id] += nbytes
 
     def _mkdirs_unlocked_parent(self, path: str) -> None:
         parent = parent_path(path)
@@ -345,6 +353,8 @@ class KeyValueStore:
         if meta is not None and not meta.is_dir:
             for block_id, block in enumerate(meta.blocks):
                 self._data_pop(block.info.place_id, (path, block_id))
+                with self._bytes_guard:
+                    self._place_bytes[block.info.place_id] -= block.nbytes
         # Children (for directory deletes) are found by scanning every
         # place's metadata table — acceptable because namespaces are small
         # compared to data, exactly as in HDFS's namenode.
@@ -358,6 +368,8 @@ class KeyValueStore:
                 if child_meta is not None and not child_meta.is_dir:
                     for block_id, block in enumerate(child_meta.blocks):
                         self._data_pop(block.info.place_id, (child, block_id))
+                        with self._bytes_guard:
+                            self._place_bytes[block.info.place_id] -= block.nbytes
         return removed
 
     def rename(self, src: str, dst: str) -> None:
@@ -408,7 +420,17 @@ class KeyValueStore:
         return sorted(found)
 
     def total_bytes_at_place(self, place_id: int) -> int:
-        """Bytes of block data stored at one place (memory accounting)."""
+        """Bytes of block data stored at one place (memory accounting).
+
+        O(1): a running counter maintained by commit and delete.  The
+        metadata-scan equivalent survives as :meth:`scan_bytes_at_place`
+        for verification.
+        """
+        with self._bytes_guard:
+            return self._place_bytes[place_id]
+
+    def scan_bytes_at_place(self, place_id: int) -> int:
+        """The O(n) metadata-scan computation of the same total."""
         total = 0
         for home in range(len(self._places)):
             with self._table_guards[home]:

@@ -1,0 +1,148 @@
+"""Per-place memory budgets for the M3R cache.
+
+M3R's headline assumption is that the working set fits in cluster memory
+(paper Sections 3.2.1 and 7).  The budget is the accounting half of lifting
+that assumption: every byte the cache admits at a place is charged here, and
+when a place's occupancy crosses the **high watermark** the governor evicts
+down to the **low watermark** (hysteresis keeps eviction from running on
+every insert at the boundary).
+
+Capacity is *per place* — the paper's places are one JVM per host, so the
+budget models each host's heap, not the cluster aggregate.  A capacity of
+``0`` means unbounded, which is exactly the pre-governance behaviour.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+
+class MemoryBudget:
+    """Thread-safe per-place byte accounting with watermark hysteresis.
+
+    ``capacity_bytes`` is the per-place ceiling (0 = unbounded).  Eviction
+    starts when occupancy exceeds ``high_watermark * capacity`` and stops at
+    ``low_watermark * capacity``.  Occupancy may legitimately exceed the
+    ceiling when every resident entry is pinned; the per-place high-water
+    mark records how far it went.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int = 0,
+        high_watermark: float = 0.9,
+        low_watermark: float = 0.75,
+    ):
+        self._lock = threading.Lock()
+        self._occupancy: Dict[int, int] = {}
+        self._high_water: Dict[int, int] = {}
+        self._validate(capacity_bytes, high_watermark, low_watermark)
+        self.capacity_bytes = int(capacity_bytes)
+        self.high_watermark = float(high_watermark)
+        self.low_watermark = float(low_watermark)
+
+    @staticmethod
+    def _validate(capacity: int, high: float, low: float) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity cannot be negative: {capacity}")
+        if not 0.0 < low <= high <= 1.0:
+            raise ValueError(
+                f"watermarks must satisfy 0 < low <= high <= 1, "
+                f"got low={low} high={high}"
+            )
+
+    @classmethod
+    def unbounded(cls) -> "MemoryBudget":
+        return cls(0)
+
+    @property
+    def is_unbounded(self) -> bool:
+        return self.capacity_bytes <= 0
+
+    # -- accounting -------------------------------------------------------- #
+
+    def charge(self, place_id: int, nbytes: int) -> None:
+        """Charge ``nbytes`` of cache residency at ``place_id``."""
+        if nbytes < 0:
+            raise ValueError(f"cannot charge negative bytes: {nbytes}")
+        with self._lock:
+            occupancy = self._occupancy.get(place_id, 0) + nbytes
+            self._occupancy[place_id] = occupancy
+            if occupancy > self._high_water.get(place_id, 0):
+                self._high_water[place_id] = occupancy
+
+    def release(self, place_id: int, nbytes: int) -> None:
+        """Release ``nbytes`` (eviction, spill demotion, explicit delete)."""
+        if nbytes < 0:
+            raise ValueError(f"cannot release negative bytes: {nbytes}")
+        with self._lock:
+            self._occupancy[place_id] = max(
+                0, self._occupancy.get(place_id, 0) - nbytes
+            )
+
+    def occupancy(self, place_id: int) -> int:
+        with self._lock:
+            return self._occupancy.get(place_id, 0)
+
+    def high_water(self, place_id: int) -> int:
+        """The highest occupancy ever observed at ``place_id``."""
+        with self._lock:
+            return self._high_water.get(place_id, 0)
+
+    def total_occupancy(self) -> int:
+        with self._lock:
+            return sum(self._occupancy.values())
+
+    # -- watermark queries -------------------------------------------------- #
+
+    def over_high_watermark(self, place_id: int) -> bool:
+        """Should eviction start at ``place_id``?"""
+        if self.is_unbounded:
+            return False
+        return self.occupancy(place_id) > self.high_watermark * self.capacity_bytes
+
+    def eviction_target(self, place_id: int) -> int:
+        """Bytes to free at ``place_id`` to reach the low watermark."""
+        if self.is_unbounded:
+            return 0
+        floor = int(self.low_watermark * self.capacity_bytes)
+        return max(0, self.occupancy(place_id) - floor)
+
+    # -- reconfiguration ---------------------------------------------------- #
+
+    def reconfigure(
+        self,
+        capacity_bytes: Optional[int] = None,
+        high_watermark: Optional[float] = None,
+        low_watermark: Optional[float] = None,
+    ) -> None:
+        """Change limits in place (occupancy and high-water marks persist)."""
+        capacity = self.capacity_bytes if capacity_bytes is None else capacity_bytes
+        high = self.high_watermark if high_watermark is None else high_watermark
+        low = self.low_watermark if low_watermark is None else low_watermark
+        self._validate(capacity, high, low)
+        with self._lock:
+            self.capacity_bytes = int(capacity)
+            self.high_watermark = float(high)
+            self.low_watermark = float(low)
+
+    def snapshot(self) -> Dict[int, Dict[str, int]]:
+        """Per-place ``{occupancy, high_water, capacity}`` (for cache-stats)."""
+        with self._lock:
+            places = set(self._occupancy) | set(self._high_water)
+            return {
+                place: {
+                    "occupancy_bytes": self._occupancy.get(place, 0),
+                    "high_water_bytes": self._high_water.get(place, 0),
+                    "capacity_bytes": self.capacity_bytes,
+                }
+                for place in sorted(places)
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cap = "unbounded" if self.is_unbounded else f"{self.capacity_bytes}B"
+        return (
+            f"MemoryBudget({cap}, high={self.high_watermark}, "
+            f"low={self.low_watermark}, occupied={self.total_occupancy()}B)"
+        )

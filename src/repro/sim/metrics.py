@@ -39,6 +39,8 @@ TIME_CATEGORIES: Tuple[str, ...] = (
     "framework",
     "barrier",
     "namenode",
+    "spill_write",
+    "spill_read",
 )
 
 

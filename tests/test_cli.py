@@ -56,6 +56,22 @@ class TestCommands:
                      "--sparsity", "0.05"]) == 0
         assert "generated jobs" in capsys.readouterr().out
 
+    def test_cache_stats_unbounded(self, capsys):
+        assert main(["--nodes", "4", "cache-stats", "--rows", "100",
+                     "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "capacity=unbounded" in out
+        assert "evictions=0" in out and "spills=0" in out
+
+    def test_cache_stats_under_pressure(self, capsys):
+        assert main(["--nodes", "4", "cache-stats", "--rows", "200",
+                     "--iterations", "2", "--capacity-bytes", "6000",
+                     "--policy", "gds"]) == 0
+        out = capsys.readouterr().out
+        assert "policy=gds" in out
+        assert "evictions=0" not in out  # pressure produced evictions
+        assert "spill=on" in out
+
     def test_pig_script(self, tmp_path, capsys):
         script = tmp_path / "s.pig"
         script.write_text(
