@@ -142,6 +142,14 @@ CACHE_EVICTION_POLICY_KEY = "m3r.cache.eviction-policy"
 CACHE_SPILL_KEY = "m3r.cache.spill"
 CACHE_PINNED_PATHS_KEY = "m3r.cache.pinned-paths"
 
+# Shuffle knobs (repro.shuffle): run the place-to-place shuffle messages on
+# real worker threads (default, mirroring m3r.engine.real-threads), and ship
+# map output as per-mapper pre-sorted runs so reducers k-way merge instead
+# of re-sorting the concatenation.  Both default on; either can be switched
+# off per job for debugging or A/B runs — simulated results are identical.
+SHUFFLE_REAL_THREADS_KEY = "m3r.shuffle.real-threads"
+SHUFFLE_SORTED_RUNS_KEY = "m3r.shuffle.sorted-runs"
+
 
 class JobConf(Configuration):
     """The old-style job configuration, with the usual convenience setters.

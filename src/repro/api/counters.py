@@ -29,6 +29,12 @@ class TaskCounter(enum.Enum):
     REDUCE_INPUT_RECORDS = "REDUCE_INPUT_RECORDS"
     REDUCE_OUTPUT_RECORDS = "REDUCE_OUTPUT_RECORDS"
     REDUCE_SHUFFLE_BYTES = "REDUCE_SHUFFLE_BYTES"
+    #: M3R extension: bytes handed to a co-located reducer by pointer,
+    #: without crossing the wire.  Hadoop's REDUCE_SHUFFLE_BYTES counts
+    #: fetched bytes; on M3R co-located partitions are never fetched, so
+    #: they are counted here instead (hadoop.REDUCE_SHUFFLE_BYTES ==
+    #: m3r.REDUCE_SHUFFLE_BYTES + m3r.REDUCE_LOCAL_HANDOFF_BYTES).
+    REDUCE_LOCAL_HANDOFF_BYTES = "REDUCE_LOCAL_HANDOFF_BYTES"
     SPILLED_RECORDS = "SPILLED_RECORDS"
 
 

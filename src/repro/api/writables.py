@@ -606,6 +606,11 @@ class MatrixBlockWritable(Writable):
         rows, cols = self.matrix.shape
         return 12 + 4 * (cols + 1) + 4 * self.matrix.nnz + 8 * self.matrix.nnz
 
+    def size_token(self) -> Tuple[int, int]:
+        """Size-determining fingerprint for the serializer's SizeCache:
+        the wire size depends only on the column count and nnz."""
+        return (self.matrix.shape[1], self.matrix.nnz)
+
     def clone(self) -> "MatrixBlockWritable":
         return MatrixBlockWritable(self.matrix.copy())
 
@@ -644,6 +649,11 @@ class VectorBlockWritable(Writable):
 
     def serialized_size(self) -> int:
         return 4 + 8 * len(self.values)
+
+    def size_token(self) -> int:
+        """Size-determining fingerprint: the wire size is a pure function
+        of the element count."""
+        return len(self.values)
 
     def clone(self) -> "VectorBlockWritable":
         return VectorBlockWritable(self.values.copy())

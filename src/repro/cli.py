@@ -262,6 +262,93 @@ def cmd_cache_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_shuffle_stats(args: argparse.Namespace) -> int:
+    """Admin view of the shuffle: run a workload on an M3R engine, then
+    print per-place shuffle bytes (the skew view), local vs remote traffic,
+    de-duplication savings and size-cache effectiveness."""
+    from repro.sim.metrics import Metrics, shuffle_place_bytes, shuffle_skew
+
+    cluster = Cluster(args.nodes)
+    fs = SimulatedHDFS(cluster, block_size=256 * 1024, replication=1)
+    engine = m3r_engine(filesystem=fs)
+    totals = Metrics()
+    jobs = 0
+
+    if args.workload == "wordcount":
+        from repro.apps.wordcount import generate_text, wordcount_job
+
+        engine.filesystem.write_text("/in.txt", generate_text(args.lines))
+        for iteration in range(args.iterations):
+            result = engine.run_job(
+                wordcount_job("/in.txt", f"/out-{iteration}", args.nodes)
+            )
+            if not result.succeeded:
+                print(f"  {result.job_name}: FAILED — {result.error}")
+                return 1
+            totals.merge(result.metrics)
+            jobs += 1
+    else:
+        from repro.apps import matvec
+
+        block = max(1, args.rows // 8)
+        num_row_blocks = (args.rows + block - 1) // block
+        g = matvec.generate_blocked_matrix(
+            args.rows, block, sparsity=args.sparsity
+        )
+        v = matvec.generate_blocked_vector(args.rows, block)
+        matvec.write_partitioned(
+            engine.filesystem, "/G", g, num_row_blocks, args.nodes
+        )
+        matvec.write_partitioned(
+            engine.filesystem, "/V0", v, num_row_blocks, args.nodes
+        )
+        engine.warm_cache_from("/G")
+        engine.warm_cache_from("/V0")
+        current = "/V0"
+        for iteration in range(args.iterations):
+            nxt = f"/V{iteration + 1}"
+            sequence = matvec.iteration_jobs(
+                "/G", current, nxt, "/scratch", iteration, num_row_blocks,
+                args.nodes,
+            )
+            for result in sequence.run_all(engine):
+                if not result.succeeded:
+                    print(f"  {result.job_name}: FAILED — {result.error}")
+                    return 1
+                totals.merge(result.metrics)
+                jobs += 1
+            current = nxt
+
+    per_place = shuffle_place_bytes(totals)
+    skew = shuffle_skew(totals)
+    print(
+        f"shuffle-stats: {args.workload}, {jobs} job(s), {args.nodes} places:"
+    )
+    print(f"  {'place':>5}  {'shuffle bytes':>13}")
+    peak = max(per_place.values(), default=1) or 1
+    for place in sorted(per_place):
+        nbytes = per_place[place]
+        bar = "#" * round(40 * nbytes / peak)
+        print(f"  {place:>5}  {nbytes:>13,}  {bar}")
+    print(
+        f"  skew: max={skew['max_bytes']:,.0f} B"
+        f"  mean={skew['mean_bytes']:,.1f} B"
+        f"  ratio={skew['skew_ratio']:.3f}"
+    )
+    print(
+        f"  traffic: remote={totals.get('shuffle_remote_bytes'):,} B"
+        f" ({totals.get('shuffle_remote_records'):,} records)"
+        f"  local={totals.get('shuffle_local_bytes'):,} B"
+        f" ({totals.get('shuffle_local_records'):,} records)"
+    )
+    print(
+        f"  dedup saved: {totals.get('dedup_saved_bytes'):,} B"
+        f"  size-cache: {totals.get('size_cache_hits'):,} hits /"
+        f" {totals.get('size_cache_misses'):,} misses"
+    )
+    return 0
+
+
 def _check_equivalence(outputs: Dict[str, object]) -> int:
     if len(outputs) == 2:
         hadoop_out, m3r_out = outputs.get("hadoop"), outputs.get("m3r")
@@ -328,6 +415,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=3)
     p.add_argument("--sparsity", type=float, default=0.01)
     p.set_defaults(func=cmd_cache_stats)
+
+    p = sub.add_parser(
+        "shuffle-stats",
+        help="shuffle admin view: per-place shuffle bytes, skew ratio, "
+             "local/remote traffic, dedup and size-cache savings",
+    )
+    p.add_argument("--workload", choices=("wordcount", "matvec"),
+                   default="matvec")
+    p.add_argument("--lines", type=int, default=2000,
+                   help="wordcount input size")
+    p.add_argument("--rows", type=int, default=400, help="matvec matrix rows")
+    p.add_argument("--iterations", type=int, default=3)
+    p.add_argument("--sparsity", type=float, default=0.01)
+    p.set_defaults(func=cmd_shuffle_stats)
 
     p = sub.add_parser("jaql", help="run a Jaql JSON pipeline")
     p.add_argument("--script", required=True, help="path to the pipeline file")

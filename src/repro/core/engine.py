@@ -44,6 +44,8 @@ from repro.api.conf import (
     JobConf,
     NUM_MAPS_HINT_KEY,
     REAL_THREADS_KEY,
+    SHUFFLE_REAL_THREADS_KEY,
+    SHUFFLE_SORTED_RUNS_KEY,
 )
 from repro.api.counters import Counters, JobCounter, TaskCounter
 from repro.api.extensions import (
@@ -68,7 +70,6 @@ from repro.engine_common import (
     MaterializedReader,
     PartitionBuffer,
     bounded_task_fn,
-    pairs_bytes,
     run_combiner_if_any,
 )
 from repro.fs.filesystem import FileSystem, normalize_path
@@ -76,7 +77,7 @@ from repro.fs.hdfs import SimulatedHDFS
 from repro.fs.instrumented import FsTally, InstrumentedFileSystem
 from repro.hadoop_engine.scheduler import SlotLanes
 from repro.memory import MemoryBudget, MemoryGovernor, SpillManager, create_policy
-from repro.sim.clock import PhaseTimer
+from repro.shuffle import ShuffleExecutor, ShuffleInput
 from repro.sim.cluster import Cluster
 from repro.sim.cost_model import CostModel
 from repro.sim.metrics import Metrics
@@ -185,11 +186,17 @@ class M3REngine:
         for prefix in pins:
             self.governor.pin_prefix(prefix)
         self.governor.attach_job_metrics(metrics)
+        cache_hits, cache_misses = self.runtime.size_cache.snapshot()
         try:
             seconds = self._execute(spec, conf, counters, metrics)
             # Spill/rehydration I/O charged by the governor during the job
             # lands on the job clock here.
             seconds += self.governor.drain_seconds()
+            # How much re-measurement the memoized size cache saved this job
+            # (the cache is engine-lifetime; metrics report per-job deltas).
+            hits, misses = self.runtime.size_cache.snapshot()
+            metrics.incr("size_cache_hits", hits - cache_hits)
+            metrics.incr("size_cache_misses", misses - cache_misses)
         except JobFailedError:
             raise
         except Exception as exc:  # noqa: BLE001 - reported, not swallowed
@@ -398,7 +405,7 @@ class M3REngine:
         # --- shuffle: in-memory, de-duplicated, barrier-terminated -------- #
         counters.increment(JobCounter.TOTAL_LAUNCHED_REDUCES, spec.num_reducers)
         shuffle_time, reduce_inputs = self._shuffle(
-            spec, map_outputs, map_places, counters, metrics
+            spec, conf, map_outputs, map_places, counters, metrics
         )
         clock += shuffle_time + model.m3r_barrier
         metrics.time.charge("barrier", model.m3r_barrier)
@@ -743,78 +750,57 @@ class M3REngine:
     # shuffle
     # ------------------------------------------------------------------ #
 
+    def _use_shuffle_threads(self, conf: JobConf) -> bool:
+        """Parallel shuffle messages, unless the shuffle knob (or a single
+        worker) forces the serial path.  Independent of the task-execution
+        knob so the two mechanisms can be ablated separately."""
+        return self.workers_per_place > 1 and conf.get_boolean(
+            SHUFFLE_REAL_THREADS_KEY, True
+        )
+
     def _shuffle(
         self,
         spec: JobSpec,
+        conf: JobConf,
         map_outputs: List[List[PartitionBuffer]],
         map_places: List[int],
         counters: Counters,
         metrics: Metrics,
-    ) -> Tuple[float, List[List[Tuple[Any, Any]]]]:
-        """Route map output to reducer places; returns (time, per-partition pairs).
+    ) -> Tuple[float, List[ShuffleInput]]:
+        """Route map output to reducer places; returns (time, reduce inputs).
 
         Co-located traffic is a pointer hand-off.  Cross-place messages pay
         (de-duplicated) serialization, wire time and deserialization, and
         are deep-copied *with a shared memo* so aliasing survives transport
         exactly as X10 reconstructs it on the receiving place.
+
+        The heavy lifting lives in :mod:`repro.shuffle`: a deterministic
+        plan, parallel (or serial) execution of one activity per
+        place-to-place message, and a post-join replay of all charges in
+        plan order — so simulated time is identical however the worker
+        threads interleave.  With ``m3r.shuffle.sorted-runs`` on (default),
+        runs are sorted map-side and reducers stream a k-way merge.
         """
-        model = self.cost_model
-        timer = PhaseTimer(self.num_places)
-        reduce_inputs: List[List[Tuple[Any, Any]]] = [
-            [] for _ in range(spec.num_reducers)
+        sorted_runs = conf.get_boolean(SHUFFLE_SORTED_RUNS_KEY, True)
+        executor = ShuffleExecutor(
+            runtime=self.runtime,
+            cost_model=self.cost_model,
+            num_places=self.num_places,
+            partition_place=self.partition_place,
+            workers_per_place=self.workers_per_place,
+            enable_dedup=self.enable_dedup,
+        )
+        plan = executor.plan(spec.num_reducers, map_outputs, map_places)
+        results = executor.execute(
+            plan,
+            sort_key=spec.sort_key() if sorted_runs else None,
+            parallel=self._use_shuffle_threads(conf),
+        )
+        reduce_inputs = [
+            ShuffleInput(sorted_runs) for _ in range(spec.num_reducers)
         ]
-        for map_index, buffers in enumerate(map_outputs):
-            src = map_places[map_index]
-            # One message per destination place, covering every partition
-            # that lives there: the de-duplication memo (and therefore the
-            # aliasing the receiver reconstructs) is scoped to the whole
-            # place-to-place message, exactly like one X10 ``at``.
-            by_destination: Dict[int, List[int]] = {}
-            for partition, buffer in enumerate(buffers):
-                if not buffer.pairs:
-                    continue
-                counters.increment(TaskCounter.REDUCE_SHUFFLE_BYTES, buffer.bytes)
-                by_destination.setdefault(
-                    self.partition_place(partition), []
-                ).append(partition)
-            for dst, partitions in by_destination.items():
-                if src == dst:
-                    for partition in partitions:
-                        buffer = buffers[partition]
-                        cost = model.handoff_time(len(buffer.pairs))
-                        timer.charge(src, cost)
-                        metrics.time.charge("framework", cost)
-                        metrics.incr("shuffle_local_bytes", buffer.bytes)
-                        metrics.incr("shuffle_local_records", len(buffer.pairs))
-                        reduce_inputs[partition].extend(buffer.pairs)
-                    continue
-                all_pairs = [
-                    pair for partition in partitions
-                    for pair in buffers[partition].pairs
-                ]
-                message = self.runtime.serializer.measure_pairs(all_pairs)
-                wire = message.wire_bytes if self.enable_dedup else message.raw_bytes
-                send = model.serialize_time(wire, message.records)
-                net = model.net_transfer_time(wire)
-                recv = model.deserialize_time(wire, message.records)
-                timer.charge(src, send + net)
-                timer.charge(dst, recv)
-                metrics.time.charge("serialize", send)
-                metrics.time.charge("network", net)
-                metrics.time.charge("deserialize", recv)
-                metrics.incr("shuffle_remote_bytes", wire)
-                metrics.incr("shuffle_remote_records", len(all_pairs))
-                if self.enable_dedup:
-                    metrics.incr("dedup_saved_bytes", message.dedup_savings)
-                # One deepcopy memo per message: duplicates become aliases
-                # again on the receiving side, as with X10 deserialization.
-                transported = iter(copy.deepcopy(all_pairs))
-                for partition in partitions:
-                    take = len(buffers[partition].pairs)
-                    reduce_inputs[partition].extend(
-                        next(transported) for _ in range(take)
-                    )
-        return timer.barrier(), reduce_inputs
+        seconds = executor.replay(plan, results, reduce_inputs, counters, metrics)
+        return seconds, reduce_inputs
 
     # ------------------------------------------------------------------ #
     # reduce tasks
@@ -826,7 +812,7 @@ class M3REngine:
         conf: JobConf,
         partition: int,
         place: int,
-        pairs: List[Tuple[Any, Any]],
+        shuffle_input: ShuffleInput,
         temp_output: bool,
         counters: Counters,
         metrics: Metrics,
@@ -842,14 +828,27 @@ class M3REngine:
         task_conf.set(TASK_PARTITION_KEY, partition)
         reporter = Reporter(counters)
 
-        nbytes = pairs_bytes(pairs)
-        sort_time = model.sort_time(len(pairs), nbytes)
-        metrics.time.charge("sort", sort_time)
-        duration += sort_time
-        ordered = sorted(pairs, key=spec.sort_key())
+        # Bytes and records were accounted while the runs accumulated — no
+        # re-walk of the pairs through the size estimator here.
+        records = shuffle_input.records
+        nbytes = shuffle_input.bytes
+        if shuffle_input.sorted_runs:
+            # Runs arrived pre-sorted: stream a k-way merge instead of
+            # re-sorting the concatenation.  heapq.merge is stable and runs
+            # are merged in map-index order, so the output order matches a
+            # stable sort of the concatenated input exactly.
+            merge_t = model.merge_time(records, nbytes, len(shuffle_input.runs))
+            metrics.time.charge("merge", merge_t)
+            duration += merge_t
+            ordered = shuffle_input.merged(spec.sort_key())
+        else:
+            sort_time = model.sort_time(records, nbytes)
+            metrics.time.charge("sort", sort_time)
+            duration += sort_time
+            ordered = sorted(shuffle_input.concatenated(), key=spec.sort_key())
         groups = list(spec.group_sorted_pairs(ordered))
         counters.increment(TaskCounter.REDUCE_INPUT_GROUPS, len(groups))
-        counters.increment(TaskCounter.REDUCE_INPUT_RECORDS, len(pairs))
+        counters.increment(TaskCounter.REDUCE_INPUT_RECORDS, records)
 
         policy = "alias" if spec.reduce_output_immutable() else "clone"
         sink = CollectorSink(
@@ -864,7 +863,7 @@ class M3REngine:
         compute = reporter.consume_compute_seconds()
         metrics.time.charge("reduce_compute", compute)
         duration += compute
-        framework = model.reduce_framework_time(len(pairs))
+        framework = model.reduce_framework_time(records)
         metrics.time.charge("framework", framework)
         duration += framework
         if spec.reduce_output_immutable():

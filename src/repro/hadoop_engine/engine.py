@@ -16,10 +16,16 @@ filesystem, which is the behaviour M3R's cache eliminates.
 
 from __future__ import annotations
 
+import heapq
 import math
 from typing import Any, List, Set, Tuple
 
-from repro.api.conf import JobConf, NUM_MAPS_HINT_KEY, REAL_THREADS_KEY
+from repro.api.conf import (
+    JobConf,
+    NUM_MAPS_HINT_KEY,
+    REAL_THREADS_KEY,
+    SHUFFLE_SORTED_RUNS_KEY,
+)
 from repro.api.counters import Counters, JobCounter, TaskCounter
 from repro.api.extensions import is_immutable_output
 from repro.api.formats import FileOutputFormat
@@ -415,16 +421,16 @@ class HadoopEngine:
         duration = self._task_fixed_overhead(metrics)
 
         # --- shuffle fetch: disk at source, wire, disk at sink ----------- #
-        pairs: List[Tuple[Any, Any]] = []
+        run_lists: List[List[Tuple[Any, Any]]] = []
         total_bytes = 0
-        runs = 0
+        total_records = 0
         for map_index, buffers in enumerate(map_outputs):
             buffer = buffers[partition]
             if not buffer.pairs:
                 continue
-            runs += 1
-            pairs.extend(buffer.pairs)
+            run_lists.append(buffer.pairs)
             total_bytes += buffer.bytes
+            total_records += len(buffer.pairs)
             fetch = model.disk_read_time(buffer.bytes, seeks=1)
             if map_nodes[map_index] != node:
                 fetch += model.net_transfer_time(buffer.bytes)
@@ -437,14 +443,31 @@ class HadoopEngine:
         counters.increment(TaskCounter.REDUCE_SHUFFLE_BYTES, total_bytes)
 
         # --- out-of-core merge sort ---------------------------------------- #
-        merge = model.external_merge_time(len(pairs), total_bytes, max(1, runs))
+        runs = len(run_lists)
+        merge = model.external_merge_time(total_records, total_bytes, max(1, runs))
         metrics.time.charge("merge", merge)
         duration += merge
-        deser = model.deserialize_time(total_bytes, len(pairs))
+        deser = model.deserialize_time(total_bytes, total_records)
         metrics.time.charge("deserialize", deser)
         duration += deser
 
-        pairs.sort(key=spec.sort_key())
+        sort_key = spec.sort_key()
+        if conf.get_boolean(SHUFFLE_SORTED_RUNS_KEY, True):
+            # Real Hadoop ships map output as sorted spill runs and the
+            # reducer merges; do the same so record order (stable-merge of
+            # stable-sorted runs, in map-index order) matches M3R's
+            # sorted-runs shuffle record for record.  The charge is already
+            # the external merge above — this changes the mechanism, not
+            # the modeled cost.
+            pairs = list(
+                heapq.merge(
+                    *[sorted(run, key=sort_key) for run in run_lists],
+                    key=sort_key,
+                )
+            )
+        else:
+            pairs = [pair for run in run_lists for pair in run]
+            pairs.sort(key=sort_key)
         groups = list(spec.group_sorted_pairs(pairs))
         counters.increment(TaskCounter.REDUCE_INPUT_GROUPS, len(groups))
         counters.increment(TaskCounter.REDUCE_INPUT_RECORDS, len(pairs))

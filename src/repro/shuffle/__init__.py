@@ -1,0 +1,38 @@
+"""The M3R shuffle subsystem (paper Section 3.2.2).
+
+The shuffle is M3R's headline mechanism: in-memory routing, co-location
+pointer hand-off, de-duplicated X10 serialization and partition stability.
+This package factors it out of the engine into three deterministic stages:
+
+1. **plan** (:mod:`repro.shuffle.plan`) — walk the map outputs on the
+   driver thread and produce an ordered list of shuffle items: a
+   :class:`~repro.shuffle.plan.LocalHandoff` per co-located partition and a
+   :class:`~repro.shuffle.plan.RemoteMessage` per (source place →
+   destination place) pair, covering every partition that lives there;
+2. **execute** (:class:`~repro.shuffle.executor.ShuffleExecutor`) — the
+   expensive work per item (per-run sorting, single-pass de-duplicated
+   measurement, shared-memo transport copies) runs either serially or as
+   one X10 ``finish`` block with an ``async`` per item at its source
+   place, bounded by the per-place worker semaphores;
+3. **replay** — simulated-time charges, counters and skew metrics are
+   applied on the driver thread in plan order after the ``finish`` joins,
+   so the virtual clock and every metric are byte-identical no matter how
+   the worker threads interleaved.
+
+Reducers receive a :class:`~repro.shuffle.merge.ShuffleInput`: per-mapper
+runs in arrival order, pre-sorted when ``m3r.shuffle.sorted-runs`` is on so
+the reduce side streams a ``heapq.merge`` instead of re-sorting the
+concatenation.
+"""
+
+from repro.shuffle.executor import ShuffleExecutor
+from repro.shuffle.merge import ShuffleInput
+from repro.shuffle.plan import LocalHandoff, RemoteMessage, ShufflePlan
+
+__all__ = [
+    "LocalHandoff",
+    "RemoteMessage",
+    "ShuffleExecutor",
+    "ShuffleInput",
+    "ShufflePlan",
+]

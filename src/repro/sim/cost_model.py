@@ -136,6 +136,21 @@ class CostModel:
         levels = math.log2(nrecords)
         return nrecords * levels * self.sort_per_compare + nbytes / self.mem_bw
 
+    def merge_time(self, nrecords: int, nbytes: int, nruns: int) -> float:
+        """In-memory k-way merge of ``nruns`` pre-sorted runs.
+
+        A heap of size ``nruns`` costs one ``log2(nruns)`` sift per record
+        plus one streaming pass over the bytes — the reduce-side cost when
+        map output arrives as sorted runs, replacing the full
+        ``nrecords * log2(nrecords)`` comparison sort.
+        """
+        if nrecords <= 0:
+            return 0.0
+        compare = 0.0
+        if nruns > 1:
+            compare = nrecords * math.log2(nruns) * self.sort_per_compare
+        return compare + nbytes / self.mem_bw
+
     def external_merge_passes(self, nruns: int) -> int:
         """Number of read+write passes an external merge of ``nruns`` needs."""
         if nruns <= 1:

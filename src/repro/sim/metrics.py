@@ -44,6 +44,46 @@ TIME_CATEGORIES: Tuple[str, ...] = (
 )
 
 
+#: Prefix of the per-place shuffle-skew counters (see
+#: :func:`shuffle_place_key`): ``shuffle_place_bytes[p]`` counts the bytes
+#: that arrived at place ``p``'s reducers during shuffles (wire bytes for
+#: cross-place messages, buffer bytes for co-located hand-offs).
+SHUFFLE_PLACE_PREFIX = "shuffle_place_bytes["
+
+
+def shuffle_place_key(place: int) -> str:
+    """The metrics counter name for shuffle bytes arriving at ``place``."""
+    return f"{SHUFFLE_PLACE_PREFIX}{place}]"
+
+
+def shuffle_place_bytes(metrics: "Metrics") -> Dict[int, int]:
+    """Extract the per-place shuffle byte counters as ``{place: bytes}``."""
+    result: Dict[int, int] = {}
+    for name, value in metrics.as_dict()["counters"].items():
+        if name.startswith(SHUFFLE_PLACE_PREFIX) and name.endswith("]"):
+            place = name[len(SHUFFLE_PLACE_PREFIX):-1]
+            if place.isdigit():
+                result[int(place)] = value
+    return result
+
+
+def shuffle_skew(metrics: "Metrics") -> Dict[str, float]:
+    """Shuffle skew summary: how unevenly shuffle bytes landed on places.
+
+    Returns ``max_bytes``, ``mean_bytes`` and ``skew_ratio`` (max/mean; 1.0
+    is perfectly balanced, and also the value reported when nothing was
+    shuffled so callers need no special-casing).
+    """
+    per_place = shuffle_place_bytes(metrics)
+    if not per_place:
+        return {"max_bytes": 0.0, "mean_bytes": 0.0, "skew_ratio": 1.0}
+    values = list(per_place.values())
+    mean = sum(values) / len(values)
+    peak = float(max(values))
+    ratio = peak / mean if mean > 0 else 1.0
+    return {"max_bytes": peak, "mean_bytes": mean, "skew_ratio": ratio}
+
+
 class TimeBreakdown:
     """Simulated seconds attributed to named categories.
 

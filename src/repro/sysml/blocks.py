@@ -86,6 +86,10 @@ class CellMatrixBlockWritable(Writable):
         # representation pays per cell.
         return 12 + self.nnz * (16 + CELL_OVERHEAD_BYTES)
 
+    def size_token(self) -> int:
+        """Size-determining fingerprint: the wire size depends only on nnz."""
+        return self.nnz
+
     def clone(self) -> "CellMatrixBlockWritable":
         fresh = CellMatrixBlockWritable(shape=(self.rows, self.cols))
         fresh.cell_rows = self.cell_rows.copy()
@@ -128,6 +132,10 @@ class TaggedBlockWritable(Writable):
 
     def serialized_size(self) -> int:
         return 2 + 4 + self.block.serialized_size()
+
+    def size_token(self) -> Tuple[str, int]:
+        """Fingerprint delegates to the wrapped block (tag is 1-char)."""
+        return (self.tag, self.block.size_token())
 
     def clone(self) -> "TaggedBlockWritable":
         return TaggedBlockWritable(self.tag, self.index, self.block.clone())

@@ -91,6 +91,9 @@ class X10Runtime:
             thread_name_prefix="x10-worker",
         )
         self.serializer = DedupSerializer()
+        #: The serializer's memoized size-measurement cache; engines read
+        #: its hit/miss statistics to report re-measurement savings.
+        self.size_cache = self.serializer.size_cache
         self._closed = False
 
     # -- lifecycle ------------------------------------------------------- #

@@ -15,9 +15,14 @@ object graphs the way X10 would serialize them:
 * :func:`estimate_size` — the encoded size of a single object (Writables
   report their exact wire size; containers and numpy/scipy payloads are
   walked; anything else falls back to ``pickle``);
+* :class:`SizeCache` — memoized leaf measurement: payloads that expose a
+  ``size_token()`` (block Writables) are measured once and revalidated with
+  a cheap token, so iteration N of a partition-stable job never re-measures
+  the blocks iteration N-1 already saw;
 * :class:`DedupSerializer` — per-message measurement with a memo, so each
   distinct object costs its full size once and a small back-reference for
-  every repeat;
+  every repeat.  Wire and raw (sharing-ignored) bytes come out of a single
+  traversal;
 * :func:`deep_copy_value` — the defensive clone M3R performs when a job does
   *not* implement ``ImmutableOutput``.
 """
@@ -26,8 +31,10 @@ from __future__ import annotations
 
 import copy
 import pickle
+import threading
+import weakref
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Wire cost of a back-reference to an already-serialized object.
 BACKREF_BYTES = 5
@@ -36,7 +43,83 @@ BACKREF_BYTES = 5
 OBJECT_HEADER_BYTES = 4
 
 
-def estimate_size(obj: Any) -> int:
+class SizeCache:
+    """Memoized ``serialized_size`` measurements, keyed by identity + token.
+
+    Only objects that expose a ``size_token()`` method participate: the
+    token is a cheap, size-determining fingerprint (e.g. ``(cols, nnz)``
+    for a CSC matrix block) that acts as the entry's version tick — any
+    mutation that could change the wire size changes the token and misses.
+    Entries hold weak references, so a recycled ``id()`` can never alias a
+    dead object's measurement and the cache never keeps payloads alive.
+
+    Thread-safe: shuffle measurement runs on worker threads.  The hit/miss
+    tallies are monotonic lifetime totals; engines snapshot them around a
+    job to report per-job deltas (they are *not* part of the deterministic
+    byte accounting — a cache hit returns exactly the bytes a fresh
+    measurement would).
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, Tuple[weakref.ref, Any, int]] = {}
+        # RLock: the weakref death callback can fire re-entrantly while the
+        # same thread is mutating the table.
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+
+    def measure(self, obj: Any, size_fn: Any) -> int:
+        """``size_fn()``, memoized when ``obj`` carries a size token."""
+        token_fn = getattr(obj, "size_token", None)
+        if not callable(token_fn):
+            return int(size_fn())
+        token = token_fn()
+        if token is None:  # the object declares itself uncacheable
+            return int(size_fn())
+        key = id(obj)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                ref, cached_token, size = entry
+                if ref() is obj and cached_token == token:
+                    self._hits += 1
+                    return size
+        size = int(size_fn())
+        with self._lock:
+            try:
+                ref = weakref.ref(obj, lambda _, key=key: self._forget(key))
+            except TypeError:  # not weakref-able (e.g. __slots__ scalars)
+                self._misses += 1
+                return size
+            self._entries[key] = (ref, token, size)
+            self._misses += 1
+        return size
+
+    def _forget(self, key: int) -> None:
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def snapshot(self) -> Tuple[int, int]:
+        """Lifetime ``(hits, misses)`` so far."""
+        with self._lock:
+            return self._hits, self._misses
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+#: The process-wide default cache: every engine's serializer and the
+#: module-level :func:`estimate_size` share it, so a block measured at
+#: ``collect()`` time is already warm when the shuffle measures the message.
+DEFAULT_SIZE_CACHE = SizeCache()
+
+
+def estimate_size(obj: Any, size_cache: Optional[SizeCache] = None) -> int:
     """Estimate the serialized size of one object, ignoring sharing.
 
     Writables (anything with a ``serialized_size()`` method) report their
@@ -46,13 +129,16 @@ def estimate_size(obj: Any) -> int:
     handle cycles in the heap", paper Section 5.1), so estimation always
     terminates.
     """
-    return _size_of(obj, memo=None)
+    if size_cache is None:
+        size_cache = DEFAULT_SIZE_CACHE
+    return _size_of(obj, memo=None, size_cache=size_cache)
 
 
 def _size_of(
     obj: Any,
     memo: "Dict[int, Any] | None",
     visiting: "set | None" = None,
+    size_cache: Optional[SizeCache] = None,
 ) -> int:
     """Size of ``obj``; when ``memo`` is given, repeats cost a back-ref.
 
@@ -91,6 +177,8 @@ def _size_of(
 
     size_fn = getattr(obj, "serialized_size", None)
     if callable(size_fn):
+        if size_cache is not None:
+            return OBJECT_HEADER_BYTES + size_cache.measure(obj, size_fn)
         return OBJECT_HEADER_BYTES + int(size_fn())
 
     if isinstance(obj, (bytes, bytearray, memoryview)):
@@ -99,11 +187,12 @@ def _size_of(
         return OBJECT_HEADER_BYTES + len(obj.encode("utf-8"))
     if isinstance(obj, (list, tuple, set, frozenset)):
         return OBJECT_HEADER_BYTES + sum(
-            _size_of(item, memo, visiting) for item in obj
+            _size_of(item, memo, visiting, size_cache) for item in obj
         )
     if isinstance(obj, dict):
         return OBJECT_HEADER_BYTES + sum(
-            _size_of(k, memo, visiting) + _size_of(v, memo, visiting)
+            _size_of(k, memo, visiting, size_cache)
+            + _size_of(v, memo, visiting, size_cache)
             for k, v in obj.items()
         )
 
@@ -124,13 +213,122 @@ def _size_of(
     attrs = getattr(obj, "__dict__", None)
     if attrs is not None:
         return OBJECT_HEADER_BYTES + sum(
-            _size_of(v, memo, visiting) for v in attrs.values()
+            _size_of(v, memo, visiting, size_cache) for v in attrs.values()
         )
 
     try:
         return OBJECT_HEADER_BYTES + len(pickle.dumps(obj, protocol=4))
     except Exception:  # pragma: no cover - unpicklable exotic object
         return OBJECT_HEADER_BYTES + 64
+
+
+def _dual_size_of(
+    obj: Any,
+    memo: Dict[int, List[Any]],
+    size_cache: Optional[SizeCache],
+) -> Tuple[int, int]:
+    """``(wire, raw)`` size of ``obj`` in one traversal.
+
+    ``memo`` maps ``id(obj) -> [obj, raw_size]``; ``raw_size`` is ``None``
+    while the object's walk is still in progress (i.e. the hit is a cycle,
+    which both accountings encode as a back-reference).  A completed-walk
+    hit costs a back-reference on the wire but its full, sharing-ignored
+    size in the raw total — exactly what the former second
+    ``_size_of(value, memo=None)`` pass computed.
+    """
+    if obj is None or isinstance(obj, bool):
+        return 1, 1
+    if isinstance(obj, int):
+        magnitude = abs(obj)
+        nbytes = 1
+        while magnitude >= 0x80:
+            magnitude >>= 8
+            nbytes += 1
+        return nbytes, nbytes
+    if isinstance(obj, float):
+        return 8, 8
+
+    key = id(obj)
+    entry = memo.get(key)
+    if entry is not None:
+        raw_size = entry[1]
+        if raw_size is None:  # cycle: raw measurement back-references too
+            return BACKREF_BYTES, BACKREF_BYTES
+        return BACKREF_BYTES, raw_size
+    entry = [obj, None]  # hold a reference so ids stay unique
+    memo[key] = entry
+
+    size_fn = getattr(obj, "serialized_size", None)
+    if callable(size_fn):
+        if size_cache is not None:
+            size = OBJECT_HEADER_BYTES + size_cache.measure(obj, size_fn)
+        else:
+            size = OBJECT_HEADER_BYTES + int(size_fn())
+        entry[1] = size
+        return size, size
+
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        size = OBJECT_HEADER_BYTES + len(obj)
+        entry[1] = size
+        return size, size
+    if isinstance(obj, str):
+        size = OBJECT_HEADER_BYTES + len(obj.encode("utf-8"))
+        entry[1] = size
+        return size, size
+
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        wire = raw = OBJECT_HEADER_BYTES
+        for item in obj:
+            w, r = _dual_size_of(item, memo, size_cache)
+            wire += w
+            raw += r
+        entry[1] = raw
+        return wire, raw
+    if isinstance(obj, dict):
+        wire = raw = OBJECT_HEADER_BYTES
+        for k, v in obj.items():
+            w, r = _dual_size_of(k, memo, size_cache)
+            wire += w
+            raw += r
+            w, r = _dual_size_of(v, memo, size_cache)
+            wire += w
+            raw += r
+        entry[1] = raw
+        return wire, raw
+
+    nbytes_attr = getattr(obj, "nbytes", None)
+    if isinstance(nbytes_attr, int):  # numpy arrays
+        size = OBJECT_HEADER_BYTES + nbytes_attr
+        entry[1] = size
+        return size, size
+
+    data = getattr(obj, "data", None)
+    if data is not None and hasattr(data, "nbytes"):
+        total = data.nbytes
+        for attr in ("indices", "indptr", "row", "col"):
+            arr = getattr(obj, attr, None)
+            if arr is not None and hasattr(arr, "nbytes"):
+                total += arr.nbytes
+        size = OBJECT_HEADER_BYTES + int(total)
+        entry[1] = size
+        return size, size
+
+    attrs = getattr(obj, "__dict__", None)
+    if attrs is not None:
+        wire = raw = OBJECT_HEADER_BYTES
+        for v in attrs.values():
+            w, r = _dual_size_of(v, memo, size_cache)
+            wire += w
+            raw += r
+        entry[1] = raw
+        return wire, raw
+
+    try:
+        size = OBJECT_HEADER_BYTES + len(pickle.dumps(obj, protocol=4))
+    except Exception:  # pragma: no cover - unpicklable exotic object
+        size = OBJECT_HEADER_BYTES + 64
+    entry[1] = size
+    return size, size
 
 
 @dataclass(frozen=True)
@@ -158,24 +356,32 @@ class DedupSerializer:
     """Measures messages with X10's de-duplicating protocol.
 
     One instance can be shared; every :meth:`measure_message` call uses a
-    fresh memo, matching X10's per-message de-duplication scope.
+    fresh memo, matching X10's per-message de-duplication scope.  Leaf
+    measurements go through the (shared, thread-safe) :class:`SizeCache`.
     """
+
+    def __init__(self, size_cache: Optional[SizeCache] = None):
+        self.size_cache = (
+            size_cache if size_cache is not None else DEFAULT_SIZE_CACHE
+        )
 
     def measure_message(self, values: Sequence[Any]) -> SerializedMessage:
         """Measure serializing ``values`` as one message.
 
         Each distinct object (by identity) costs its full encoded size the
-        first time and :data:`BACKREF_BYTES` on every repeat.
+        first time and :data:`BACKREF_BYTES` on every repeat.  The
+        de-duplicated (wire) and sharing-ignored (raw) totals come out of
+        one traversal of the object graph.
         """
-        memo: Dict[int, Any] = {}
+        memo: Dict[int, List[Any]] = {}
         wire = 0
         raw = 0
         duplicates = 0
         for value in values:
             before = len(memo)
-            contribution = _size_of(value, memo)
-            wire += contribution
-            raw += _size_of(value, memo=None)
+            w, r = _dual_size_of(value, memo, self.size_cache)
+            wire += w
+            raw += r
             if len(memo) == before and not _is_inline(value):
                 duplicates += 1
         return SerializedMessage(

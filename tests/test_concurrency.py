@@ -25,7 +25,11 @@ from collections import Counter as PyCounter
 import numpy as np
 import pytest
 
-from repro.api.conf import REAL_THREADS_KEY, JobConf
+from repro.api.conf import (
+    REAL_THREADS_KEY,
+    SHUFFLE_REAL_THREADS_KEY,
+    JobConf,
+)
 from repro.api.counters import TaskCounter
 from repro.api.formats import SequenceFileOutputFormat, TextInputFormat
 from repro.api.mapred import Mapper
@@ -94,13 +98,15 @@ def stress_job(input_path: str, output_path: str, reducers: int = 8) -> JobConf:
 
 
 def run_stress(factory, seed: int, threaded: bool, parts: int = NUM_SPLITS,
-               engine_kwargs=None):
+               engine_kwargs=None, conf_bools=None):
     """One engine, one seeded corpus, one run; returns the full snapshot."""
     engine = factory(**(engine_kwargs or {}))
     try:
         corpus = write_corpus(engine.filesystem, "/in", seed, parts=parts)
         conf = stress_job("/in", "/out")
         conf.set_boolean(REAL_THREADS_KEY, threaded)
+        for key, value in (conf_bools or {}).items():
+            conf.set_boolean(key, value)
         result = engine.run_job(conf)
         assert result.succeeded, result.error
         per_file, cached = snapshot(engine)
@@ -114,6 +120,7 @@ def run_stress(factory, seed: int, threaded: bool, parts: int = NUM_SPLITS,
             "counts": counts,
             "counters": result.counters.as_dict(),
             "counters_obj": result.counters,
+            "metrics": result.metrics,
             "seconds": result.simulated_seconds,
         }
     finally:
@@ -171,6 +178,93 @@ class TestM3RStress:
                               engine_kwargs={"workers_per_place": 8})
         assert dict(threaded["counts"]) == dict(serial["counts"])
         assert dict(serial["counts"]) == dict(PyCounter(serial["corpus"].split()))
+
+
+class TestShuffleConcurrency:
+    """The parallel shuffle (one async per place-to-place message) must be
+    observationally identical to the serial shuffle: every byte metric,
+    every counter, every committed record, and the simulated clock."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_twenty_seeded_runs_parallel_shuffle_deterministic(self, seed):
+        """Acceptance sweep: m3r.shuffle.real-threads on vs off — identical
+        shuffle_remote_bytes, dedup_saved_bytes, counters, outputs, and
+        (exactly, not approximately) simulated seconds."""
+        parallel = run_stress(
+            make_m3r, seed=seed, threaded=True, parts=16,
+            engine_kwargs={"workers_per_place": 4},
+            conf_bools={SHUFFLE_REAL_THREADS_KEY: True},
+        )
+        serial = run_stress(
+            make_m3r, seed=seed, threaded=True, parts=16,
+            engine_kwargs={"workers_per_place": 4},
+            conf_bools={SHUFFLE_REAL_THREADS_KEY: False},
+        )
+        assert parallel["output"] == serial["output"]
+        assert parallel["counters"] == serial["counters"]
+        assert parallel["cached"] == serial["cached"]
+        for name in ("shuffle_remote_bytes", "shuffle_remote_records",
+                     "shuffle_local_bytes", "shuffle_local_records",
+                     "dedup_saved_bytes"):
+            assert parallel["metrics"].get(name) == serial["metrics"].get(name), name
+        # Charges are replayed in plan order post-join, so the float sums
+        # are bitwise identical — no approx needed.
+        assert parallel["seconds"] == serial["seconds"]
+
+    def test_local_handoff_bytes_split_from_shuffle_bytes(self):
+        """Co-located partitions are counted as local hand-offs, not as
+        REDUCE_SHUFFLE_BYTES; the two cover all map-output traffic."""
+        run = run_stress(make_m3r, seed=5, threaded=True, parts=16,
+                         engine_kwargs={"workers_per_place": 4})
+        counters = run["counters_obj"]
+        remote = counters.value(TaskCounter.REDUCE_SHUFFLE_BYTES)
+        local = counters.value(TaskCounter.REDUCE_LOCAL_HANDOFF_BYTES)
+        assert local > 0  # partition % num_places guarantees co-location
+        assert remote > 0
+        assert local == run["metrics"].get("shuffle_local_bytes")
+
+
+class PoisonKeyComparator:
+    """Sort comparator that fails when the poison key reaches a shuffle
+    sort — the fault-injection hook for the shuffle asyncs."""
+
+    def compare(self, a, b):
+        if "POISON" in str(a) or "POISON" in str(b):
+            raise RuntimeError("injected shuffle failure")
+        return (str(a) > str(b)) - (str(a) < str(b))
+
+
+class TestShuffleFaultInjection:
+    @pytest.mark.parametrize("parallel_shuffle", [True, False])
+    def test_shuffle_async_failure_fails_job_cleanly(self, parallel_shuffle):
+        """With sorted runs on (default), run sorting happens inside the
+        shuffle activities.  A comparator blowing up there must fail the
+        job the same way the serial shuffle fails it: a failed
+        EngineResult, nothing committed, engine usable afterwards."""
+        engine = make_m3r(num_nodes=4, workers_per_place=4)
+        try:
+            for part in range(8):
+                text = generate_text(4, seed=900 + part)
+                if part == 3:
+                    text += "\nPOISON\n"
+                engine.filesystem.write_text(f"/in/part-{part:05d}", text)
+            conf = stress_job("/in", "/out")
+            # No combiner: the combiner would sort (and trip the poison)
+            # already in the map phase — the point here is the shuffle.
+            conf.unset("mapred.combiner.class")
+            conf.set_output_key_comparator_class(PoisonKeyComparator)
+            conf.set_boolean(SHUFFLE_REAL_THREADS_KEY, parallel_shuffle)
+            result = engine.run_job(conf)
+            assert not result.succeeded
+            assert "injected shuffle failure" in result.error
+            assert not engine.filesystem.exists("/out/_SUCCESS")
+            # The finish joined cleanly; the engine takes the next job.
+            follow_up = engine.run_job(
+                wordcount_job("/in/part-00000", "/out2", 2)
+            )
+            assert follow_up.succeeded, follow_up.error
+        finally:
+            engine.shutdown()
 
 
 class TestHadoopStress:

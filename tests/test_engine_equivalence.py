@@ -16,6 +16,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.api.conf import JobConf
+from repro.api.counters import TaskCounter
 from repro.api.formats import SequenceFileInputFormat, SequenceFileOutputFormat
 from repro.api.mapred import IdentityMapper, IdentityReducer, Mapper, Reducer
 from repro.api.mapreduce import NewMapper, NewReducer
@@ -196,6 +197,43 @@ class TestComparators:
         sizes = [v.get() for _, v in engine.filesystem.read_kv_pairs("/out")]
         assert sum(sizes) == len(DATA)
         assert len(sizes) <= 2
+
+
+class TestShuffleByteAccounting:
+    def test_local_handoffs_not_counted_as_shuffle_bytes(self):
+        """Hadoop's REDUCE_SHUFFLE_BYTES counts every fetched byte.  M3R
+        never fetches co-located partitions — those bytes land in
+        REDUCE_LOCAL_HANDOFF_BYTES instead, and the two counters together
+        must equal Hadoop's total (map-output bytes are placement- and
+        split-independent for the same output multiset)."""
+        counters = {}
+        for kind, factory in (("hadoop", make_hadoop), ("m3r", make_m3r)):
+            engine = factory()
+            for part in range(4):
+                engine.filesystem.write_pairs(
+                    f"/in/part-{part:05d}", DATA[part::4]
+                )
+            conf = JobConf()
+            conf.set_input_paths("/in")
+            conf.set_input_format(SequenceFileInputFormat)
+            conf.set_mapper_class(IdentityMapper)
+            conf.set_reducer_class(IdentityReducer)
+            conf.set_output_format(SequenceFileOutputFormat)
+            conf.set_output_path("/out")
+            conf.set_num_reduce_tasks(4)
+            result = engine.run_job(conf)
+            assert result.succeeded, result.error
+            counters[kind] = result.counters
+            if hasattr(engine, "shutdown"):
+                engine.shutdown()
+        hadoop_shuffled = counters["hadoop"].value(TaskCounter.REDUCE_SHUFFLE_BYTES)
+        m3r_remote = counters["m3r"].value(TaskCounter.REDUCE_SHUFFLE_BYTES)
+        m3r_local = counters["m3r"].value(TaskCounter.REDUCE_LOCAL_HANDOFF_BYTES)
+        assert counters["hadoop"].value(
+            TaskCounter.REDUCE_LOCAL_HANDOFF_BYTES
+        ) == 0
+        assert m3r_local > 0  # partition stability guarantees co-location
+        assert m3r_remote + m3r_local == hadoop_shuffled
 
 
 class ReusingVandalMapper(Mapper):
