@@ -1,0 +1,61 @@
+"""Static lint + runtime sanitizers for the engine's concurrency contracts.
+
+Two halves:
+
+* ``python -m repro analyze`` — an AST lint (M3R001..M3R005) over the
+  source tree enforcing the async-mutation, determinism, ImmutableOutput,
+  exception-reporting, and import-surface contracts (see
+  :mod:`repro.analysis.rules`);
+* runtime sanitizers (:mod:`repro.analysis.sanitizers`) behind the
+  ``m3r.sanitize.mutation`` / ``m3r.sanitize.lock-order`` knobs, wired
+  into the serializer, cache, and lock table.
+"""
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_PATH,
+    diff_baseline,
+    load_baseline,
+    new_findings,
+    write_baseline,
+)
+from repro.analysis.callgraph import CallGraph, FunctionInfo, build_call_graph
+from repro.analysis.linter import Analyzer, Module, Project, load_project
+from repro.analysis.report import findings_to_document, render_json, render_text
+from repro.analysis.rules import Finding, Rule, default_rules
+from repro.analysis.sanitizers import (
+    LOCK_ORDER_SANITIZER,
+    MUTATION_SANITIZER,
+    ImmutableViolation,
+    LockOrderSanitizer,
+    LockOrderViolation,
+    MutationSanitizer,
+    sanitizer_overrides,
+)
+
+__all__ = [
+    "Analyzer",
+    "CallGraph",
+    "DEFAULT_BASELINE_PATH",
+    "Finding",
+    "FunctionInfo",
+    "ImmutableViolation",
+    "LOCK_ORDER_SANITIZER",
+    "LockOrderSanitizer",
+    "LockOrderViolation",
+    "MUTATION_SANITIZER",
+    "Module",
+    "MutationSanitizer",
+    "Project",
+    "Rule",
+    "build_call_graph",
+    "default_rules",
+    "diff_baseline",
+    "findings_to_document",
+    "load_baseline",
+    "load_project",
+    "new_findings",
+    "render_json",
+    "render_text",
+    "sanitizer_overrides",
+    "write_baseline",
+]

@@ -1,0 +1,74 @@
+"""Finding baselines: grandfather what exists, gate what's new.
+
+``python -m repro analyze --baseline`` writes ``analysis/baseline.json``
+holding the fingerprint of every current finding (suppressed ones
+included).  A normal gate run loads that file and fails only on findings
+that are (a) unsuppressed and (b) not in the baseline — so a committed
+baseline lets pre-existing debt ride while every *new* violation blocks.
+
+Fingerprints hash ``rule|path|symbol|message`` (no line number), so a
+baseline survives unrelated edits to the same file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.rules import Finding
+
+__all__ = ["load_baseline", "write_baseline", "diff_baseline", "new_findings"]
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_PATH = Path("analysis") / "baseline.json"
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """The set of baselined fingerprints (empty if the file is absent)."""
+    path = Path(path)
+    if not path.exists():
+        return set()
+    document = json.loads(path.read_text(encoding="utf-8"))
+    return set(document.get("fingerprints", {}))
+
+
+def _document(findings: List[Finding]) -> Dict:
+    fingerprints = {
+        f.fingerprint: f"{f.rule} {f.path} {f.symbol}" for f in findings
+    }
+    return {
+        "version": BASELINE_VERSION,
+        "fingerprints": dict(sorted(fingerprints.items())),
+    }
+
+
+def write_baseline(findings: List[Finding], path: Path) -> Dict:
+    """Write (or overwrite) the baseline file; returns the document."""
+    path = Path(path)
+    document = _document(findings)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return document
+
+
+def diff_baseline(
+    findings: List[Finding], baseline: Set[str]
+) -> Tuple[List[Finding], Set[str]]:
+    """``(added, removed)`` relative to ``baseline``: findings whose
+    fingerprint is new, and baselined fingerprints no longer produced."""
+    current = {f.fingerprint for f in findings}
+    added = [f for f in findings if f.fingerprint not in baseline]
+    removed = baseline - current
+    return added, removed
+
+
+def new_findings(findings: List[Finding], baseline: Set[str]) -> List[Finding]:
+    """The gate set: unsuppressed findings not covered by the baseline."""
+    return [
+        f
+        for f in findings
+        if not f.suppressed and f.fingerprint not in baseline
+    ]

@@ -1,0 +1,69 @@
+"""Text and JSON reporters for lint findings.
+
+The text form is for humans at a terminal; the JSON form is the machine
+interface CI gates on (``python -m repro analyze --format=json``).  Both
+render the same findings, including suppressed ones — suppression is a
+visible decision, not a deletion.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis.rules import Finding
+
+__all__ = ["render_text", "render_json", "findings_to_document"]
+
+REPORT_VERSION = 1
+
+
+def render_text(findings: List[Finding]) -> str:
+    """One ``path:line:col RULE symbol message`` line per finding, plus a
+    summary tail."""
+    lines: List[str] = []
+    for finding in findings:
+        tag = "  [suppressed]" if finding.suppressed else ""
+        lines.append(
+            f"{finding.location()} {finding.rule} {finding.symbol}: "
+            f"{finding.message}{tag}"
+        )
+    active = sum(1 for f in findings if not f.suppressed)
+    suppressed = len(findings) - active
+    lines.append(
+        f"{len(findings)} finding(s): {active} active, {suppressed} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def findings_to_document(findings: List[Finding]) -> Dict:
+    """The JSON-ready report document."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return {
+        "version": REPORT_VERSION,
+        "counts": {
+            "total": len(findings),
+            "active": sum(1 for f in findings if not f.suppressed),
+            "suppressed": sum(1 for f in findings if f.suppressed),
+            "by_rule": dict(sorted(counts.items())),
+        },
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "symbol": f.symbol,
+                "message": f.message,
+                "suppressed": f.suppressed,
+                "fingerprint": f.fingerprint,
+            }
+            for f in findings
+        ],
+    }
+
+
+def render_json(findings: List[Finding]) -> str:
+    return json.dumps(findings_to_document(findings), indent=2, sort_keys=True)

@@ -1,0 +1,504 @@
+"""The M3R lint rule catalog.
+
+Each rule is a class with an ``id``, a one-line ``summary``, and a
+``check(project)`` method returning :class:`Finding`\\ s.  The rules encode
+the engine's unwritten concurrency/immutability/determinism contracts:
+
+========  ==============================================================
+M3R001    mutation of a parameter inside a function reachable from an
+          ``async``/``finish`` body, outside any lock-ish ``with`` block
+M3R002    iteration over a ``set`` / ``dict.values()`` inside code that
+          feeds shuffle-plan or replay ordering (nondeterminism hazard)
+M3R003    attribute writes on ``ImmutableOutput``-registered classes
+          outside ``__init__``/builders
+M3R004    a bare ``except``/``except Exception`` that swallows the error
+          (no re-raise, never reads the bound exception)
+M3R005    a package ``__init__.py`` without an ``__all__`` export list
+          (the import-surface ground truth)
+========  ==============================================================
+
+Findings are suppressed line-by-line with ``# noqa: M3Rxxx`` (see
+:mod:`repro.analysis.linter`).  Thread-safe state is recognised
+structurally, not by registry: mutations under a ``with <something
+lock-like>`` block are exempt, and the thread-safe counters/metrics
+(`sim.metrics`, `api.counters`) expose *methods* (``incr``, ``increment``,
+``charge``, ``merge``) that are not in the raw-container mutator list, so
+calling them never fires M3R001 — mutating their internals without their
+own lock would.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, List, Optional, Set
+
+from repro.analysis.callgraph import FunctionInfo
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.linter import Project
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "AsyncParamMutationRule",
+    "UnorderedIterationRule",
+    "ImmutableOutputWriteRule",
+    "SwallowedExceptionRule",
+    "ImportSurfaceRule",
+    "default_rules",
+]
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    symbol: str
+    message: str
+    suppressed: bool = False
+
+    @property
+    def fingerprint(self) -> str:
+        """A stable identity for baselining: survives unrelated edits by
+        excluding the line number."""
+        raw = f"{self.rule}|{self.path}|{self.symbol}|{self.message}"
+        return hashlib.sha1(raw.encode("utf-8")).hexdigest()
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+class Rule:
+    """Base class: rules are stateless and check the whole project."""
+
+    id: str = ""
+    summary: str = ""
+
+    def check(self, project: "Project") -> List[Finding]:
+        raise NotImplementedError
+
+
+def _root_name(expr: ast.expr) -> Optional[str]:
+    """The base ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    return expr.id if isinstance(expr, ast.Name) else None
+
+
+#: ``with`` context expressions matching this are treated as lock-holding.
+_LOCK_CONTEXT = re.compile(
+    r"lock|guard|hold|acquire|semaphore|limiter|mutex|cond", re.IGNORECASE
+)
+
+#: Raw-container method calls that mutate their receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "setdefault",
+        "sort",
+        "reverse",
+    }
+)
+
+
+class AsyncParamMutationRule(Rule):
+    """M3R001: unsynchronised parameter mutation on a worker-thread path."""
+
+    id = "M3R001"
+    summary = (
+        "parameter mutated inside an async-reachable function without a lock"
+    )
+
+    def check(self, project: "Project") -> List[Finding]:
+        graph = project.call_graph
+        reachable = graph.reachable_from(graph.spawn_roots)
+        findings: List[Finding] = []
+        for fn in graph.functions:
+            if fn.name not in reachable and fn.name not in graph.spawn_roots:
+                continue
+            shared = [p for p in fn.params if p not in ("self", "cls")]
+            if not shared:
+                continue
+            self._scan(fn, set(shared), project, findings)
+        return findings
+
+    def _scan(
+        self,
+        fn: FunctionInfo,
+        params: Set[str],
+        project: "Project",
+        findings: List[Finding],
+    ) -> None:
+        def emit(node: ast.AST, param: str, how: str) -> None:
+            findings.append(  # noqa: M3R001 - lint driver is single-threaded
+                Finding(
+                    rule=self.id,
+                    path=fn.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    symbol=fn.qualname,
+                    message=(
+                        f"parameter {param!r} of async-reachable "
+                        f"{fn.qualname!r} is mutated ({how}) without holding "
+                        f"a lock"
+                    ),
+                )
+            )
+
+        def visit(node: ast.AST, locked: bool) -> None:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                now_locked = locked or any(
+                    _LOCK_CONTEXT.search(ast.unparse(item.context_expr))
+                    for item in node.items
+                )
+                for item in node.items:
+                    visit(item, locked)
+                for stmt in node.body:
+                    visit(stmt, now_locked)
+                return
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        root = _root_name(target)
+                        if root in params and not locked:
+                            emit(target, root, "assignment")
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in _MUTATORS:
+                    root = _root_name(node.func.value)
+                    if root in params and not locked:
+                        emit(node, root, f".{node.func.attr}() call")
+            for child in ast.iter_child_nodes(node):
+                visit(child, locked)
+
+        for stmt in fn.node.body:
+            visit(stmt, False)
+
+
+#: Function names that *define* shuffle-plan / replay ordering.
+_ORDERING_ROOT_NAMES = frozenset({"build_plan", "plan", "replay"})
+
+
+class UnorderedIterationRule(Rule):
+    """M3R002: unordered iteration feeding shuffle-plan/replay ordering."""
+
+    id = "M3R002"
+    summary = "set/dict.values() iteration on a shuffle-ordering path"
+
+    def check(self, project: "Project") -> List[Finding]:
+        graph = project.call_graph
+        roots = set(_ORDERING_ROOT_NAMES)
+        for fn in graph.functions:
+            if "shuffle/" in fn.relpath.replace("\\", "/"):
+                roots.add(fn.name)
+        reachable = graph.reachable_from(roots)
+        findings: List[Finding] = []
+        for fn in graph.functions:
+            if fn.name not in reachable and fn.name not in roots:
+                continue
+            for node, iter_expr in self._iterations(fn.node):
+                if self._is_ordered(iter_expr):
+                    continue
+                if self._is_unordered(iter_expr):
+                    findings.append(
+                        Finding(
+                            rule=self.id,
+                            path=fn.relpath,
+                            line=iter_expr.lineno,
+                            col=iter_expr.col_offset,
+                            symbol=fn.qualname,
+                            message=(
+                                f"iteration over "
+                                f"{self._describe(iter_expr)} in "
+                                f"{fn.qualname!r} feeds shuffle/replay "
+                                f"ordering; wrap it in sorted(...)"
+                            ),
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _iterations(root: ast.AST) -> Iterator[tuple]:
+        for node in ast.walk(root):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield node, node.iter
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    yield node, gen.iter
+
+    @staticmethod
+    def _is_ordered(expr: ast.expr) -> bool:
+        return (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in ("sorted", "enumerate", "range")
+        )
+
+    @staticmethod
+    def _is_unordered(expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Call):
+            if isinstance(expr.func, ast.Name) and expr.func.id in (
+                "set",
+                "frozenset",
+            ):
+                return True
+            if isinstance(expr.func, ast.Attribute) and expr.func.attr == "values":
+                return True
+        return False
+
+    @staticmethod
+    def _describe(expr: ast.expr) -> str:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return "a set literal"
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+            return f"{expr.func.id}(...)"
+        return "dict.values()"
+
+
+#: Methods allowed to write attributes on an ImmutableOutput class.
+#: ``configure`` is Hadoop's JobConfigurable lifecycle hook: it runs once,
+#: before any record is processed, and is therefore part of construction.
+_BUILDER_METHODS = frozenset(
+    {"__init__", "__post_init__", "__new__", "__setstate__", "configure"}
+)
+_BUILDER_PREFIXES = ("with_", "_build")
+
+
+class ImmutableOutputWriteRule(Rule):
+    """M3R003: post-construction attribute writes on ImmutableOutput."""
+
+    id = "M3R003"
+    summary = "attribute write on an ImmutableOutput class outside builders"
+
+    def check(self, project: "Project") -> List[Finding]:
+        registered = self._registered_classes(project)
+        findings: List[Finding] = []
+        for relpath, cls in registered:
+            if cls.name == "ImmutableOutput":
+                continue
+            for method in cls.body:
+                if not isinstance(
+                    method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if method.name in _BUILDER_METHODS or method.name.startswith(
+                    _BUILDER_PREFIXES
+                ):
+                    continue
+                if not method.args.args:
+                    continue
+                receiver = method.args.args[0].arg
+                for node in ast.walk(method):
+                    if not isinstance(node, (ast.Assign, ast.AugAssign)):
+                        continue
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == receiver
+                        ):
+                            findings.append(
+                                Finding(
+                                    rule=self.id,
+                                    path=relpath,
+                                    line=target.lineno,
+                                    col=target.col_offset,
+                                    symbol=f"{cls.name}.{method.name}",
+                                    message=(
+                                        f"{cls.name!r} is ImmutableOutput "
+                                        f"but {method.name!r} writes "
+                                        f"{receiver}.{target.attr} after "
+                                        f"construction"
+                                    ),
+                                )
+                            )
+        return findings
+
+    @staticmethod
+    def _registered_classes(project: "Project") -> List[tuple]:
+        classes: List[tuple] = []  # (relpath, ClassDef)
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    classes.append((module.relpath, node))
+        registered: Set[str] = {"ImmutableOutput"}
+        changed = True
+        while changed:
+            changed = False
+            for _, cls in classes:
+                if cls.name in registered:
+                    continue
+                for base in cls.bases:
+                    base_name = (
+                        base.id
+                        if isinstance(base, ast.Name)
+                        else base.attr
+                        if isinstance(base, ast.Attribute)
+                        else None
+                    )
+                    if base_name in registered:
+                        registered.add(cls.name)
+                        changed = True
+                        break
+        return [(rp, cls) for rp, cls in classes if cls.name in registered]
+
+
+class SwallowedExceptionRule(Rule):
+    """M3R004: a broad except that neither re-raises nor reads the error."""
+
+    id = "M3R004"
+    summary = "bare except Exception that swallows the error"
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def check(self, project: "Project") -> List[Finding]:
+        findings: List[Finding] = []
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if not self._is_broad(node.type):
+                    continue
+                if self._reports(node):
+                    continue
+                caught = (
+                    ast.unparse(node.type) if node.type is not None else "all"
+                )
+                findings.append(
+                    Finding(
+                        rule=self.id,
+                        path=module.relpath,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        symbol=self._enclosing(module.tree, node),
+                        message=(
+                            f"broad handler catching {caught} neither "
+                            f"re-raises nor examines the exception; narrow "
+                            f"it or report what was swallowed"
+                        ),
+                    )
+                )
+        return findings
+
+    def _is_broad(self, type_expr: Optional[ast.expr]) -> bool:
+        if type_expr is None:
+            return True
+        if isinstance(type_expr, ast.Name):
+            return type_expr.id in self._BROAD
+        if isinstance(type_expr, ast.Tuple):
+            return any(self._is_broad(elt) for elt in type_expr.elts)
+        return False
+
+    @staticmethod
+    def _reports(handler: ast.ExceptHandler) -> bool:
+        for node in handler.body:
+            for child in ast.walk(node):
+                if isinstance(child, ast.Raise):
+                    return True
+                if (
+                    handler.name is not None
+                    and isinstance(child, ast.Name)
+                    and child.id == handler.name
+                ):
+                    return True
+        return False
+
+    @staticmethod
+    def _enclosing(tree: ast.Module, target: ast.ExceptHandler) -> str:
+        best = "<module>"
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if (
+                    node.lineno <= target.lineno
+                    and target.lineno <= (node.end_lineno or node.lineno)
+                ):
+                    best = node.name
+        return best
+
+
+class ImportSurfaceRule(Rule):
+    """M3R005: a package ``__init__.py`` must declare ``__all__``."""
+
+    id = "M3R005"
+    summary = "package __init__.py without __all__"
+
+    def check(self, project: "Project") -> List[Finding]:
+        findings: List[Finding] = []
+        for module in project.modules:
+            normalized = module.relpath.replace("\\", "/")
+            if not normalized.endswith("__init__.py"):
+                continue
+            if self._declares_all(module.tree):
+                continue
+            package = normalized.rsplit("/", 1)[0] if "/" in normalized else "."
+            findings.append(
+                Finding(
+                    rule=self.id,
+                    path=module.relpath,
+                    line=1,
+                    col=0,
+                    symbol=package.replace("/", "."),
+                    message=(
+                        f"package {package!r} has no __all__; declare its "
+                        f"public import surface"
+                    ),
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _declares_all(tree: ast.Module) -> bool:
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == "__all__":
+                        return True
+            if isinstance(node, ast.AugAssign):
+                if (
+                    isinstance(node.target, ast.Name)
+                    and node.target.id == "__all__"
+                ):
+                    return True
+        return False
+
+
+def default_rules() -> List[Rule]:
+    """The shipped rule catalog, in id order."""
+    return [
+        AsyncParamMutationRule(),
+        UnorderedIterationRule(),
+        ImmutableOutputWriteRule(),
+        SwallowedExceptionRule(),
+        ImportSurfaceRule(),
+    ]

@@ -150,6 +150,15 @@ CACHE_PINNED_PATHS_KEY = "m3r.cache.pinned-paths"
 SHUFFLE_REAL_THREADS_KEY = "m3r.shuffle.real-threads"
 SHUFFLE_SORTED_RUNS_KEY = "m3r.shuffle.sorted-runs"
 
+# Sanitizer knobs (repro.analysis.sanitizers): per-job overrides for the
+# ImmutableOutput mutation detector and the lock-order cycle detector.
+# Unset keys inherit the process default (the M3R_SANITIZE_MUTATION /
+# M3R_SANITIZE_LOCK_ORDER environment variables); both observers are
+# read-only with respect to the simulation, so flipping them never changes
+# a job's outputs or accounting.
+SANITIZE_MUTATION_KEY = "m3r.sanitize.mutation"
+SANITIZE_LOCK_ORDER_KEY = "m3r.sanitize.lock-order"
+
 
 class JobConf(Configuration):
     """The old-style job configuration, with the usual convenience setters.

@@ -109,7 +109,7 @@ class DelegatingInputFormat(InputFormat):
         )
         if not registrations:
             raise ValueError("DelegatingInputFormat configured without MultipleInputs")
-        total = sum(len(regs) for regs in registrations.values())
+        total = sum(len(regs) for regs in registrations.values())  # noqa: M3R002 - order-independent sum
         splits: List[InputSplit] = []
         for path in sorted(registrations):
             for format_class, mapper_class in registrations[path]:
@@ -230,6 +230,6 @@ class MultipleOutputs:
 
     def close(self) -> None:
         """Close all named writers (must be called from the task's close)."""
-        for writer in self._writers.values():
+        for writer in self._writers.values():  # noqa: M3R002 - insertion-ordered dict, deterministic
             writer.close()
         self._writers.clear()

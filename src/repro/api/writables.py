@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence, Tuple, Type
 import numpy as np
 from scipy import sparse
 
+from repro.analysis.sanitizers import MUTATION_SANITIZER
 from repro.api.io_util import DataInputBuffer, DataOutputBuffer, vint_size
 
 
@@ -679,3 +680,17 @@ def writable_from_bytes(cls: Type[Writable], data: bytes) -> Writable:
     value = cls()
     value.read_fields(DataInputBuffer(data))
     return value
+
+
+def _sanitizer_wire_digest(obj: object) -> Optional[bytes]:
+    """Fingerprint Writables by their Hadoop wire bytes for the mutation
+    sanitizer.  Pickle would also capture lazy internal state (scipy sparse
+    matrices grow ``_has_canonical_format`` in ``__dict__`` after read-only
+    operations like ``.sum()``), which must not read as a mutation — the
+    aliasing contract is about the bytes Hadoop would have serialized."""
+    if isinstance(obj, Writable):
+        return writable_to_bytes(obj)
+    return None
+
+
+MUTATION_SANITIZER.digest_hook = _sanitizer_wire_digest

@@ -349,6 +349,50 @@ def cmd_shuffle_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.analysis import (
+        Analyzer,
+        diff_baseline,
+        load_baseline,
+        new_findings,
+        render_json,
+        render_text,
+        write_baseline,
+    )
+
+    roots = (
+        [Path(p) for p in args.paths]
+        if args.paths
+        else [Path(repro.__file__).parent]
+    )
+    findings = Analyzer().run(roots)
+    baseline_path = Path(args.baseline_file)
+
+    if args.baseline:
+        previous = load_baseline(baseline_path)
+        added, removed = diff_baseline(findings, previous)
+        write_baseline(findings, baseline_path)
+        print(
+            f"baseline written to {baseline_path}: {len(findings)} "
+            f"finding(s) recorded (+{len(added)} new, -{len(removed)} gone)"
+        )
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    print(render_json(findings) if args.format == "json" else render_text(findings))
+    gate = new_findings(findings, baseline)
+    if gate:
+        print(
+            f"FAIL: {len(gate)} unsuppressed, non-baselined finding(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _check_equivalence(outputs: Dict[str, object]) -> int:
     if len(outputs) == 2:
         hadoop_out, m3r_out = outputs.get("hadoop"), outputs.get("m3r")
@@ -443,6 +487,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--data-path", default="/data/input.txt",
                    help="cluster path for --data (default /data/input.txt)")
     p.set_defaults(func=cmd_pig)
+
+    p = sub.add_parser(
+        "analyze",
+        help="static lint: check the source tree against the M3R "
+             "concurrency/immutability/determinism rules (M3R001..M3R005)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to analyze (default: the "
+                        "installed repro package)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--baseline", action="store_true",
+                   help="write/refresh the baseline file instead of gating")
+    p.add_argument("--baseline-file", default="analysis/baseline.json",
+                   help="baseline location (default analysis/baseline.json)")
+    p.set_defaults(func=cmd_analyze)
     return parser
 
 

@@ -32,6 +32,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.analysis.sanitizers import MUTATION_SANITIZER
 from repro.fs.filesystem import normalize_path
 from repro.kvstore.store import BlockInfo, KeyValueStore
 from repro.memory import EvictionCandidate, MemoryGovernor, SpillRecord
@@ -167,6 +168,10 @@ class KeyValueCache:
             stored = self._store.put_block(
                 name, BlockInfo(place_id=place_id), pairs, nbytes
             )
+            if MUTATION_SANITIZER.enabled:
+                MUTATION_SANITIZER.observe_pairs(
+                    stored, site=f"KeyValueCache.put({name})"
+                )
             entry = CacheEntry(
                 name=name, path=path, place_id=place_id, pairs=stored,
                 nbytes=nbytes, durable=durable,
@@ -187,7 +192,7 @@ class KeyValueCache:
             spill_active = governor.spill_active
             candidates = [
                 EvictionCandidate(entry.name, entry.place_id, entry.nbytes)
-                for entry in self._index.values()
+                for entry in self._index.values()  # noqa: M3R002 - insertion-ordered index, deterministic
                 if entry.place_id == place_id
                 and not entry.spilled
                 # Without spill, dropping a non-durable entry (a temporary
@@ -213,9 +218,9 @@ class KeyValueCache:
         if governor.spill_active:
             record, seconds = governor.spill.spill(entry.pairs)
             self._store.delete(entry.name)
-            entry.pairs = None
-            entry.spilled = True
-            entry.spill = record
+            entry.pairs = None  # noqa: M3R001 - caller holds self._lock
+            entry.spilled = True  # noqa: M3R001 - caller holds self._lock
+            entry.spill = record  # noqa: M3R001 - caller holds self._lock
             governor.incr("cache_spills")
             governor.incr("cache_spill_bytes", record.wire_bytes)
             governor.charge_seconds("spill_write", seconds)
@@ -233,20 +238,20 @@ class KeyValueCache:
         stored = self._store.put_block(
             entry.name, BlockInfo(place_id=entry.place_id), pairs, entry.nbytes
         )
-        entry.pairs = stored
-        entry.spilled = False
-        entry.spill = None
+        entry.pairs = stored  # noqa: M3R001 - caller holds self._lock
+        entry.spilled = False  # noqa: M3R001 - caller holds self._lock
+        entry.spill = None  # noqa: M3R001 - caller holds self._lock
         governor.budget.charge(entry.place_id, entry.nbytes)
         governor.policy.on_admit(entry.name, entry.nbytes)
         governor.incr("cache_rehydrations")
         governor.charge_seconds("spill_read", seconds)
         # Re-admission can push the place back over its watermark; protect
         # the entry being handed to the caller from its own eviction wave.
-        entry.pins += 1
+        entry.pins += 1  # noqa: M3R001 - caller holds self._lock
         try:
             self._enforce(entry.place_id)
         finally:
-            entry.pins -= 1
+            entry.pins -= 1  # noqa: M3R001 - caller holds self._lock
 
     def _forget(self, name: str) -> None:
         """Remove an entry outright (replacement, delete, clear)."""
@@ -279,12 +284,12 @@ class KeyValueCache:
             self.governor.reconfigure(
                 resident_entries=[
                     (entry.name, entry.nbytes)
-                    for entry in self._index.values()
+                    for entry in self._index.values()  # noqa: M3R002 - insertion-ordered index, deterministic
                     if not entry.spilled
                 ],
                 **overrides,
             )
-            for place_id in {e.place_id for e in self._index.values()}:
+            for place_id in {e.place_id for e in self._index.values()}:  # noqa: M3R002 - deduped place ids, order-independent loop
                 self._enforce(place_id)
 
     # -- lookups --------------------------------------------------------- #
@@ -307,9 +312,13 @@ class KeyValueCache:
         self.governor.incr_lifetime("cache_lookup_hits")
         if entry.spilled:
             self._rehydrate(entry)
+        if MUTATION_SANITIZER.enabled and entry.pairs is not None:
+            MUTATION_SANITIZER.observe_pairs(
+                entry.pairs, site=f"KeyValueCache.get({entry.name})"
+            )
         self.governor.policy.on_access(entry.name, entry.nbytes)
         if pin:
-            entry.pins += 1
+            entry.pins += 1  # noqa: M3R001 - caller holds self._lock
         return entry
 
     def get_file(
@@ -374,7 +383,7 @@ class KeyValueCache:
             return sorted(
                 {
                     entry.path
-                    for entry in self._index.values()
+                    for entry in self._index.values()  # noqa: M3R002 - insertion-ordered index, deterministic
                     if entry.name == entry.path
                     and (entry.path == directory or entry.path.startswith(prefix))
                 }

@@ -44,8 +44,15 @@ from repro.api.conf import (
     JobConf,
     NUM_MAPS_HINT_KEY,
     REAL_THREADS_KEY,
+    SANITIZE_LOCK_ORDER_KEY,
+    SANITIZE_MUTATION_KEY,
     SHUFFLE_REAL_THREADS_KEY,
     SHUFFLE_SORTED_RUNS_KEY,
+)
+from repro.analysis.sanitizers import (
+    LOCK_ORDER_SANITIZER,
+    MUTATION_SANITIZER,
+    sanitizer_overrides,
 )
 from repro.api.counters import Counters, JobCounter, TaskCounter
 from repro.api.extensions import (
@@ -82,6 +89,7 @@ from repro.sim.cluster import Cluster
 from repro.sim.cost_model import CostModel
 from repro.sim.metrics import Metrics
 from repro.x10.runtime import ActivityError, X10Runtime
+from repro.x10.serializer import FALLBACK_TALLY
 
 
 class M3REngine:
@@ -187,8 +195,18 @@ class M3REngine:
             self.governor.pin_prefix(prefix)
         self.governor.attach_job_metrics(metrics)
         cache_hits, cache_misses = self.runtime.size_cache.snapshot()
+        fallbacks_before = FALLBACK_TALLY.snapshot()
+        sanitize_mutation = conf.get_boolean(
+            SANITIZE_MUTATION_KEY, MUTATION_SANITIZER.enabled
+        )
+        sanitize_lock_order = conf.get_boolean(
+            SANITIZE_LOCK_ORDER_KEY, LOCK_ORDER_SANITIZER.enabled
+        )
         try:
-            seconds = self._execute(spec, conf, counters, metrics)
+            with sanitizer_overrides(
+                mutation=sanitize_mutation, lock_order=sanitize_lock_order
+            ):
+                seconds = self._execute(spec, conf, counters, metrics)
             # Spill/rehydration I/O charged by the governor during the job
             # lands on the job clock here.
             seconds += self.governor.drain_seconds()
@@ -197,6 +215,12 @@ class M3REngine:
             hits, misses = self.runtime.size_cache.snapshot()
             metrics.incr("size_cache_hits", hits - cache_hits)
             metrics.incr("size_cache_misses", misses - cache_misses)
+            # Size estimates that fell back to a fixed pickle guess this job
+            # (see x10.serializer.FALLBACK_TALLY) — ideally always zero.
+            metrics.incr(
+                "serializer_fallbacks",
+                FALLBACK_TALLY.snapshot() - fallbacks_before,
+            )
         except JobFailedError:
             raise
         except Exception as exc:  # noqa: BLE001 - reported, not swallowed
@@ -566,7 +590,7 @@ class M3REngine:
         # --- input: cache, or filesystem + cache insert ------------------- #
         entry = self._cache_lookup(split, pin=True)
         if entry is not None:
-            pinned.append(entry.name)
+            pinned.append(entry.name)  # noqa: M3R001 - per-task private list
             metrics.incr("cache_hits")
             pairs = entry.pairs
             nbytes = entry.nbytes

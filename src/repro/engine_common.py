@@ -22,6 +22,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.analysis.sanitizers import MUTATION_SANITIZER
 from repro.api.counters import Counters, TaskCounter
 from repro.api.formats import RecordReader
 from repro.api.job import JobSpec
@@ -46,7 +47,9 @@ def bounded_task_fn(
     so a blocked pool thread always unblocks once some running task at its
     lane finishes — the bounding cannot deadlock.
     """
-    limiters = {lane: threading.Semaphore(lane_width) for lane in set(lanes)}
+    limiters = {
+        lane: threading.Semaphore(lane_width) for lane in sorted(set(lanes))
+    }
 
     def bounded(index: int) -> Any:
         with limiters[lanes[index]]:
@@ -228,6 +231,12 @@ class CollectorSink(OutputCollector):
             value = deep_copy_value(value)
             self.copied_records += 1
             self.copied_bytes += nbytes
+        elif MUTATION_SANITIZER.enabled:
+            # Aliased records are covered by the ImmutableOutput contract
+            # from the moment they are collected: fingerprint them here so
+            # a later mutation is caught at the next send or cache read.
+            MUTATION_SANITIZER.observe(key, site="CollectorSink.collect")
+            MUTATION_SANITIZER.observe(value, site="CollectorSink.collect")
         if self._partitioner is not None:
             partition = self._partitioner.get_partition(
                 key, value, len(self.partitions)
@@ -274,6 +283,9 @@ class WriterCollector(OutputCollector):
             value = deep_copy_value(value)
             self.copied_records += 1
             self.copied_bytes += nbytes
+        elif MUTATION_SANITIZER.enabled:
+            MUTATION_SANITIZER.observe(key, site="WriterCollector.collect")
+            MUTATION_SANITIZER.observe(value, site="WriterCollector.collect")
         self.records += 1
         self.bytes += nbytes
         self._counters.increment(TaskCounter.REDUCE_OUTPUT_RECORDS, 1)

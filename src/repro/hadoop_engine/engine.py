@@ -20,10 +20,17 @@ import heapq
 import math
 from typing import Any, List, Set, Tuple
 
+from repro.analysis.sanitizers import (
+    LOCK_ORDER_SANITIZER,
+    MUTATION_SANITIZER,
+    sanitizer_overrides,
+)
 from repro.api.conf import (
     JobConf,
     NUM_MAPS_HINT_KEY,
     REAL_THREADS_KEY,
+    SANITIZE_LOCK_ORDER_KEY,
+    SANITIZE_MUTATION_KEY,
     SHUFFLE_SORTED_RUNS_KEY,
 )
 from repro.api.counters import Counters, JobCounter, TaskCounter
@@ -97,7 +104,15 @@ class HadoopEngine:
         counters = Counters()
         metrics = Metrics()
         try:
-            seconds = self._execute(spec, conf, counters, metrics)
+            with sanitizer_overrides(
+                mutation=conf.get_boolean(
+                    SANITIZE_MUTATION_KEY, MUTATION_SANITIZER.enabled
+                ),
+                lock_order=conf.get_boolean(
+                    SANITIZE_LOCK_ORDER_KEY, LOCK_ORDER_SANITIZER.enabled
+                ),
+            ):
+                seconds = self._execute(spec, conf, counters, metrics)
         except Exception as exc:  # noqa: BLE001 - reported, not swallowed
             return EngineResult(
                 job_name=spec.name,

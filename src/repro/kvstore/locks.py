@@ -20,6 +20,7 @@ import threading
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Sequence
 
+from repro.analysis.sanitizers import LOCK_ORDER_SANITIZER
 from repro.fs.filesystem import normalize_path
 from repro.kvstore.paths import least_common_ancestor
 
@@ -65,11 +66,16 @@ class LockTable:
     def acquire(self, path: str) -> None:
         """Block until the path's lock is held by this task."""
         path = normalize_path(path)
+        # The sanitizer checks *before* we touch the table: a would-be
+        # deadlock raises here instead of blocking forever on the mutex,
+        # and there is no waiter count to unwind.
+        LOCK_ORDER_SANITIZER.before_acquire(path)
         lock = self._checkout(path)
         if not lock.mutex.acquire(blocking=False):
             with self._guard:
                 self.contended_acquires += 1
             lock.mutex.acquire()
+        LOCK_ORDER_SANITIZER.after_acquire(path)
 
     def release(self, path: str) -> None:
         path = normalize_path(path)
@@ -79,6 +85,7 @@ class LockTable:
             raise RuntimeError(f"release of unheld lock {path!r}")
         lock.mutex.release()
         self._checkin(path, lock)
+        LOCK_ORDER_SANITIZER.on_release(path)
 
     @contextmanager
     def holding(self, path: str) -> Iterator[None]:

@@ -36,11 +36,40 @@ import weakref
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.analysis.sanitizers import MUTATION_SANITIZER
+
 #: Wire cost of a back-reference to an already-serialized object.
 BACKREF_BYTES = 5
 
 #: Fixed per-object envelope (type tag + length header).
 OBJECT_HEADER_BYTES = 4
+
+
+class _FallbackTally:
+    """Thread-safe lifetime count of pickle-fallback size estimates.
+
+    An object that reaches the final ``pickle.dumps`` path and still fails
+    gets a fixed 64-byte guess; that used to happen silently.  Engines
+    snapshot this tally around each job and surface the delta as the
+    ``serializer_fallbacks`` metric, so a job whose accounting leans on
+    guessed sizes says so.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def record(self) -> None:
+        with self._lock:
+            self._count += 1
+
+    def snapshot(self) -> int:
+        with self._lock:
+            return self._count
+
+
+#: Process-wide tally shared by every serializer instance.
+FALLBACK_TALLY = _FallbackTally()
 
 
 class SizeCache:
@@ -165,7 +194,7 @@ def _size_of(
         key = id(obj)
         if key in memo:
             return BACKREF_BYTES
-        memo[key] = obj  # hold a reference so ids stay unique
+        memo[key] = obj  # noqa: M3R001 - per-message memo; ref keeps ids unique
     elif isinstance(obj, (list, tuple, set, frozenset, dict)) or hasattr(
         obj, "__dict__"
     ):
@@ -213,12 +242,13 @@ def _size_of(
     attrs = getattr(obj, "__dict__", None)
     if attrs is not None:
         return OBJECT_HEADER_BYTES + sum(
-            _size_of(v, memo, visiting, size_cache) for v in attrs.values()
+            _size_of(v, memo, visiting, size_cache) for v in attrs.values()  # noqa: M3R002 - __dict__ order fixed at construction
         )
 
     try:
         return OBJECT_HEADER_BYTES + len(pickle.dumps(obj, protocol=4))
-    except Exception:  # pragma: no cover - unpicklable exotic object
+    except (pickle.PicklingError, TypeError):  # unpicklable exotic object
+        FALLBACK_TALLY.record()
         return OBJECT_HEADER_BYTES + 64
 
 
@@ -256,7 +286,7 @@ def _dual_size_of(
             return BACKREF_BYTES, BACKREF_BYTES
         return BACKREF_BYTES, raw_size
     entry = [obj, None]  # hold a reference so ids stay unique
-    memo[key] = entry
+    memo[key] = entry  # noqa: M3R001 - per-message memo; ref keeps ids unique
 
     size_fn = getattr(obj, "serialized_size", None)
     if callable(size_fn):
@@ -316,7 +346,7 @@ def _dual_size_of(
     attrs = getattr(obj, "__dict__", None)
     if attrs is not None:
         wire = raw = OBJECT_HEADER_BYTES
-        for v in attrs.values():
+        for v in attrs.values():  # noqa: M3R002 - __dict__ order fixed at construction
             w, r = _dual_size_of(v, memo, size_cache)
             wire += w
             raw += r
@@ -325,7 +355,8 @@ def _dual_size_of(
 
     try:
         size = OBJECT_HEADER_BYTES + len(pickle.dumps(obj, protocol=4))
-    except Exception:  # pragma: no cover - unpicklable exotic object
+    except (pickle.PicklingError, TypeError):  # unpicklable exotic object
+        FALLBACK_TALLY.record()
         size = OBJECT_HEADER_BYTES + 64
     entry[1] = size
     return size, size
@@ -373,6 +404,10 @@ class DedupSerializer:
         de-duplicated (wire) and sharing-ignored (raw) totals come out of
         one traversal of the object graph.
         """
+        if MUTATION_SANITIZER.enabled:
+            MUTATION_SANITIZER.observe_all(
+                values, site="DedupSerializer.measure_message"
+            )
         memo: Dict[int, List[Any]] = {}
         wire = 0
         raw = 0

@@ -1,0 +1,463 @@
+"""Tests for the static lint half of repro.analysis.
+
+Each rule gets a fixture pair: a known-bad snippet it must fire on, and
+the fixed version it must stay silent on.  The suite also covers the
+``# noqa`` suppression convention, baseline write/diff, the reporters, and
+the self-gate: the shipped ``src/repro`` tree must be clean.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import (
+    Analyzer,
+    diff_baseline,
+    findings_to_document,
+    load_baseline,
+    new_findings,
+    render_json,
+    render_text,
+    write_baseline,
+)
+from repro.analysis.callgraph import build_call_graph
+import ast
+
+
+def run_lint(tmp_path: Path, source: str, name: str = "mod.py"):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return Analyzer().run([path])
+
+
+def rules_fired(findings, *, include_suppressed: bool = False):
+    return {
+        f.rule
+        for f in findings
+        if include_suppressed or not f.suppressed
+    }
+
+
+# --------------------------------------------------------------------- #
+# M3R001: parameter mutation on an async-reachable path
+# --------------------------------------------------------------------- #
+
+M3R001_BAD = """
+def task_body(shared, index):
+    shared.append(index)
+
+def driver(scope, items):
+    for i in range(len(items)):
+        scope.async_at(None, task_body, i)
+"""
+
+M3R001_FIXED = """
+def task_body(shared, index, lock):
+    with lock:
+        shared.append(index)
+
+def driver(scope, items):
+    for i in range(len(items)):
+        scope.async_at(None, task_body, i)
+"""
+
+
+def test_m3r001_fires_on_unlocked_mutation(tmp_path):
+    findings = run_lint(tmp_path, M3R001_BAD)
+    assert "M3R001" in rules_fired(findings)
+    (finding,) = [f for f in findings if f.rule == "M3R001"]
+    assert finding.symbol == "task_body"
+    assert "shared" in finding.message
+
+
+def test_m3r001_silent_when_lock_held(tmp_path):
+    findings = run_lint(tmp_path, M3R001_FIXED)
+    assert "M3R001" not in rules_fired(findings)
+
+
+def test_m3r001_silent_for_driver_only_function(tmp_path):
+    source = """
+def helper(out, x):
+    out.append(x)
+
+def main(items):
+    acc = []
+    for x in items:
+        helper(acc, x)
+"""
+    findings = run_lint(tmp_path, source)
+    assert "M3R001" not in rules_fired(findings)
+
+
+def test_m3r001_sees_through_spawn_forwarders(tmp_path):
+    # bounded_task_fn-style wrapper: the body is spawned indirectly.
+    source = """
+def wrapper(task_fn):
+    def bounded(i):
+        return task_fn(i)
+    return bounded
+
+def body(shared, i):
+    shared[i] = 1
+
+def driver(scope):
+    bounded = wrapper(body)
+    scope.submit(bounded)
+"""
+    findings = run_lint(tmp_path, source)
+    assert "M3R001" in rules_fired(findings)
+
+
+# --------------------------------------------------------------------- #
+# M3R002: unordered iteration feeding shuffle-plan/replay ordering
+# --------------------------------------------------------------------- #
+
+M3R002_BAD = """
+def build_plan(destinations):
+    order = []
+    for dest in set(destinations):
+        order.append(dest)
+    return order
+"""
+
+M3R002_FIXED = """
+def build_plan(destinations):
+    order = []
+    for dest in sorted(set(destinations)):
+        order.append(dest)
+    return order
+"""
+
+
+def test_m3r002_fires_on_set_iteration_in_plan(tmp_path):
+    findings = run_lint(tmp_path, M3R002_BAD)
+    assert "M3R002" in rules_fired(findings)
+
+
+def test_m3r002_silent_when_sorted(tmp_path):
+    findings = run_lint(tmp_path, M3R002_FIXED)
+    assert "M3R002" not in rules_fired(findings)
+
+
+def test_m3r002_covers_dict_values_reached_from_replay(tmp_path):
+    source = """
+def charge(by_place):
+    total = 0
+    for v in by_place.values():
+        total += v
+    return total
+
+def replay(plan):
+    return charge(plan)
+"""
+    findings = run_lint(tmp_path, source)
+    assert "M3R002" in rules_fired(findings)
+
+
+def test_m3r002_ignores_unrelated_code(tmp_path):
+    source = """
+def unrelated(d):
+    return [v for v in d.values()]
+"""
+    findings = run_lint(tmp_path, source)
+    assert "M3R002" not in rules_fired(findings)
+
+
+# --------------------------------------------------------------------- #
+# M3R003: ImmutableOutput attribute writes outside builders
+# --------------------------------------------------------------------- #
+
+M3R003_BAD = """
+class ImmutableOutput:
+    pass
+
+class Mapper(ImmutableOutput):
+    def __init__(self):
+        self.count = 0
+
+    def map(self, key, value, output, reporter):
+        self.count += 1
+        output.collect(key, value)
+"""
+
+M3R003_FIXED = """
+class ImmutableOutput:
+    pass
+
+class Mapper(ImmutableOutput):
+    def __init__(self):
+        self.count = 0
+
+    def map(self, key, value, output, reporter):
+        output.collect(key, value)
+"""
+
+
+def test_m3r003_fires_on_post_construction_write(tmp_path):
+    findings = run_lint(tmp_path, M3R003_BAD)
+    assert "M3R003" in rules_fired(findings)
+    (finding,) = [f for f in findings if f.rule == "M3R003"]
+    assert finding.symbol == "Mapper.map"
+
+
+def test_m3r003_silent_on_fixed_class(tmp_path):
+    findings = run_lint(tmp_path, M3R003_FIXED)
+    assert "M3R003" not in rules_fired(findings)
+
+
+def test_m3r003_follows_transitive_subclassing(tmp_path):
+    source = """
+class ImmutableOutput:
+    pass
+
+class Base(ImmutableOutput):
+    pass
+
+class Leaf(Base):
+    def poke(self):
+        self.x = 1
+"""
+    findings = run_lint(tmp_path, source)
+    fired = [f for f in findings if f.rule == "M3R003"]
+    assert fired and fired[0].symbol == "Leaf.poke"
+
+
+def test_m3r003_allows_init_and_configure(tmp_path):
+    source = """
+class ImmutableOutput:
+    pass
+
+class Mapper(ImmutableOutput):
+    def __init__(self):
+        self.a = 1
+
+    def configure(self, conf):
+        self.b = conf
+
+    def with_limit(self, n):
+        self.limit = n
+        return self
+"""
+    findings = run_lint(tmp_path, source)
+    assert "M3R003" not in rules_fired(findings)
+
+
+# --------------------------------------------------------------------- #
+# M3R004: swallowed broad exceptions
+# --------------------------------------------------------------------- #
+
+M3R004_BAD = """
+def fragile():
+    try:
+        return compute()
+    except Exception:
+        return None
+"""
+
+M3R004_FIXED = """
+def fragile(log):
+    try:
+        return compute()
+    except Exception as exc:
+        log.warning("compute failed: %s", exc)
+        return None
+"""
+
+
+def test_m3r004_fires_on_swallowing_handler(tmp_path):
+    findings = run_lint(tmp_path, M3R004_BAD)
+    assert "M3R004" in rules_fired(findings)
+
+
+def test_m3r004_silent_when_exception_is_reported(tmp_path):
+    findings = run_lint(tmp_path, M3R004_FIXED)
+    assert "M3R004" not in rules_fired(findings)
+
+
+def test_m3r004_silent_on_reraise(tmp_path):
+    source = """
+def fragile():
+    try:
+        return compute()
+    except Exception:
+        raise
+"""
+    findings = run_lint(tmp_path, source)
+    assert "M3R004" not in rules_fired(findings)
+
+
+def test_m3r004_fires_on_bare_except(tmp_path):
+    source = """
+def fragile():
+    try:
+        return compute()
+    except:
+        pass
+"""
+    findings = run_lint(tmp_path, source)
+    assert "M3R004" in rules_fired(findings)
+
+
+# --------------------------------------------------------------------- #
+# M3R005: package __init__ without __all__
+# --------------------------------------------------------------------- #
+
+
+def test_m3r005_fires_on_missing_all(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("from math import pi\n")
+    findings = Analyzer().run([pkg])
+    assert "M3R005" in rules_fired(findings)
+
+
+def test_m3r005_silent_with_all(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("from math import pi\n__all__ = ['pi']\n")
+    findings = Analyzer().run([pkg])
+    assert "M3R005" not in rules_fired(findings)
+
+
+# --------------------------------------------------------------------- #
+# noqa suppression
+# --------------------------------------------------------------------- #
+
+
+def test_noqa_suppresses_specific_rule(tmp_path):
+    source = M3R001_BAD.replace(
+        "shared.append(index)",
+        "shared.append(index)  # noqa: M3R001 - test justification",
+    )
+    findings = run_lint(tmp_path, source)
+    m3r001 = [f for f in findings if f.rule == "M3R001"]
+    assert m3r001 and all(f.suppressed for f in m3r001)
+
+
+def test_bare_noqa_suppresses_everything_on_line(tmp_path):
+    source = M3R001_BAD.replace(
+        "shared.append(index)", "shared.append(index)  # noqa"
+    )
+    findings = run_lint(tmp_path, source)
+    assert all(f.suppressed for f in findings if f.rule == "M3R001")
+
+
+def test_noqa_for_other_rule_does_not_suppress(tmp_path):
+    source = M3R001_BAD.replace(
+        "shared.append(index)", "shared.append(index)  # noqa: M3R004"
+    )
+    findings = run_lint(tmp_path, source)
+    assert any(
+        f.rule == "M3R001" and not f.suppressed for f in findings
+    )
+
+
+# --------------------------------------------------------------------- #
+# reporters
+# --------------------------------------------------------------------- #
+
+
+def test_text_report_mentions_location_and_counts(tmp_path):
+    findings = run_lint(tmp_path, M3R001_BAD)
+    text = render_text(findings)
+    assert "mod.py" in text and "M3R001" in text
+    assert "active" in text and "suppressed" in text
+
+
+def test_json_report_shape(tmp_path):
+    findings = run_lint(tmp_path, M3R001_BAD)
+    document = json.loads(render_json(findings))
+    assert document["version"] == 1
+    assert document["counts"]["total"] == len(findings)
+    entry = document["findings"][0]
+    for field in ("rule", "path", "line", "col", "symbol", "message",
+                  "suppressed", "fingerprint"):
+        assert field in entry
+    assert document == findings_to_document(findings)
+
+
+# --------------------------------------------------------------------- #
+# baseline
+# --------------------------------------------------------------------- #
+
+
+def test_baseline_roundtrip_gates_only_new_findings(tmp_path):
+    findings = run_lint(tmp_path, M3R001_BAD)
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(findings, baseline_file)
+    baseline = load_baseline(baseline_file)
+    assert new_findings(findings, baseline) == []
+
+    # A new violation in another function is NOT covered by the baseline.
+    worse = M3R001_BAD + (
+        "\n\ndef second_body(out, i):\n"
+        "    out[i] = 1\n\n"
+        "def driver2(scope):\n"
+        "    scope.submit(second_body)\n"
+    )
+    findings2 = run_lint(tmp_path, worse)
+    fresh = new_findings(findings2, baseline)
+    assert fresh and all(f.fingerprint not in baseline for f in fresh)
+
+    added, removed = diff_baseline(findings2, baseline)
+    assert added and not removed
+
+
+def test_baseline_missing_file_is_empty():
+    assert load_baseline(Path("/nonexistent/baseline.json")) == set()
+
+
+# --------------------------------------------------------------------- #
+# call graph
+# --------------------------------------------------------------------- #
+
+
+def test_call_graph_spawn_roots_and_reachability():
+    tree = ast.parse(
+        """
+def leaf(x):
+    return x
+
+def body(i):
+    return leaf(i)
+
+def driver(scope):
+    scope.async_at(None, body, 1)
+"""
+    )
+    graph = build_call_graph([("mod.py", tree)])
+    assert "body" in graph.spawn_roots
+    reachable = graph.reachable_from(graph.spawn_roots)
+    assert {"body", "leaf"} <= reachable
+    assert "driver" not in reachable
+
+
+def test_call_graph_lambda_argument_names_spawned_functions():
+    tree = ast.parse(
+        """
+def body(i):
+    return i
+
+def driver(scope):
+    scope.submit(lambda i: body(i))
+"""
+    )
+    graph = build_call_graph([("mod.py", tree)])
+    assert "body" in graph.spawn_roots
+
+
+# --------------------------------------------------------------------- #
+# the self-gate: the shipped tree must be clean
+# --------------------------------------------------------------------- #
+
+
+def test_shipped_source_tree_has_zero_unsuppressed_findings():
+    package_root = Path(repro.__file__).parent
+    findings = Analyzer().run([package_root])
+    active = [f for f in findings if not f.suppressed]
+    assert active == [], "\n" + render_text(active)

@@ -1,0 +1,318 @@
+"""Tests for the runtime sanitizers (repro.analysis.sanitizers).
+
+Covers the three satellite guarantees:
+
+* a deliberately-mutating ``ImmutableOutput`` mapper is caught, and the
+  failure carries BOTH stack traces (allocation/registration + mutation);
+* a two-lock inversion against ``kvstore`` trips the lock-order sanitizer
+  before it can deadlock;
+* the sanitizers observe but never perturb — a job runs byte-identically
+  with both sanitizers on and off.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from conftest import make_m3r
+
+from repro.analysis.sanitizers import (
+    LOCK_ORDER_SANITIZER,
+    MUTATION_SANITIZER,
+    ImmutableViolation,
+    LockOrderViolation,
+    LockOrderSanitizer,
+    MutationSanitizer,
+    sanitizer_overrides,
+)
+from repro.api.conf import SANITIZE_LOCK_ORDER_KEY, SANITIZE_MUTATION_KEY
+from repro.api.extensions import ImmutableOutput
+from repro.api.mapred import Mapper, OutputCollector, Reducer, Reporter
+from repro.api.writables import IntWritable, Text
+from repro.apps.wordcount import generate_text, wordcount_job
+from repro.kvstore.locks import LockTable
+
+
+@pytest.fixture(autouse=True)
+def clean_sanitizer_state():
+    """Each test starts and ends with empty sanitizer tables (the global
+    enabled flags are left alone so the sanitizer-on CI row still covers
+    the whole file)."""
+    MUTATION_SANITIZER.reset()
+    LOCK_ORDER_SANITIZER.reset()
+    yield
+    MUTATION_SANITIZER.reset()
+    LOCK_ORDER_SANITIZER.reset()
+
+
+# --------------------------------------------------------------------- #
+# MutationSanitizer unit behaviour
+# --------------------------------------------------------------------- #
+
+
+class TestMutationSanitizer:
+    def test_detects_mutation_with_both_stacks(self):
+        sanitizer = MutationSanitizer(enabled=True)
+        payload = [1, 2, 3]
+        sanitizer.observe(payload, site="first-sight")
+        payload.append(4)
+        with pytest.raises(ImmutableViolation) as excinfo:
+            sanitizer.observe(payload, site="second-sight")
+        message = str(excinfo.value)
+        assert "registered at first-sight" in message
+        assert "mutation detected at second-sight" in message
+
+    def test_unchanged_object_verifies_quietly(self):
+        sanitizer = MutationSanitizer(enabled=True)
+        payload = {"a": 1}
+        sanitizer.observe(payload, site="s1")
+        sanitizer.observe(payload, site="s2")
+        assert sanitizer.violations == 0
+        assert sanitizer.verified == 1
+
+    def test_disabled_is_a_noop(self):
+        sanitizer = MutationSanitizer(enabled=False)
+        payload = [1]
+        sanitizer.observe(payload, site="s")
+        payload.append(2)
+        sanitizer.observe(payload, site="s")
+        assert len(sanitizer) == 0
+
+    def test_unpicklable_objects_are_skipped(self):
+        sanitizer = MutationSanitizer(enabled=True)
+        gen = (x for x in range(3))
+        sanitizer.observe(gen, site="s")
+        assert len(sanitizer) == 0
+
+    def test_forget_drops_tracking(self):
+        sanitizer = MutationSanitizer(enabled=True)
+        payload = [1]
+        sanitizer.observe(payload, site="s")
+        sanitizer.forget(payload)
+        payload.append(2)
+        sanitizer.observe(payload, site="s")  # re-registers, no violation
+        assert sanitizer.violations == 0
+
+    def test_table_is_capped(self):
+        sanitizer = MutationSanitizer(enabled=True, max_entries=4)
+        keepalive = [[i] for i in range(10)]
+        for item in keepalive:
+            sanitizer.observe(item, site="s")
+        assert len(sanitizer) == 4
+
+
+# --------------------------------------------------------------------- #
+# LockOrderSanitizer + kvstore wiring
+# --------------------------------------------------------------------- #
+
+
+class TestLockOrderSanitizer:
+    def test_two_lock_inversion_trips(self):
+        table = LockTable()
+        with sanitizer_overrides(lock_order=True):
+            table.acquire("/data/a")
+            table.acquire("/data/b")  # establishes /data/a -> /data/b
+            table.release("/data/b")
+            table.release("/data/a")
+
+            table.acquire("/data/b")
+            with pytest.raises(LockOrderViolation) as excinfo:
+                table.acquire("/data/a")  # would close the cycle
+            table.release("/data/b")
+        message = str(excinfo.value)
+        assert "established order first witnessed at" in message
+        assert "inverted acquisition at" in message
+        assert LOCK_ORDER_SANITIZER.violations == 1
+
+    def test_consistent_order_never_trips(self):
+        table = LockTable()
+        with sanitizer_overrides(lock_order=True):
+            for _ in range(3):
+                table.acquire("/a")
+                table.acquire("/b")
+                table.acquire("/c")
+                for path in ("/c", "/b", "/a"):
+                    table.release(path)
+        assert LOCK_ORDER_SANITIZER.violations == 0
+
+    def test_acquire_all_lca_ordering_is_clean(self):
+        table = LockTable()
+        with sanitizer_overrides(lock_order=True):
+            with table.acquire_all(["/dir/x", "/dir/y"]):
+                pass
+            with table.acquire_all(["/dir/y", "/dir/x", "/dir"]):
+                pass
+        assert LOCK_ORDER_SANITIZER.violations == 0
+        assert table.live_entries() == 0
+
+    def test_inversion_across_threads(self):
+        sanitizer = LockOrderSanitizer(enabled=True)
+        sanitizer.before_acquire("/a")
+        sanitizer.after_acquire("/a")
+        sanitizer.before_acquire("/b")
+        sanitizer.after_acquire("/b")
+        sanitizer.on_release("/b")
+        sanitizer.on_release("/a")
+
+        failure = []
+
+        def inverted():
+            sanitizer.before_acquire("/b")
+            sanitizer.after_acquire("/b")
+            try:
+                sanitizer.before_acquire("/a")
+            except LockOrderViolation as exc:
+                failure.append(exc)
+
+        thread = threading.Thread(target=inverted)
+        thread.start()
+        thread.join()
+        assert len(failure) == 1
+
+    def test_disabled_records_nothing(self):
+        table = LockTable()
+        table.acquire("/a")
+        table.acquire("/b")
+        table.release("/b")
+        table.release("/a")
+        if not LOCK_ORDER_SANITIZER.enabled:
+            assert LOCK_ORDER_SANITIZER.edge_count() == 0
+
+
+# --------------------------------------------------------------------- #
+# end-to-end: a mutating ImmutableOutput mapper is caught
+# --------------------------------------------------------------------- #
+
+
+class LyingImmutableMapper(Mapper, ImmutableOutput):
+    """Claims ImmutableOutput but mutates a value it already collected —
+    exactly the aliasing corruption paper Section 4.1 warns about."""
+
+    def __init__(self) -> None:
+        self.one = IntWritable(1)
+        self.token = Text("seed")
+
+    def map(self, key, value, output: OutputCollector, reporter: Reporter):
+        output.collect(self.token, self.one)  # aliased + fingerprinted
+        self.token.set(self.token.to_string() + "!")  # mutation!
+        output.collect(self.token, self.one)  # caught here
+
+
+class CountReducer(Reducer, ImmutableOutput):
+    def reduce(self, key, values, output: OutputCollector, reporter: Reporter):
+        output.collect(key, IntWritable(sum(v.get() for v in values)))
+
+
+def _mutating_job():
+    conf = wordcount_job(
+        "/in.txt", "/out", num_reducers=2, immutable=True, use_combiner=False
+    )
+    conf.set_mapper_class(LyingImmutableMapper)
+    conf.set_reducer_class(CountReducer)
+    conf.set_boolean(SANITIZE_MUTATION_KEY, True)
+    return conf
+
+
+class TestMutationEndToEnd:
+    def test_mutating_immutable_mapper_is_caught_with_both_stacks(self):
+        engine = make_m3r()
+        engine.filesystem.write_text("/in.txt", "alpha beta\n")
+        result = engine.run_job(_mutating_job())
+        assert not result.succeeded
+        assert "ImmutableViolation" in result.error
+        # Both stacks ride inside the violation message.
+        assert "registered at" in result.error
+        assert "mutation detected at" in result.error
+        engine.shutdown()
+
+    def test_same_job_passes_with_sanitizer_off(self):
+        engine = make_m3r()
+        engine.filesystem.write_text("/in.txt", "alpha beta\n")
+        conf = _mutating_job()
+        conf.set_boolean(SANITIZE_MUTATION_KEY, False)
+        result = engine.run_job(conf)
+        # Without the sanitizer the lie goes unnoticed (which is the point
+        # of having the sanitizer).
+        assert result.succeeded
+        engine.shutdown()
+
+    def test_honest_immutable_job_passes_with_sanitizer_on(self):
+        engine = make_m3r()
+        engine.filesystem.write_text("/in.txt", generate_text(50))
+        conf = wordcount_job("/in.txt", "/out", num_reducers=4)
+        conf.set_boolean(SANITIZE_MUTATION_KEY, True)
+        conf.set_boolean(SANITIZE_LOCK_ORDER_KEY, True)
+        result = engine.run_job(conf)
+        assert result.succeeded, result.error
+        engine.shutdown()
+
+
+# --------------------------------------------------------------------- #
+# sanitizers observe, never perturb
+# --------------------------------------------------------------------- #
+
+
+def _run_wordcount(sanitize: bool):
+    engine = make_m3r()
+    engine.filesystem.write_text("/in.txt", generate_text(120))
+    conf = wordcount_job("/in.txt", "/out", num_reducers=4)
+    conf.set_boolean(SANITIZE_MUTATION_KEY, sanitize)
+    conf.set_boolean(SANITIZE_LOCK_ORDER_KEY, sanitize)
+    result = engine.run_job(conf)
+    assert result.succeeded, result.error
+    output = {
+        k.to_string(): v.get()
+        for k, v in engine.filesystem.read_kv_pairs("/out")
+    }
+    counters = result.counters.as_dict()
+    engine.shutdown()
+    return result.simulated_seconds, output, counters
+
+
+class TestObserveNeverPerturb:
+    def test_outputs_and_accounting_identical_on_off(self):
+        seconds_off, output_off, counters_off = _run_wordcount(False)
+        seconds_on, output_on, counters_on = _run_wordcount(True)
+        assert output_on == output_off
+        assert seconds_on == seconds_off
+        assert counters_on == counters_off
+
+    def test_overrides_restore_previous_state(self):
+        before = (MUTATION_SANITIZER.enabled, LOCK_ORDER_SANITIZER.enabled)
+        with sanitizer_overrides(mutation=True, lock_order=True):
+            assert MUTATION_SANITIZER.enabled
+            assert LOCK_ORDER_SANITIZER.enabled
+        assert (
+            MUTATION_SANITIZER.enabled,
+            LOCK_ORDER_SANITIZER.enabled,
+        ) == before
+
+
+# --------------------------------------------------------------------- #
+# serializer fallback satellite
+# --------------------------------------------------------------------- #
+
+
+class TestSerializerFallbacks:
+    def test_normal_job_reports_zero_fallbacks(self):
+        engine = make_m3r()
+        engine.filesystem.write_text("/in.txt", generate_text(30))
+        result = engine.run_job(wordcount_job("/in.txt", "/out", 2))
+        assert result.succeeded
+        assert result.metrics.get("serializer_fallbacks") == 0
+        engine.shutdown()
+
+    def test_unpicklable_object_records_fallback(self):
+        from repro.x10.serializer import FALLBACK_TALLY, estimate_size
+
+        class NoDict:
+            __slots__ = ()
+
+            def __reduce__(self):
+                raise TypeError("deliberately unpicklable")
+
+        before = FALLBACK_TALLY.snapshot()
+        size = estimate_size(NoDict())
+        assert size > 0
+        assert FALLBACK_TALLY.snapshot() == before + 1
