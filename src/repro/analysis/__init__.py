@@ -16,6 +16,7 @@ from repro.analysis.baseline import (
     diff_baseline,
     load_baseline,
     new_findings,
+    orphaned_fingerprints,
     write_baseline,
 )
 from repro.analysis.callgraph import CallGraph, FunctionInfo, build_call_graph
@@ -54,6 +55,7 @@ __all__ = [
     "load_baseline",
     "load_project",
     "new_findings",
+    "orphaned_fingerprints",
     "render_json",
     "render_text",
     "sanitizer_overrides",

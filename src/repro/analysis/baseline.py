@@ -14,11 +14,17 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.analysis.rules import Finding
 
-__all__ = ["load_baseline", "write_baseline", "diff_baseline", "new_findings"]
+__all__ = [
+    "load_baseline",
+    "write_baseline",
+    "diff_baseline",
+    "new_findings",
+    "orphaned_fingerprints",
+]
 
 BASELINE_VERSION = 1
 DEFAULT_BASELINE_PATH = Path("analysis") / "baseline.json"
@@ -63,6 +69,30 @@ def diff_baseline(
     added = [f for f in findings if f.fingerprint not in baseline]
     removed = baseline - current
     return added, removed
+
+
+def orphaned_fingerprints(path: Path, roots: Sequence[Path]) -> Dict[str, str]:
+    """Baselined fingerprints whose recorded source file no longer exists
+    under any analyzed root — debt entries pointing at deleted or moved
+    files.  They can never gate (the file produces no findings), so they
+    silently pad the baseline; a refresh (``analyze --baseline``) sheds
+    them.  Labels are ``"RULE path symbol"`` as written by
+    :func:`write_baseline`; paths are resolved against each root's parent,
+    mirroring :func:`repro.analysis.linter.load_project`.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {}
+    document = json.loads(path.read_text(encoding="utf-8"))
+    orphans: Dict[str, str] = {}
+    for fingerprint, label in document.get("fingerprints", {}).items():
+        tokens = label.split(" ")
+        if len(tokens) < 3:
+            continue
+        relpath = " ".join(tokens[1:-1])
+        if not any((Path(root).parent / relpath).exists() for root in roots):
+            orphans[fingerprint] = label
+    return orphans
 
 
 def new_findings(findings: List[Finding], baseline: Set[str]) -> List[Finding]:

@@ -14,6 +14,7 @@ semantics are identical).
 from __future__ import annotations
 
 import copy
+import os
 from typing import Any, Dict, List, Optional
 
 
@@ -158,6 +159,44 @@ SHUFFLE_SORTED_RUNS_KEY = "m3r.shuffle.sorted-runs"
 # a job's outputs or accounting.
 SANITIZE_MUTATION_KEY = "m3r.sanitize.mutation"
 SANITIZE_LOCK_ORDER_KEY = "m3r.sanitize.lock-order"
+
+# Lifecycle-trace knobs (repro.lifecycle): when ``m3r.trace.path`` is set
+# (or the ``M3R_TRACE_PATH`` environment variable, which is what the CI
+# trace row uses), every job appends its LifecycleEvent stream to that file
+# as JSON lines; ``m3r.trace.ring-size`` bounds the engine's in-memory
+# event ring buffer.  Tracing is an observer — it never changes a job's
+# outputs, counters or simulated seconds.
+TRACE_PATH_KEY = "m3r.trace.path"
+TRACE_PATH_ENV = "M3R_TRACE_PATH"
+TRACE_RING_KEY = "m3r.trace.ring-size"
+
+#: String literals accepted as "true" by :func:`conf_bool` env parsing
+#: (mirrors ``repro.analysis.sanitizers._env_flag``, which cannot import
+#: this module — the sanitizers sit below the API layer).
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def conf_bool(
+    conf: Optional["Configuration"],
+    key: str,
+    env: Optional[str] = None,
+    default: bool = False,
+) -> bool:
+    """Resolve a boolean knob with the canonical precedence:
+    JobConf setting > environment variable > ``default``.
+
+    This is the one place the engines' copy-pasted knob parsing
+    (``m3r.engine.real-threads``, ``m3r.shuffle.*``, ``m3r.sanitize.*``)
+    funnels through.  ``conf`` may be ``None`` (no job context); ``env``
+    may be ``None`` (no environment fallback for this knob).
+    """
+    if conf is not None and key in conf:
+        return conf.get_boolean(key, default)
+    if env is not None:
+        raw = os.environ.get(env)
+        if raw is not None and raw.strip() != "":
+            return raw.strip().lower() in _TRUTHY
+    return default
 
 
 class JobConf(Configuration):

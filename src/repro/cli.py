@@ -17,6 +17,8 @@ which is the paper's own methodology.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Dict, List, Optional
 
@@ -192,6 +194,73 @@ def cmd_pig(args: argparse.Namespace) -> int:
     return _check_equivalence(outputs)
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run a workload with lifecycle tracing enabled, write the JSONL
+    event stream to ``--out`` and render the per-stage / per-place
+    waterfall (text or JSON)."""
+    from repro.lifecycle.trace import (
+        collect_waterfalls,
+        read_jsonl,
+        render_json,
+        render_text,
+    )
+
+    out = args.out
+    if os.path.exists(out):
+        os.remove(out)  # the JSONL sink appends; a CLI run starts fresh
+    for kind, engine in _engines(args):
+        engine.trace_path = out
+        if args.workload == "wordcount":
+            from repro.apps.wordcount import generate_text, wordcount_job
+
+            engine.filesystem.write_text("/in.txt", generate_text(args.lines))
+            result = engine.run_job(
+                wordcount_job("/in.txt", "/out", args.nodes)
+            )
+            if not result.succeeded:
+                print(f"  {result.job_name}: FAILED — {result.error}")
+                return 1
+        else:
+            from repro.apps import matvec
+
+            block = max(1, args.rows // 8)
+            num_row_blocks = (args.rows + block - 1) // block
+            g = matvec.generate_blocked_matrix(
+                args.rows, block, sparsity=args.sparsity
+            )
+            v = matvec.generate_blocked_vector(args.rows, block)
+            matvec.write_partitioned(
+                engine.filesystem, "/G", g, num_row_blocks, args.nodes
+            )
+            matvec.write_partitioned(
+                engine.filesystem, "/V0", v, num_row_blocks, args.nodes
+            )
+            if kind == "m3r":
+                engine.warm_cache_from("/G")
+                engine.warm_cache_from("/V0")
+            current = "/V0"
+            for iteration in range(args.iterations):
+                nxt = f"/V{iteration + 1}"
+                sequence = matvec.iteration_jobs(
+                    "/G", current, nxt, "/scratch", iteration,
+                    num_row_blocks, args.nodes,
+                )
+                for result in sequence.run_all(engine):
+                    if not result.succeeded:
+                        print(f"  {result.job_name}: FAILED — {result.error}")
+                        return 1
+                current = nxt
+
+    events = read_jsonl(out)
+    waterfalls = collect_waterfalls(events)
+    if args.format == "json":
+        print(json.dumps(render_json(waterfalls), indent=2, sort_keys=True))
+    else:
+        print(render_text(waterfalls))
+        print(f"trace written to {out} ({len(events)} events)")
+    return 0
+
+
 def cmd_cache_stats(args: argparse.Namespace) -> int:
     """Admin view of memory governance: run an iterative workload on an
     M3R engine with the requested budget, then print per-place occupancy
@@ -230,6 +299,24 @@ def cmd_cache_stats(args: argparse.Namespace) -> int:
 
     stats = engine.cache.stats()
     capacity = stats["capacity_bytes"]
+    if args.format == "json":
+        doc = {
+            "workload": "matvec",
+            "iterations": args.iterations,
+            "nodes": args.nodes,
+            "policy": stats["policy"],
+            "capacity_bytes": capacity,
+            "high_watermark": stats["high_watermark"],
+            "low_watermark": stats["low_watermark"],
+            "spill_enabled": stats["spill_enabled"],
+            "places": {
+                str(place_id): stats["places"][place_id]
+                for place_id in sorted(stats["places"])
+            },
+            "lifetime": stats["lifetime"],
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
     print(
         f"cache-stats after {args.iterations} matvec iteration(s), "
         f"{args.nodes} places:"
@@ -321,6 +408,27 @@ def cmd_shuffle_stats(args: argparse.Namespace) -> int:
 
     per_place = shuffle_place_bytes(totals)
     skew = shuffle_skew(totals)
+    if args.format == "json":
+        doc = {
+            "workload": args.workload,
+            "jobs": jobs,
+            "nodes": args.nodes,
+            "places": {str(place): per_place[place] for place in sorted(per_place)},
+            "skew": skew,
+            "traffic": {
+                "remote_bytes": totals.get("shuffle_remote_bytes"),
+                "remote_records": totals.get("shuffle_remote_records"),
+                "local_bytes": totals.get("shuffle_local_bytes"),
+                "local_records": totals.get("shuffle_local_records"),
+            },
+            "dedup_saved_bytes": totals.get("dedup_saved_bytes"),
+            "size_cache": {
+                "hits": totals.get("size_cache_hits"),
+                "misses": totals.get("size_cache_misses"),
+            },
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
     print(
         f"shuffle-stats: {args.workload}, {jobs} job(s), {args.nodes} places:"
     )
@@ -358,6 +466,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         diff_baseline,
         load_baseline,
         new_findings,
+        orphaned_fingerprints,
         render_json,
         render_text,
         write_baseline,
@@ -383,14 +492,25 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
     baseline = load_baseline(baseline_path)
     print(render_json(findings) if args.format == "json" else render_text(findings))
+    failed = False
     gate = new_findings(findings, baseline)
     if gate:
         print(
             f"FAIL: {len(gate)} unsuppressed, non-baselined finding(s)",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    orphans = orphaned_fingerprints(baseline_path, roots)
+    if orphans:
+        for label in sorted(orphans.values()):
+            print(f"  orphaned baseline entry: {label}", file=sys.stderr)
+        print(
+            f"FAIL: {len(orphans)} baseline fingerprint(s) point at files "
+            f"that no longer exist — refresh with --baseline",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 def _check_equivalence(outputs: Dict[str, object]) -> int:
@@ -444,6 +564,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_sysml)
 
     p = sub.add_parser(
+        "trace",
+        help="run a workload with lifecycle tracing and render the "
+             "per-stage / per-place waterfall",
+    )
+    p.add_argument("--workload", choices=("wordcount", "matvec"),
+                   default="matvec")
+    p.add_argument("--out", default="m3r-trace.jsonl",
+                   help="JSONL event stream destination "
+                        "(default m3r-trace.jsonl)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--lines", type=int, default=2000,
+                   help="wordcount input size")
+    p.add_argument("--rows", type=int, default=400, help="matvec matrix rows")
+    p.add_argument("--iterations", type=int, default=2)
+    p.add_argument("--sparsity", type=float, default=0.01)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
         "cache-stats",
         help="memory-governance admin view: per-place occupancy, budget "
              "and eviction/spill counters after an iterative workload",
@@ -458,6 +596,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rows", type=int, default=400)
     p.add_argument("--iterations", type=int, default=3)
     p.add_argument("--sparsity", type=float, default=0.01)
+    p.add_argument("--format", choices=("text", "json"), default="text")
     p.set_defaults(func=cmd_cache_stats)
 
     p = sub.add_parser(
@@ -472,6 +611,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rows", type=int, default=400, help="matvec matrix rows")
     p.add_argument("--iterations", type=int, default=3)
     p.add_argument("--sparsity", type=float, default=0.01)
+    p.add_argument("--format", choices=("text", "json"), default="text")
     p.set_defaults(func=cmd_shuffle_stats)
 
     p = sub.add_parser("jaql", help="run a Jaql JSON pipeline")

@@ -224,12 +224,17 @@ class KeyValueCache:
             governor.incr("cache_spills")
             governor.incr("cache_spill_bytes", record.wire_bytes)
             governor.charge_seconds("spill_write", seconds)
+            governor.emit_spill(
+                "spill", entry.name, entry.place_id, record.wire_bytes, seconds
+            )
         else:
             self._store.delete(entry.name)
             del self._index[entry.name]
+            governor.emit_cache("drop", entry.name, entry.place_id, entry.nbytes)
         governor.budget.release(entry.place_id, entry.nbytes)
         governor.policy.on_remove(entry.name)
         governor.incr("cache_evictions")
+        governor.emit_cache("evict", entry.name, entry.place_id, entry.nbytes)
 
     def _rehydrate(self, entry: CacheEntry) -> None:
         """Bring a spilled entry back to residency.  Caller holds the lock."""
@@ -245,6 +250,9 @@ class KeyValueCache:
         governor.policy.on_admit(entry.name, entry.nbytes)
         governor.incr("cache_rehydrations")
         governor.charge_seconds("spill_read", seconds)
+        governor.emit_spill(
+            "rehydrate", entry.name, entry.place_id, entry.nbytes, seconds
+        )
         # Re-admission can push the place back over its watermark; protect
         # the entry being handed to the caller from its own eviction wave.
         entry.pins += 1  # noqa: M3R001 - caller holds self._lock

@@ -1,18 +1,31 @@
 """The M3R engine (paper Section 3.2): in-memory execution of HMR jobs.
 
-Execution flow per job::
+Execution flow per job (now explicit as lifecycle stages — see
+:mod:`repro.lifecycle.m3r_stages`)::
 
-    submit (in-process, milliseconds) →
+    setup  (committer, snapshot tallies; in-process submit, milliseconds) →
+    plan_splits (splits + cache/locality-aware placement) →
     map    (cache-or-filesystem input, user code, clone-or-alias output) →
     shuffle (pointer hand-off when co-located; de-duplicated X10
              serialization when crossing places; team barrier) →
     reduce (in-memory sort, user code) →
-    output (cached at the reducer's place; flushed to the filesystem
-            unless the path follows the temporary-output convention)
+    commit (cached at the reducer's place; flushed to the filesystem
+            unless the path follows the temporary-output convention) →
+    cache-admit (governor spill/rehydrate I/O lands on the clock) →
+    teardown (per-job size-cache / serializer-fallback deltas)
 
 Compared to the Hadoop engine there is **no jobtracker, no heartbeat, no
 per-task JVM start-up and no disk in the shuffle** — the five advantages of
 paper Section 1 are each visible as an absent cost term.
+
+This class is deliberately thin: it owns the long-lived state (places,
+cache, governor, filesystem view) and the identity/placement helpers, and
+delegates job execution to the shared
+:class:`~repro.lifecycle.pipeline.JobPipeline` driving an
+:class:`~repro.lifecycle.m3r_stages.M3RStageProvider`.  Every run emits
+typed lifecycle events onto a per-job bus: the engine's ring buffer always
+subscribes, a JSONL sink when ``m3r.trace.path`` (or ``M3R_TRACE_PATH``)
+is set, plus anything registered in :attr:`M3REngine.trace_sinks`.
 
 Map and reduce phases run on **real worker threads**: one X10 ``finish``
 block per phase, one ``async`` activity per task at its assigned place,
@@ -30,9 +43,8 @@ will fail if any node goes down — it does not recover from node failure").
 
 from __future__ import annotations
 
-import copy
 import hashlib
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.api.conf import (
     CACHE_CAPACITY_KEY,
@@ -42,54 +54,24 @@ from repro.api.conf import (
     CACHE_PINNED_PATHS_KEY,
     CACHE_SPILL_KEY,
     JobConf,
-    NUM_MAPS_HINT_KEY,
-    REAL_THREADS_KEY,
-    SANITIZE_LOCK_ORDER_KEY,
-    SANITIZE_MUTATION_KEY,
-    SHUFFLE_REAL_THREADS_KEY,
-    SHUFFLE_SORTED_RUNS_KEY,
 )
-from repro.analysis.sanitizers import (
-    LOCK_ORDER_SANITIZER,
-    MUTATION_SANITIZER,
-    sanitizer_overrides,
-)
-from repro.api.counters import Counters, JobCounter, TaskCounter
-from repro.api.extensions import (
-    DelegatingSplit,
-    NamedSplit,
-    PlacedSplit,
-    is_immutable_output,
-    is_temporary_output,
-)
-from repro.api.formats import FileOutputFormat
+from repro.api.extensions import DelegatingSplit, NamedSplit, PlacedSplit
 from repro.api.job import JobSequence, JobSpec
-from repro.api.mapred import Reporter
-from repro.api.multiple_io import TASK_FS_KEY, TASK_PARTITION_KEY
 from repro.api.splits import FileSplit, InputSplit
 from repro.core.cache import KeyValueCache
 from repro.core.cachefs import M3RFileSystem
-from repro.engine_common import (
-    CollectorSink,
-    CountingReader,
-    EngineResult,
-    JobFailedError,
-    MaterializedReader,
-    PartitionBuffer,
-    bounded_task_fn,
-    run_combiner_if_any,
-)
+from repro.engine_common import EngineResult, JobFailedError
 from repro.fs.filesystem import FileSystem, normalize_path
 from repro.fs.hdfs import SimulatedHDFS
-from repro.fs.instrumented import FsTally, InstrumentedFileSystem
-from repro.hadoop_engine.scheduler import SlotLanes
+from repro.lifecycle.events import LifecycleEvent
+from repro.lifecycle.m3r_stages import M3RStageProvider
+from repro.lifecycle.pipeline import JobPipeline
+from repro.lifecycle.sinks import RingBufferSink, open_job_bus
 from repro.memory import MemoryBudget, MemoryGovernor, SpillManager, create_policy
-from repro.shuffle import ShuffleExecutor, ShuffleInput
 from repro.sim.cluster import Cluster
 from repro.sim.cost_model import CostModel
 from repro.sim.metrics import Metrics
-from repro.x10.runtime import ActivityError, X10Runtime
-from repro.x10.serializer import FALLBACK_TALLY
+from repro.x10.runtime import X10Runtime
 
 
 class M3REngine:
@@ -144,6 +126,15 @@ class M3REngine:
         #: Optional asynchronous progress hook: callable(job_name, phase,
         #: fraction) — see repro.core.admin.ProgressTracker.
         self.progress_listener = None
+        #: The last N lifecycle events across all of this engine's jobs
+        #: (``python -m repro trace`` renders these back).
+        self.event_ring = RingBufferSink()
+        #: Extra lifecycle sinks subscribed on every job's bus.
+        self.trace_sinks: List[Callable[[LifecycleEvent], None]] = []
+        #: Programmatic JSONL trace destination (the ``m3r.trace.path``
+        #: JobConf key and ``M3R_TRACE_PATH`` env var also work).
+        self.trace_path: Optional[str] = None
+        self._pipeline = JobPipeline(M3RStageProvider(self))
         self._job_counter = 0
         self._host_to_node = {n.hostname: n.node_id for n in cluster}
 
@@ -176,77 +167,28 @@ class M3REngine:
         return place_id % self.cluster.num_nodes
 
     def run_job(self, conf: JobConf) -> EngineResult:
-        """Execute one job; user-code failures are reported, not raised.
+        """Execute one job through the shared lifecycle pipeline; user-code
+        failures are reported, not raised.
 
         Node failures *are* raised (:class:`JobFailedError`) — that is the
         paper's no-resilience design point.
         """
         self._job_counter += 1
         spec = JobSpec.from_conf(conf)
-        counters = Counters()
-        metrics = Metrics()
         self._check_alive()
-        self._apply_cache_conf(conf)
-        # The running job's outputs (plus any explicitly listed paths) are
-        # never evicted while it runs: a reducer's freshly cached part file
-        # must survive until the job commits.
-        pins = self._job_pins(spec, conf)
-        for prefix in pins:
-            self.governor.pin_prefix(prefix)
-        self.governor.attach_job_metrics(metrics)
-        cache_hits, cache_misses = self.runtime.size_cache.snapshot()
-        fallbacks_before = FALLBACK_TALLY.snapshot()
-        sanitize_mutation = conf.get_boolean(
-            SANITIZE_MUTATION_KEY, MUTATION_SANITIZER.enabled
-        )
-        sanitize_lock_order = conf.get_boolean(
-            SANITIZE_LOCK_ORDER_KEY, LOCK_ORDER_SANITIZER.enabled
+        bus, closers = open_job_bus(
+            f"m3r-{self._job_counter}",
+            "m3r",
+            conf,
+            ring=self.event_ring,
+            extra_sinks=tuple(self.trace_sinks),
+            trace_path=self.trace_path,
         )
         try:
-            with sanitizer_overrides(
-                mutation=sanitize_mutation, lock_order=sanitize_lock_order
-            ):
-                seconds = self._execute(spec, conf, counters, metrics)
-            # Spill/rehydration I/O charged by the governor during the job
-            # lands on the job clock here.
-            seconds += self.governor.drain_seconds()
-            # How much re-measurement the memoized size cache saved this job
-            # (the cache is engine-lifetime; metrics report per-job deltas).
-            hits, misses = self.runtime.size_cache.snapshot()
-            metrics.incr("size_cache_hits", hits - cache_hits)
-            metrics.incr("size_cache_misses", misses - cache_misses)
-            # Size estimates that fell back to a fixed pickle guess this job
-            # (see x10.serializer.FALLBACK_TALLY) — ideally always zero.
-            metrics.incr(
-                "serializer_fallbacks",
-                FALLBACK_TALLY.snapshot() - fallbacks_before,
-            )
-        except JobFailedError:
-            raise
-        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
-            return EngineResult(
-                job_name=spec.name,
-                engine="m3r",
-                succeeded=False,
-                simulated_seconds=0.0,
-                counters=counters,
-                metrics=metrics,
-                output_path=spec.output_path,
-                error=f"{type(exc).__name__}: {exc}",
-            )
+            return self._pipeline.run_job(spec, conf, bus)
         finally:
-            self.governor.detach_job_metrics()
-            for prefix in pins:
-                self.governor.unpin_prefix(prefix)
-        return EngineResult(
-            job_name=spec.name,
-            engine="m3r",
-            succeeded=True,
-            simulated_seconds=seconds,
-            counters=counters,
-            metrics=metrics,
-            output_path=spec.output_path,
-        )
+            for close in closers:
+                close()
 
     def run_sequence(self, sequence: JobSequence) -> List[EngineResult]:
         """Run a job pipeline on the shared places (cache persists across jobs).
@@ -319,7 +261,7 @@ class M3REngine:
         return cached
 
     # ------------------------------------------------------------------ #
-    # execution
+    # liveness & progress
     # ------------------------------------------------------------------ #
 
     def _check_alive(self) -> None:
@@ -329,135 +271,6 @@ class M3REngine:
                     f"place {place_id} lost its node — M3R does not support "
                     "resilience; the engine instance is dead"
                 )
-
-    def _use_real_threads(self, conf: JobConf) -> bool:
-        """Real threaded execution, unless the knob (or a single worker)
-        forces the serial debugging path."""
-        return self.workers_per_place > 1 and conf.get_boolean(
-            REAL_THREADS_KEY, True
-        )
-
-    def _run_phase(
-        self,
-        conf: JobConf,
-        placements: Sequence[int],
-        task_fn: Callable[[int], Any],
-    ) -> List[Any]:
-        """Run one barrier-delimited phase: ``task_fn(i)`` at place
-        ``placements[i]`` for every task index.
-
-        In real-threads mode this is one ``finish`` block spawning one
-        ``async`` activity per task at its place, with a per-place semaphore
-        bounding concurrency to ``workers_per_place``.  Results come back in
-        task-index order either way, and the first task exception is
-        re-raised exactly as the serial loop would raise it (unwrapped from
-        :class:`ActivityError`), preserving the fail-fast "no resilience"
-        semantics — a :class:`JobFailedError` from a task still reaches
-        :meth:`run_job` as a :class:`JobFailedError`.
-        """
-        if len(placements) <= 1 or not self._use_real_threads(conf):
-            return [task_fn(index) for index in range(len(placements))]
-        bounded = bounded_task_fn(placements, self.workers_per_place, task_fn)
-
-        def spawn(scope: Any) -> None:
-            for index, place_id in enumerate(placements):
-                scope.async_at(self.runtime.place(place_id), bounded, index)
-
-        try:
-            return self.runtime.finish_collect(spawn)
-        except ActivityError as error:
-            raise error.first from error
-
-    def _execute(
-        self, spec: JobSpec, conf: JobConf, counters: Counters, metrics: Metrics
-    ) -> float:
-        model = self.cost_model
-
-        spec.output_format.check_output_specs(self.filesystem, conf)
-        committer = spec.output_format.get_output_committer()
-        job_is_temp = spec.output_path is not None and is_temporary_output(
-            spec.output_path, conf
-        )
-        if not (job_is_temp and self.enable_cache):
-            committer.setup_job(self.filesystem, conf)
-
-        clock = model.m3r_job_submit
-        metrics.time.charge("job_submit", model.m3r_job_submit)
-        self._report_progress(spec.name, "submitted", 0.0)
-
-        hint = conf.get_int(NUM_MAPS_HINT_KEY, 0) or (
-            self.num_places * self.workers_per_place
-        )
-        splits = spec.input_format.get_splits(self.filesystem, conf, hint)
-        metrics.incr("map_tasks", len(splits))
-        counters.increment(JobCounter.TOTAL_LAUNCHED_MAPS, len(splits))
-
-        placements = [
-            self._place_for_split(split, index, spec)
-            for index, split in enumerate(splits)
-        ]
-
-        # --- map phase (real threads, multi-threaded within each place) ---- #
-        def map_task(index: int) -> Tuple[float, List[PartitionBuffer]]:
-            return self._run_map_task(
-                spec, conf, splits[index], index, placements[index],
-                counters, metrics,
-            )
-
-        map_results = self._run_phase(conf, placements, map_task)
-        # Virtual-clock accounting happens after the finish joins, in
-        # task-index order, so the makespan is identical to the serial path
-        # no matter how the worker threads interleaved.
-        map_lanes = SlotLanes(self.num_places, self.workers_per_place)
-        map_outputs: List[List[PartitionBuffer]] = []
-        map_places: List[int] = []
-        for index, (duration, buffers) in enumerate(map_results):
-            map_lanes.add_task(placements[index], duration)
-            map_outputs.append(buffers)
-            map_places.append(placements[index])
-        clock += map_lanes.makespan()
-        self._report_progress(spec.name, "map", 0.5)
-
-        if spec.is_map_only:
-            clock += model.m3r_barrier
-            metrics.time.charge("barrier", model.m3r_barrier)
-            if not (job_is_temp and self.enable_cache):
-                committer.commit_job(self.filesystem.inner, conf)
-            self._report_progress(spec.name, "done", 1.0)
-            return clock
-
-        # --- shuffle: in-memory, de-duplicated, barrier-terminated -------- #
-        counters.increment(JobCounter.TOTAL_LAUNCHED_REDUCES, spec.num_reducers)
-        shuffle_time, reduce_inputs = self._shuffle(
-            spec, conf, map_outputs, map_places, counters, metrics
-        )
-        clock += shuffle_time + model.m3r_barrier
-        metrics.time.charge("barrier", model.m3r_barrier)
-        self._report_progress(spec.name, "shuffle", 0.7)
-
-        # --- reduce phase ---------------------------------------------------- #
-        temp_output = job_is_temp
-        reduce_places = [
-            self.partition_place(partition)
-            for partition in range(spec.num_reducers)
-        ]
-
-        def reduce_task(partition: int) -> float:
-            return self._run_reduce_task(
-                spec, conf, partition, reduce_places[partition],
-                reduce_inputs[partition], temp_output, counters, metrics,
-            )
-
-        durations = self._run_phase(conf, reduce_places, reduce_task)
-        reduce_lanes = SlotLanes(self.num_places, self.workers_per_place)
-        for partition, duration in enumerate(durations):
-            reduce_lanes.add_task(reduce_places[partition], duration)
-        clock += reduce_lanes.makespan() + model.m3r_barrier
-        metrics.time.charge("barrier", model.m3r_barrier)
-        if not (job_is_temp and self.enable_cache):
-            committer.commit_job(self.filesystem.inner, conf)
-        self._report_progress(spec.name, "done", 1.0)
-        return clock
 
     def _report_progress(self, job_name: str, phase: str, fraction: float) -> None:
         if self.progress_listener is not None:
@@ -536,210 +349,6 @@ class M3REngine:
                 return node % self.num_places
         return index % self.num_places
 
-    # ------------------------------------------------------------------ #
-    # map tasks
-    # ------------------------------------------------------------------ #
-
-    def _run_map_task(
-        self,
-        spec: JobSpec,
-        conf: JobConf,
-        split: InputSplit,
-        task_index: int,
-        place: int,
-        counters: Counters,
-        metrics: Metrics,
-    ) -> Tuple[float, List[PartitionBuffer]]:
-        # The cached input (if any) is pinned for the task's duration — a
-        # concurrent task's eviction wave must not spill the sequence this
-        # task is actively reading.
-        pinned: List[str] = []
-        try:
-            return self._map_task_body(
-                spec, conf, split, task_index, place, counters, metrics, pinned
-            )
-        finally:
-            for name in pinned:
-                self.cache.unpin(name)
-
-    def _map_task_body(
-        self,
-        spec: JobSpec,
-        conf: JobConf,
-        split: InputSplit,
-        task_index: int,
-        place: int,
-        counters: Counters,
-        metrics: Metrics,
-        pinned: List[str],
-    ) -> Tuple[float, List[PartitionBuffer]]:
-        model = self.cost_model
-        duration = 0.0
-        node = self.place_node(place)
-
-        tally = FsTally()
-        task_fs = InstrumentedFileSystem(self.filesystem, tally, at_node=node)
-        task_conf = JobConf(conf)
-        task_conf.set(TASK_FS_KEY, task_fs)
-        task_conf.set(TASK_PARTITION_KEY, task_index)
-        reporter = Reporter(counters)
-
-        mapper_class = spec.resolve_mapper_class(split)
-        mapper_immutable = is_immutable_output(mapper_class)
-
-        # --- input: cache, or filesystem + cache insert ------------------- #
-        entry = self._cache_lookup(split, pin=True)
-        if entry is not None:
-            pinned.append(entry.name)  # noqa: M3R001 - per-task private list
-            metrics.incr("cache_hits")
-            pairs = entry.pairs
-            nbytes = entry.nbytes
-            if entry.place_id != place:
-                # A PlacedSplit overrode the cache's location: the sequence
-                # crosses places once, with full serialization cost.
-                wire = self.runtime.serializer.measure_pairs(pairs)
-                cost = (
-                    model.serialize_time(wire.wire_bytes, len(pairs))
-                    + model.net_transfer_time(wire.wire_bytes)
-                    + model.deserialize_time(wire.wire_bytes, len(pairs))
-                )
-                metrics.time.charge("network", cost)
-                duration += cost
-                pairs = copy.deepcopy(pairs)
-            if mapper_immutable:
-                feed = model.handoff_time(len(pairs))
-                metrics.time.charge("framework", feed)
-            else:
-                feed = model.clone_time(nbytes, len(pairs))
-                metrics.time.charge("clone", feed)
-                metrics.incr("cloned_records", len(pairs))
-            duration += feed
-            reader = CountingReader(
-                MaterializedReader(pairs, clone=not mapper_immutable), counters
-            )
-            stream_reader = None
-        else:
-            metrics.incr("cache_misses")
-            raw_reader = spec.input_format.get_record_reader(
-                task_fs, split, task_conf, reporter
-            )
-            identity = self._split_cache_identity(split)
-            if identity is not None and self.enable_cache:
-                pairs = [pair for pair in iter(raw_reader.next_pair, None)]
-                nbytes = tally.bytes_read
-                self._cache_insert(identity, place, pairs, nbytes)
-                metrics.incr("cache_inserts")
-                if mapper_immutable:
-                    feed = model.handoff_time(len(pairs))
-                    metrics.time.charge("framework", feed)
-                else:
-                    feed = model.clone_time(nbytes, len(pairs))
-                    metrics.time.charge("clone", feed)
-                    metrics.incr("cloned_records", len(pairs))
-                duration += feed
-                reader = CountingReader(
-                    MaterializedReader(pairs, clone=not mapper_immutable), counters
-                )
-                stream_reader = None
-            else:
-                # Unknown split type (or cache disabled): stream straight
-                # through without caching.
-                reader = CountingReader(raw_reader, counters)
-                stream_reader = raw_reader
-            read_time = model.disk_read_time(
-                tally.bytes_read, seeks=max(1, tally.read_ops)
-            )
-            metrics.time.charge("disk_read", read_time)
-            duration += read_time
-            if not self._is_local_read(split, node) and tally.bytes_read:
-                net = model.net_transfer_time(tally.bytes_read)
-                metrics.time.charge("network", net)
-                duration += net
-                metrics.incr("remote_map_reads")
-
-        # --- run the user code ------------------------------------------- #
-        if spec.is_map_only:
-            buffers = [PartitionBuffer()]
-            collector = CollectorSink(
-                num_partitions=1,
-                partitioner=None,
-                counters=counters,
-                record_policy="alias"
-                if spec.map_output_immutable(split, fresh_runner=True)
-                else "clone",
-            )
-        else:
-            collector = CollectorSink(
-                num_partitions=spec.num_reducers,
-                partitioner=spec.partitioner,
-                counters=counters,
-                record_policy="alias"
-                if spec.map_output_immutable(split, fresh_runner=True)
-                else "clone",
-            )
-        spec.run_map_task(
-            split, reader, collector, reporter, task_conf, fresh_runner=True
-        )
-
-        # Deserialization is paid only when records actually came off the
-        # filesystem; cache hits skip it entirely (the paper's point).
-        if entry is None:
-            deser = model.deserialize_time(tally.bytes_read, reader.records)
-            metrics.time.charge("deserialize", deser)
-            duration += deser
-            nn = model.namenode_op * max(1, tally.metadata_ops)
-            metrics.time.charge("namenode", nn)
-            duration += nn
-
-        compute = reporter.consume_compute_seconds()
-        metrics.time.charge("map_compute", compute)
-        duration += compute
-        framework = model.map_framework_time(reader.records)
-        metrics.time.charge("framework", framework)
-        duration += framework
-        if mapper_immutable:
-            alloc = model.alloc_time(collector.records) + model.gc_churn_time(
-                collector.records
-            )
-            metrics.time.charge("alloc", alloc)
-            duration += alloc
-        if collector.copied_records:
-            clone = model.clone_time(collector.copied_bytes, collector.copied_records)
-            metrics.time.charge("clone", clone)
-            metrics.incr("cloned_records", collector.copied_records)
-            duration += clone
-
-        if spec.is_map_only:
-            part_path = FileOutputFormat.part_path(conf, task_index)
-            temp = spec.output_path is not None and is_temporary_output(
-                spec.output_path, conf
-            )
-            duration += self._emit_output(
-                spec, task_conf, part_path, task_index, place,
-                collector.partitions[0].pairs, collector.partitions[0].bytes,
-                temp, counters, metrics, reporter,
-            )
-            return duration, []
-
-        buffers = collector.partitions
-        if spec.combiner_class is not None:
-            pre_records = sum(len(b.pairs) for b in buffers)
-            pre_bytes = sum(b.bytes for b in buffers)
-            sort_time = model.sort_time(pre_records, pre_bytes)
-            metrics.time.charge("sort", sort_time)
-            duration += sort_time
-            policy = (
-                "alias" if spec.map_output_immutable(split, fresh_runner=True) else "clone"
-            )
-            buffers = [
-                run_combiner_if_any(spec, buffer, counters, reporter, policy)
-                for buffer in buffers
-            ]
-            compute = reporter.consume_compute_seconds()
-            metrics.time.charge("map_compute", compute)
-            duration += compute
-        return duration, buffers
-
     def _cache_insert(
         self,
         identity: Tuple[str, Any],
@@ -770,206 +379,20 @@ class M3REngine:
         locations = self._unwrap(split).get_locations()
         return (not locations) or hostname in locations or "localhost" in locations
 
-    # ------------------------------------------------------------------ #
-    # shuffle
-    # ------------------------------------------------------------------ #
-
-    def _use_shuffle_threads(self, conf: JobConf) -> bool:
-        """Parallel shuffle messages, unless the shuffle knob (or a single
-        worker) forces the serial path.  Independent of the task-execution
-        knob so the two mechanisms can be ablated separately."""
-        return self.workers_per_place > 1 and conf.get_boolean(
-            SHUFFLE_REAL_THREADS_KEY, True
-        )
-
-    def _shuffle(
+    def _replicate_output(
         self,
-        spec: JobSpec,
-        conf: JobConf,
-        map_outputs: List[List[PartitionBuffer]],
-        map_places: List[int],
-        counters: Counters,
-        metrics: Metrics,
-    ) -> Tuple[float, List[ShuffleInput]]:
-        """Route map output to reducer places; returns (time, reduce inputs).
-
-        Co-located traffic is a pointer hand-off.  Cross-place messages pay
-        (de-duplicated) serialization, wire time and deserialization, and
-        are deep-copied *with a shared memo* so aliasing survives transport
-        exactly as X10 reconstructs it on the receiving place.
-
-        The heavy lifting lives in :mod:`repro.shuffle`: a deterministic
-        plan, parallel (or serial) execution of one activity per
-        place-to-place message, and a post-join replay of all charges in
-        plan order — so simulated time is identical however the worker
-        threads interleave.  With ``m3r.shuffle.sorted-runs`` on (default),
-        runs are sorted map-side and reducers stream a k-way merge.
-        """
-        sorted_runs = conf.get_boolean(SHUFFLE_SORTED_RUNS_KEY, True)
-        executor = ShuffleExecutor(
-            runtime=self.runtime,
-            cost_model=self.cost_model,
-            num_places=self.num_places,
-            partition_place=self.partition_place,
-            workers_per_place=self.workers_per_place,
-            enable_dedup=self.enable_dedup,
-        )
-        plan = executor.plan(spec.num_reducers, map_outputs, map_places)
-        results = executor.execute(
-            plan,
-            sort_key=spec.sort_key() if sorted_runs else None,
-            parallel=self._use_shuffle_threads(conf),
-        )
-        reduce_inputs = [
-            ShuffleInput(sorted_runs) for _ in range(spec.num_reducers)
-        ]
-        seconds = executor.replay(plan, results, reduce_inputs, counters, metrics)
-        return seconds, reduce_inputs
-
-    # ------------------------------------------------------------------ #
-    # reduce tasks
-    # ------------------------------------------------------------------ #
-
-    def _run_reduce_task(
-        self,
-        spec: JobSpec,
-        conf: JobConf,
-        partition: int,
-        place: int,
-        shuffle_input: ShuffleInput,
-        temp_output: bool,
-        counters: Counters,
-        metrics: Metrics,
-    ) -> float:
-        model = self.cost_model
-        duration = 0.0
-        node = self.place_node(place)
-
-        tally = FsTally()
-        task_fs = InstrumentedFileSystem(self.filesystem, tally, at_node=node)
-        task_conf = JobConf(conf)
-        task_conf.set(TASK_FS_KEY, task_fs)
-        task_conf.set(TASK_PARTITION_KEY, partition)
-        reporter = Reporter(counters)
-
-        # Bytes and records were accounted while the runs accumulated — no
-        # re-walk of the pairs through the size estimator here.
-        records = shuffle_input.records
-        nbytes = shuffle_input.bytes
-        if shuffle_input.sorted_runs:
-            # Runs arrived pre-sorted: stream a k-way merge instead of
-            # re-sorting the concatenation.  heapq.merge is stable and runs
-            # are merged in map-index order, so the output order matches a
-            # stable sort of the concatenated input exactly.
-            merge_t = model.merge_time(records, nbytes, len(shuffle_input.runs))
-            metrics.time.charge("merge", merge_t)
-            duration += merge_t
-            ordered = shuffle_input.merged(spec.sort_key())
-        else:
-            sort_time = model.sort_time(records, nbytes)
-            metrics.time.charge("sort", sort_time)
-            duration += sort_time
-            ordered = sorted(shuffle_input.concatenated(), key=spec.sort_key())
-        groups = list(spec.group_sorted_pairs(ordered))
-        counters.increment(TaskCounter.REDUCE_INPUT_GROUPS, len(groups))
-        counters.increment(TaskCounter.REDUCE_INPUT_RECORDS, records)
-
-        policy = "alias" if spec.reduce_output_immutable() else "clone"
-        sink = CollectorSink(
-            num_partitions=1,
-            partitioner=None,
-            counters=counters,
-            record_policy=policy,
-            output_counter=TaskCounter.REDUCE_OUTPUT_RECORDS,
-        )
-        spec.run_reduce_task(groups, sink, reporter, task_conf)
-
-        compute = reporter.consume_compute_seconds()
-        metrics.time.charge("reduce_compute", compute)
-        duration += compute
-        framework = model.reduce_framework_time(records)
-        metrics.time.charge("framework", framework)
-        duration += framework
-        if spec.reduce_output_immutable():
-            alloc = model.alloc_time(sink.records) + model.gc_churn_time(sink.records)
-            metrics.time.charge("alloc", alloc)
-            duration += alloc
-        if sink.copied_records:
-            clone = model.clone_time(sink.copied_bytes, sink.copied_records)
-            metrics.time.charge("clone", clone)
-            metrics.incr("cloned_records", sink.copied_records)
-            duration += clone
-
-        # Filesystem writes made directly by user code during the reduce
-        # (e.g. MultipleOutputs) are charged at disk rate.  Snapshot before
-        # _emit_output so the part-file flush is not double-counted.
-        user_bytes_written = tally.bytes_written
-        if user_bytes_written:
-            write = model.disk_write_time(user_bytes_written, seeks=1)
-            metrics.time.charge("disk_write", write)
-            duration += write
-
-        part_path = FileOutputFormat.part_path(conf, partition)
-        duration += self._emit_output(
-            spec, task_conf, part_path, partition, place,
-            sink.partitions[0].pairs, sink.partitions[0].bytes,
-            temp_output, counters, metrics, reporter,
-        )
-        return duration
-
-    # ------------------------------------------------------------------ #
-    # output
-    # ------------------------------------------------------------------ #
-
-    def _emit_output(
-        self,
-        spec: JobSpec,
-        task_conf: JobConf,
         part_path: str,
-        partition: int,
         place: int,
         pairs: List[Tuple[Any, Any]],
         nbytes: int,
-        temp_output: bool,
-        counters: Counters,
         metrics: Metrics,
-        reporter: Reporter,
     ) -> float:
-        """Cache the output at this place; flush to the filesystem unless
-        the output is temporary.  Returns the simulated cost."""
-        model = self.cost_model
-        duration = 0.0
-        if not (temp_output and self.enable_cache):
-            # Flush to the real filesystem first: writing through the
-            # M3RFileSystem invalidates any cache entry for the path, so the
-            # cache insert must come after the flush.
-            writer = spec.output_format.get_record_writer(
-                task_conf.get(TASK_FS_KEY), task_conf,
-                FileOutputFormat.part_name(partition), reporter,
-            )
-            for key, value in pairs:
-                writer.write(key, value)
-            writer.close()
-            ser = model.serialize_time(nbytes, len(pairs))
-            metrics.time.charge("serialize", ser)
-            duration += ser
-            duration += self._charge_fs_write(nbytes, metrics)
-            nn = model.namenode_op
-            metrics.time.charge("namenode", nn)
-            duration += nn
-        else:
-            metrics.incr("temp_outputs_skipped")
-        if self.enable_cache:
-            # A temp output exists ONLY here — mark it non-durable so
-            # eviction must spill it (never drop it).
-            self.cache.put_file(
-                part_path, place, pairs, nbytes, durable=not temp_output
-            )
-            cost = model.handoff_time(len(pairs))
-            metrics.time.charge("framework", cost)
-            duration += cost
-            metrics.incr("cache_outputs")
-        return duration
+        """Subclass hook, called by the stage provider after every task
+        output lands in the cache: replicate it and return the simulated
+        cost.  Stock M3R replicates nothing (no resilience — that is the
+        design point); :class:`~repro.core.resilience.ResilientM3REngine`
+        buddy-copies the output here."""
+        return 0.0
 
     def _charge_fs_write(self, nbytes: int, metrics: Metrics) -> float:
         model = self.cost_model

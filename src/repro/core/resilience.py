@@ -223,24 +223,17 @@ class ResilientM3REngine(M3REngine):
             pairs=copy.deepcopy(pairs), nbytes=nbytes,
         )
 
-    def _emit_output(
+    def _replicate_output(
         self,
-        spec: Any,
-        task_conf: JobConf,
         part_path: str,
-        partition: int,
         place: int,
         pairs: List[Tuple[Any, Any]],
         nbytes: int,
-        temp_output: bool,
-        counters: Any,
         metrics: Metrics,
-        reporter: Reporter,
     ) -> float:
-        duration = super()._emit_output(
-            spec, task_conf, part_path, partition, place, pairs, nbytes,
-            temp_output, counters, metrics, reporter,
-        )
+        """The lifecycle stage provider's replication hook: buddy-copy
+        every task output as it lands in the cache."""
+        duration = 0.0
         if self.enable_cache:
             buddy = self.buddy_place(place)
             if buddy is not None:

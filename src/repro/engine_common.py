@@ -107,6 +107,9 @@ class EngineResult:
     metrics: Metrics
     output_path: Optional[str] = None
     error: Optional[str] = None
+    #: Lifecycle identity: the job id stamped on this run's bus events
+    #: (``m3r-<n>`` / ``hadoop-<n>``), correlating results with traces.
+    job_id: Optional[str] = None
 
     def __repr__(self) -> str:
         status = "ok" if self.succeeded else f"FAILED({self.error})"

@@ -1,68 +1,57 @@
 """The Hadoop engine: execution flow of paper Section 3.1, with costs.
 
-Every job pays the full out-of-core pipeline:
+Every job pays the full out-of-core pipeline (now explicit as lifecycle
+stages — see :mod:`repro.lifecycle.hadoop_stages`)::
 
-    submit → split calc → [per task: heartbeat wait + JVM start] →
+    setup (staging, jobtracker RPCs) → plan_splits →
+    [per map task: heartbeat wait + JVM start] →
     map (HDFS read, deserialize, user code, serialize, sort, spill to disk)
-    → shuffle (disk read at source, network, disk write at sink) →
-    out-of-core merge → reduce (user code) → HDFS write (with replication)
+    → reduce (shuffle fetch: disk read at source, network, disk write at
+    sink; out-of-core merge; user code; HDFS write with replication)
     → commit/cleanup
 
 User code runs for real, so outputs are exact; the simulated clock advances
 by cost-model charges derived from the observed bytes and records.  Nothing
 survives between jobs: a job sequence re-reads everything from the
 filesystem, which is the behaviour M3R's cache eliminates.
+
+This class is deliberately thin: it owns the long-lived state (cluster,
+filesystem, slot counts, failure set) and the failover helpers, and
+delegates job execution to the shared
+:class:`~repro.lifecycle.pipeline.JobPipeline` driving a
+:class:`~repro.lifecycle.hadoop_stages.HadoopStageProvider` — the same
+driver the M3R engine uses, emitting the same typed lifecycle events.
 """
 
 from __future__ import annotations
 
-import heapq
-import math
-from typing import Any, List, Set, Tuple
+from typing import Callable, List, Optional, Set, Tuple
 
-from repro.analysis.sanitizers import (
-    LOCK_ORDER_SANITIZER,
-    MUTATION_SANITIZER,
-    sanitizer_overrides,
-)
-from repro.api.conf import (
-    JobConf,
-    NUM_MAPS_HINT_KEY,
-    REAL_THREADS_KEY,
-    SANITIZE_LOCK_ORDER_KEY,
-    SANITIZE_MUTATION_KEY,
-    SHUFFLE_SORTED_RUNS_KEY,
-)
-from repro.api.counters import Counters, JobCounter, TaskCounter
-from repro.api.extensions import is_immutable_output
-from repro.api.formats import FileOutputFormat
+from repro.api.conf import JobConf
 from repro.api.job import JobSequence, JobSpec
-from repro.api.mapred import Reporter
-from repro.api.multiple_io import TASK_FS_KEY, TASK_PARTITION_KEY
 from repro.api.splits import InputSplit
-from repro.engine_common import (
-    CollectorSink,
-    CountingReader,
-    EngineResult,
-    PartitionBuffer,
-    WriterCollector,
-    run_combiner_if_any,
-    run_tasks_threaded,
-)
+from repro.engine_common import EngineResult
 from repro.fs.filesystem import FileSystem
 from repro.fs.hdfs import SimulatedHDFS
-from repro.fs.instrumented import FsTally, InstrumentedFileSystem
-from repro.hadoop_engine.scheduler import SlotLanes, place_map_tasks, reduce_node_for
+from repro.lifecycle.events import LifecycleEvent
+from repro.lifecycle.hadoop_stages import (
+    DEFAULT_SORT_BUFFER,
+    FAILURE_DETECT_FACTOR,
+    SORT_BUFFER_KEY,
+    HadoopStageProvider,
+)
+from repro.lifecycle.pipeline import JobPipeline
+from repro.lifecycle.sinks import RingBufferSink, open_job_bus
 from repro.sim.cluster import Cluster
 from repro.sim.cost_model import CostModel
 from repro.sim.metrics import Metrics
 
-#: Map-side sort buffer (Hadoop's io.sort.mb, in bytes).
-SORT_BUFFER_KEY = "io.sort.mb.bytes"
-DEFAULT_SORT_BUFFER = 100 * 1024 * 1024
-
-#: Extra time to detect a dead tasktracker (heartbeat expiry).
-FAILURE_DETECT_FACTOR = 10
+__all__ = [
+    "HadoopEngine",
+    "SORT_BUFFER_KEY",
+    "DEFAULT_SORT_BUFFER",
+    "FAILURE_DETECT_FACTOR",
+]
 
 
 class HadoopEngine:
@@ -90,6 +79,14 @@ class HadoopEngine:
         #: Optional asynchronous progress hook: callable(job_name, phase,
         #: fraction) — see repro.core.admin.ProgressTracker.
         self.progress_listener = None
+        #: The last N lifecycle events across all of this engine's jobs.
+        self.event_ring = RingBufferSink()
+        #: Extra lifecycle sinks subscribed on every job's bus.
+        self.trace_sinks: List[Callable[[LifecycleEvent], None]] = []
+        #: Programmatic JSONL trace destination (the ``m3r.trace.path``
+        #: JobConf key and ``M3R_TRACE_PATH`` env var also work).
+        self.trace_path: Optional[str] = None
+        self._pipeline = JobPipeline(HadoopStageProvider(self))
         self._job_counter = 0
         self._host_to_node = {n.hostname: n.node_id for n in cluster}
 
@@ -101,38 +98,19 @@ class HadoopEngine:
         """Execute one job; never raises for user-code failures."""
         self._job_counter += 1
         spec = JobSpec.from_conf(conf)
-        counters = Counters()
-        metrics = Metrics()
-        try:
-            with sanitizer_overrides(
-                mutation=conf.get_boolean(
-                    SANITIZE_MUTATION_KEY, MUTATION_SANITIZER.enabled
-                ),
-                lock_order=conf.get_boolean(
-                    SANITIZE_LOCK_ORDER_KEY, LOCK_ORDER_SANITIZER.enabled
-                ),
-            ):
-                seconds = self._execute(spec, conf, counters, metrics)
-        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
-            return EngineResult(
-                job_name=spec.name,
-                engine="hadoop",
-                succeeded=False,
-                simulated_seconds=0.0,
-                counters=counters,
-                metrics=metrics,
-                output_path=spec.output_path,
-                error=f"{type(exc).__name__}: {exc}",
-            )
-        return EngineResult(
-            job_name=spec.name,
-            engine="hadoop",
-            succeeded=True,
-            simulated_seconds=seconds,
-            counters=counters,
-            metrics=metrics,
-            output_path=spec.output_path,
+        bus, closers = open_job_bus(
+            f"hadoop-{self._job_counter}",
+            "hadoop",
+            conf,
+            ring=self.event_ring,
+            extra_sinks=tuple(self.trace_sinks),
+            trace_path=self.trace_path,
         )
+        try:
+            return self._pipeline.run_job(spec, conf, bus)
+        finally:
+            for close in closers:
+                close()
 
     def run_sequence(self, sequence: JobSequence) -> List[EngineResult]:
         """Run a job pipeline; each job pays full I/O (no cross-job cache)."""
@@ -145,112 +123,12 @@ class HadoopEngine:
         return results
 
     # ------------------------------------------------------------------ #
-    # job execution
+    # failover & progress helpers (used by the stage provider)
     # ------------------------------------------------------------------ #
-
-    def _execute(
-        self, spec: JobSpec, conf: JobConf, counters: Counters, metrics: Metrics
-    ) -> float:
-        model = self.cost_model
-        job_salt = f"job_{self._job_counter}_{spec.name}"
-
-        spec.output_format.check_output_specs(self.filesystem, conf)
-        committer = spec.output_format.get_output_committer()
-        committer.setup_job(self.filesystem, conf)
-
-        # --- submission: staging, split calculation, jobtracker RPCs ----- #
-        clock = model.hadoop_job_submit
-        metrics.time.charge("job_submit", model.hadoop_job_submit)
-        self._report_progress(spec.name, "submitted", 0.0)
-
-        hint = conf.get_int(NUM_MAPS_HINT_KEY, 0) or self.cluster.num_nodes * 2
-        splits = spec.input_format.get_splits(self.filesystem, conf, hint)
-        metrics.incr("map_tasks", len(splits))
-        counters.increment(JobCounter.TOTAL_LAUNCHED_MAPS, len(splits))
-
-        placements, data_local = place_map_tasks(
-            splits, self.cluster, self._host_to_node
-        )
-        placements = self._reroute_failures(placements, metrics)
-        counters.increment(JobCounter.DATA_LOCAL_MAPS, data_local)
-
-        # --- map phase (real threads, slot-bounded per node) --------------- #
-        def map_task(index: int) -> Tuple[float, List[PartitionBuffer]]:
-            return self._run_map_task(
-                spec, conf, splits[index], index, placements[index],
-                counters, metrics,
-            )
-
-        map_results = self._run_phase(conf, placements, self.map_slots, map_task)
-        # Slot-lane accounting stays on the driver thread, in task-index
-        # order, so the simulated makespan matches the serial path exactly.
-        map_lanes = SlotLanes(self.cluster.num_nodes, self.map_slots)
-        map_outputs: List[List[PartitionBuffer]] = []
-        map_nodes: List[int] = []
-        for index, (duration, buffers) in enumerate(map_results):
-            map_lanes.add_task(placements[index], duration)
-            map_outputs.append(buffers)
-            map_nodes.append(placements[index])
-        clock += map_lanes.makespan()
-        self._report_progress(spec.name, "map", 0.5)
-
-        # --- reduce phase -------------------------------------------------- #
-        if not spec.is_map_only:
-            counters.increment(JobCounter.TOTAL_LAUNCHED_REDUCES, spec.num_reducers)
-            reduce_nodes: List[int] = []
-            failovers: List[bool] = []
-            for partition in range(spec.num_reducers):
-                node = reduce_node_for(job_salt, partition, self.cluster.num_nodes)
-                node, failover = self._healthy_node(node)
-                reduce_nodes.append(node)
-                failovers.append(failover)
-
-            def reduce_task(partition: int) -> float:
-                duration = self._run_reduce_task(
-                    spec, conf, partition, reduce_nodes[partition],
-                    map_outputs, map_nodes, counters, metrics,
-                )
-                if failovers[partition]:
-                    duration += model.task_scheduling * FAILURE_DETECT_FACTOR
-                    metrics.incr("reduce_task_failovers")
-                return duration
-
-            durations = self._run_phase(
-                conf, reduce_nodes, self.reduce_slots, reduce_task
-            )
-            reduce_lanes = SlotLanes(self.cluster.num_nodes, self.reduce_slots)
-            for partition, duration in enumerate(durations):
-                reduce_lanes.add_task(reduce_nodes[partition], duration)
-            clock += reduce_lanes.makespan()
-
-        # --- commit / cleanup ----------------------------------------------- #
-        committer.commit_job(self.filesystem, conf)
-        clock += model.hadoop_job_cleanup
-        metrics.time.charge("job_submit", model.hadoop_job_cleanup)
-        self._report_progress(spec.name, "done", 1.0)
-        return clock
 
     def _report_progress(self, job_name: str, phase: str, fraction: float) -> None:
         if self.progress_listener is not None:
             self.progress_listener(job_name, phase, fraction)
-
-    def _run_phase(
-        self,
-        conf: JobConf,
-        nodes: List[int],
-        slots: int,
-        task_fn,
-    ) -> List[Any]:
-        """One phase of tasks: threaded like real tasktrackers (bounded to
-        ``slots`` concurrent tasks per node), or serial when the
-        ``m3r.engine.real-threads`` knob is off — the same knob the M3R
-        engine honours, so engine-equivalence runs compare like for like.
-        Results are returned in task-index order either way."""
-        if len(nodes) <= 1 or not conf.get_boolean(REAL_THREADS_KEY, True):
-            return [task_fn(index) for index in range(len(nodes))]
-        return run_tasks_threaded(
-            nodes, slots, task_fn, thread_name_prefix="hadoop-task"
-        )
 
     def _reroute_failures(
         self, placements: List[int], metrics: Metrics
@@ -277,249 +155,10 @@ class HadoopEngine:
             raise RuntimeError("every node has failed")
         return healthy[node % len(healthy)], True
 
-    # ------------------------------------------------------------------ #
-    # map tasks
-    # ------------------------------------------------------------------ #
-
-    def _task_fixed_overhead(self, metrics: Metrics) -> float:
-        model = self.cost_model
-        metrics.time.charge("scheduling", model.task_scheduling)
-        metrics.time.charge("jvm_startup", model.jvm_startup)
-        return model.task_scheduling + model.jvm_startup
-
-    def _run_map_task(
-        self,
-        spec: JobSpec,
-        conf: JobConf,
-        split: InputSplit,
-        task_index: int,
-        node: int,
-        counters: Counters,
-        metrics: Metrics,
-    ) -> Tuple[float, List[PartitionBuffer]]:
-        """Execute one map task; returns (simulated duration, partition buffers)."""
-        model = self.cost_model
-        duration = self._task_fixed_overhead(metrics)
-
-        tally = FsTally()
-        task_fs = InstrumentedFileSystem(self.filesystem, tally, at_node=node)
-        task_conf = JobConf(conf)
-        task_conf.set(TASK_FS_KEY, task_fs)
-        task_conf.set(TASK_PARTITION_KEY, task_index)
-        reporter = Reporter(counters)
-
-        reader = CountingReader(
-            spec.input_format.get_record_reader(task_fs, split, task_conf, reporter),
-            counters,
-        )
-
-        if spec.is_map_only:
-            writer = spec.output_format.get_record_writer(
-                task_fs, task_conf, FileOutputFormat.part_name(task_index), reporter
-            )
-            sink = WriterCollector(writer, counters, record_policy="serialize")
-            spec.run_map_task(split, reader, sink, reporter, task_conf)
-            writer.close()
-            buffers: List[PartitionBuffer] = []
-            out_bytes, out_records = sink.bytes, sink.records
-        else:
-            collector = CollectorSink(
-                num_partitions=spec.num_reducers,
-                partitioner=spec.partitioner,
-                counters=counters,
-                record_policy="serialize",
-            )
-            spec.run_map_task(split, reader, collector, reporter, task_conf)
-            buffers = collector.partitions
-            out_bytes, out_records = collector.bytes, collector.records
-
-        # --- input-side costs -------------------------------------------- #
-        local = self._is_local_read(split, node)
-        read_time = model.disk_read_time(tally.bytes_read, seeks=max(1, tally.read_ops))
-        metrics.time.charge("disk_read", read_time)
-        duration += read_time
-        if not local and tally.bytes_read:
-            net = model.net_transfer_time(tally.bytes_read)
-            metrics.time.charge("network", net)
-            duration += net
-            metrics.incr("remote_map_reads")
-        deser = model.deserialize_time(tally.bytes_read, reader.records)
-        metrics.time.charge("deserialize", deser)
-        duration += deser
-        nn = model.namenode_op * max(1, tally.metadata_ops)
-        metrics.time.charge("namenode", nn)
-        duration += nn
-
-        # --- user code + framework ------------------------------------------ #
-        compute = reporter.consume_compute_seconds()
-        metrics.time.charge("map_compute", compute)
-        duration += compute
-        framework = model.map_framework_time(reader.records)
-        metrics.time.charge("framework", framework)
-        duration += framework
-        if is_immutable_output(spec.resolve_mapper_class(split)):
-            # The ImmutableOutput style allocates a fresh object per emit
-            # (paper Figure 4 right); the stock engine pays that GC churn.
-            alloc = model.alloc_time(out_records) + model.gc_churn_time(out_records)
-            metrics.time.charge("alloc", alloc)
-            duration += alloc
-
-        # --- output-side costs ----------------------------------------------- #
-        ser = model.serialize_time(out_bytes, out_records)
-        metrics.time.charge("serialize", ser)
-        duration += ser
-
-        if spec.is_map_only:
-            write_time = self._charge_fs_write(tally.bytes_written, metrics)
-            duration += write_time
-            return duration, buffers
-
-        # Combiner runs over the sorted in-memory buffer, per spill set.
-        if spec.combiner_class is not None:
-            pre_records = sum(len(b.pairs) for b in buffers)
-            pre_bytes = sum(b.bytes for b in buffers)
-            sort_time = model.sort_time(pre_records, pre_bytes)
-            metrics.time.charge("sort", sort_time)
-            duration += sort_time
-            combined: List[PartitionBuffer] = []
-            for buffer in buffers:
-                combined.append(
-                    run_combiner_if_any(spec, buffer, counters, reporter, "serialize")
-                )
-            buffers = combined
-            compute = reporter.consume_compute_seconds()
-            metrics.time.charge("map_compute", compute)
-            duration += compute
-
-        spill_bytes = sum(b.bytes for b in buffers)
-        spill_records = sum(len(b.pairs) for b in buffers)
-        counters.increment(TaskCounter.SPILLED_RECORDS, spill_records)
-        if spec.combiner_class is None:
-            sort_time = model.sort_time(spill_records, spill_bytes)
-            metrics.time.charge("sort", sort_time)
-            duration += sort_time
-        spill_write = model.disk_write_time(spill_bytes, seeks=1)
-        metrics.time.charge("disk_write", spill_write)
-        duration += spill_write
-        metrics.incr("map_spill_bytes", spill_bytes)
-
-        sort_buffer = conf.get_int(SORT_BUFFER_KEY, DEFAULT_SORT_BUFFER)
-        spills = max(1, math.ceil(spill_bytes / max(1, sort_buffer)))
-        if spills > 1:
-            merge = model.external_merge_time(spill_records, spill_bytes, spills)
-            metrics.time.charge("merge", merge)
-            duration += merge
-
-        return duration, buffers
-
     def _is_local_read(self, split: InputSplit, node: int) -> bool:
         hostname = self.cluster.node(node).hostname
         locations = split.get_locations()
         return (not locations) or hostname in locations or "localhost" in locations
-
-    # ------------------------------------------------------------------ #
-    # reduce tasks
-    # ------------------------------------------------------------------ #
-
-    def _run_reduce_task(
-        self,
-        spec: JobSpec,
-        conf: JobConf,
-        partition: int,
-        node: int,
-        map_outputs: List[List[PartitionBuffer]],
-        map_nodes: List[int],
-        counters: Counters,
-        metrics: Metrics,
-    ) -> float:
-        model = self.cost_model
-        duration = self._task_fixed_overhead(metrics)
-
-        # --- shuffle fetch: disk at source, wire, disk at sink ----------- #
-        run_lists: List[List[Tuple[Any, Any]]] = []
-        total_bytes = 0
-        total_records = 0
-        for map_index, buffers in enumerate(map_outputs):
-            buffer = buffers[partition]
-            if not buffer.pairs:
-                continue
-            run_lists.append(buffer.pairs)
-            total_bytes += buffer.bytes
-            total_records += len(buffer.pairs)
-            fetch = model.disk_read_time(buffer.bytes, seeks=1)
-            if map_nodes[map_index] != node:
-                fetch += model.net_transfer_time(buffer.bytes)
-                metrics.incr("shuffle_remote_bytes", buffer.bytes)
-            else:
-                metrics.incr("shuffle_local_bytes", buffer.bytes)
-            fetch += model.disk_write_time(buffer.bytes, seeks=1)
-            metrics.time.charge("network", fetch)
-            duration += fetch
-        counters.increment(TaskCounter.REDUCE_SHUFFLE_BYTES, total_bytes)
-
-        # --- out-of-core merge sort ---------------------------------------- #
-        runs = len(run_lists)
-        merge = model.external_merge_time(total_records, total_bytes, max(1, runs))
-        metrics.time.charge("merge", merge)
-        duration += merge
-        deser = model.deserialize_time(total_bytes, total_records)
-        metrics.time.charge("deserialize", deser)
-        duration += deser
-
-        sort_key = spec.sort_key()
-        if conf.get_boolean(SHUFFLE_SORTED_RUNS_KEY, True):
-            # Real Hadoop ships map output as sorted spill runs and the
-            # reducer merges; do the same so record order (stable-merge of
-            # stable-sorted runs, in map-index order) matches M3R's
-            # sorted-runs shuffle record for record.  The charge is already
-            # the external merge above — this changes the mechanism, not
-            # the modeled cost.
-            pairs = list(
-                heapq.merge(
-                    *[sorted(run, key=sort_key) for run in run_lists],
-                    key=sort_key,
-                )
-            )
-        else:
-            pairs = [pair for run in run_lists for pair in run]
-            pairs.sort(key=sort_key)
-        groups = list(spec.group_sorted_pairs(pairs))
-        counters.increment(TaskCounter.REDUCE_INPUT_GROUPS, len(groups))
-        counters.increment(TaskCounter.REDUCE_INPUT_RECORDS, len(pairs))
-
-        # --- reduce user code ------------------------------------------------- #
-        tally = FsTally()
-        task_fs = InstrumentedFileSystem(self.filesystem, tally, at_node=node)
-        task_conf = JobConf(conf)
-        task_conf.set(TASK_FS_KEY, task_fs)
-        task_conf.set(TASK_PARTITION_KEY, partition)
-        reporter = Reporter(counters)
-        writer = spec.output_format.get_record_writer(
-            task_fs, task_conf, FileOutputFormat.part_name(partition), reporter
-        )
-        sink = WriterCollector(writer, counters, record_policy="serialize")
-        spec.run_reduce_task(groups, sink, reporter, task_conf)
-        writer.close()
-
-        compute = reporter.consume_compute_seconds()
-        metrics.time.charge("reduce_compute", compute)
-        duration += compute
-        framework = model.reduce_framework_time(len(pairs))
-        metrics.time.charge("framework", framework)
-        duration += framework
-        if spec.reduce_output_immutable():
-            alloc = model.alloc_time(sink.records) + model.gc_churn_time(sink.records)
-            metrics.time.charge("alloc", alloc)
-            duration += alloc
-        ser = model.serialize_time(sink.bytes, sink.records)
-        metrics.time.charge("serialize", ser)
-        duration += ser
-
-        duration += self._charge_fs_write(tally.bytes_written, metrics)
-        nn = model.namenode_op * max(1, tally.metadata_ops)
-        metrics.time.charge("namenode", nn)
-        duration += nn
-        return duration
 
     def _charge_fs_write(self, nbytes: int, metrics: Metrics) -> float:
         """HDFS write cost: local disk plus pipelined replication."""

@@ -114,5 +114,17 @@ class SlotLanes:
         """When the last lane on the last node finishes."""
         return max(max(lanes) for lanes in self._lanes)
 
+    def node_busy_seconds(self) -> Dict[int, float]:
+        """Per-node busy seconds (lane occupancy), nodes with work only.
+
+        This is the per-place detail a ``StageEnd`` lifecycle event carries
+        so the trace waterfall can show where a phase's time piled up.
+        """
+        return {
+            node: sum(lanes)
+            for node, lanes in enumerate(self._lanes)
+            if any(lane > 0 for lane in lanes)
+        }
+
     def total_work(self) -> float:
         return sum(sum(lanes) for lanes in self._lanes)

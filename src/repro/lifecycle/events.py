@@ -1,0 +1,200 @@
+"""Typed lifecycle events and the per-job event bus.
+
+Every job run — on either engine — emits one stream of
+:class:`LifecycleEvent` records describing its progress through the staged
+pipeline: ``JobStart``, then ``StageStart``/``StageEnd`` per stage (with
+``TaskStart``/``TaskEnd`` inside the task-running stages and
+``CacheEvent``/``SpillEvent`` whenever memory governance acts), closed by a
+``JobEnd`` that is emitted even when the job fails.  Events carry the job
+id, the engine, places/partitions, simulated seconds and byte counters —
+everything a per-stage/per-place waterfall or a cross-job reuse analysis
+needs.
+
+Determinism note: stage and task events are emitted from the driver thread
+*after* each phase's ``finish`` joins, in task-index order — the trace is
+the deterministic replay of the accounting, not a live sample of thread
+interleavings.  Cache/spill events are emitted from whichever worker thread
+triggered the pressure, so their relative order within a stage is the one
+thing in the stream that may vary run to run.
+
+This module imports nothing from the rest of ``repro`` so every layer
+(cache, governor, shuffle executor) can emit events without import cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, fields
+from typing import Any, Callable, ClassVar, Dict, List, Optional
+
+__all__ = [
+    "LifecycleEvent",
+    "JobStart",
+    "StageStart",
+    "StageEnd",
+    "TaskStart",
+    "TaskEnd",
+    "CacheEvent",
+    "SpillEvent",
+    "JobEnd",
+    "EventBus",
+]
+
+
+@dataclass(frozen=True)
+class LifecycleEvent:
+    """Base record: every event names its job and engine."""
+
+    kind: ClassVar[str] = "event"
+
+    job_id: str
+    engine: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A flat, JSON-serializable view (``None`` fields omitted)."""
+        doc: Dict[str, Any] = {"event": self.kind}
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if value is None:
+                continue
+            if isinstance(value, dict):
+                value = {str(k): v for k, v in value.items()}
+            doc[field.name] = value
+        return doc
+
+
+@dataclass(frozen=True)
+class JobStart(LifecycleEvent):
+    kind: ClassVar[str] = "job_start"
+
+    job_name: str = ""
+    output_path: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class StageStart(LifecycleEvent):
+    kind: ClassVar[str] = "stage_start"
+
+    stage: str = ""
+
+
+@dataclass(frozen=True)
+class StageEnd(LifecycleEvent):
+    kind: ClassVar[str] = "stage_end"
+
+    stage: str = ""
+    #: Simulated seconds this stage added to the job clock.
+    seconds: float = 0.0
+    #: The job clock after the stage (running total; the last stage's
+    #: ``clock`` equals ``JobEnd.seconds`` exactly).
+    clock: float = 0.0
+    #: Optional per-place busy seconds (lane occupancy) for the stage.
+    busy: Optional[Dict[int, float]] = None
+
+
+@dataclass(frozen=True)
+class TaskStart(LifecycleEvent):
+    kind: ClassVar[str] = "task_start"
+
+    stage: str = ""
+    task: int = 0
+    place: int = 0
+
+
+@dataclass(frozen=True)
+class TaskEnd(LifecycleEvent):
+    kind: ClassVar[str] = "task_end"
+
+    stage: str = ""
+    task: int = 0
+    place: int = 0
+    #: Simulated duration charged to this task's lane.
+    seconds: float = 0.0
+    records: int = 0
+    nbytes: int = 0
+
+
+@dataclass(frozen=True)
+class CacheEvent(LifecycleEvent):
+    """A governance decision on a cache entry (evict / drop / admit)."""
+
+    kind: ClassVar[str] = "cache_event"
+
+    action: str = ""
+    name: str = ""
+    place: int = 0
+    nbytes: int = 0
+
+
+@dataclass(frozen=True)
+class SpillEvent(LifecycleEvent):
+    """Spill-manager I/O (spill-out or rehydrate) with its simulated cost."""
+
+    kind: ClassVar[str] = "spill_event"
+
+    action: str = ""
+    name: str = ""
+    place: int = 0
+    nbytes: int = 0
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class JobEnd(LifecycleEvent):
+    kind: ClassVar[str] = "job_end"
+
+    succeeded: bool = False
+    #: The job's total simulated seconds (0.0 when the job failed, exactly
+    #: mirroring ``EngineResult.simulated_seconds``).
+    seconds: float = 0.0
+    error: Optional[str] = None
+
+
+Subscriber = Callable[[LifecycleEvent], None]
+
+
+class EventBus:
+    """The per-job event stream: stamped with job id + engine, fanned out
+    to subscribers.
+
+    Subscribers come in two classes.  *Critical* subscribers are part of
+    the engine (governor pins, sanitizer scoping): their exceptions
+    propagate and fail the job loudly.  Plain *sinks* are observers (ring
+    buffer, JSONL trace, metrics bridge): a sink that raises is dropped
+    and its error recorded in :attr:`sink_errors` — observability must
+    never perturb the run it observes.
+
+    ``emit`` is thread-safe; worker threads emit cache/spill events while
+    the driver emits stage events.
+    """
+
+    def __init__(self, job_id: str, engine: str):
+        self.job_id = job_id
+        self.engine = engine
+        self._critical: List[Subscriber] = []
+        self._sinks: List[Subscriber] = []
+        self._lock = threading.Lock()
+        self.sink_errors: List[str] = []
+
+    def subscribe(self, subscriber: Subscriber, critical: bool = False) -> None:
+        with self._lock:
+            (self._critical if critical else self._sinks).append(subscriber)
+
+    def emit(self, event: LifecycleEvent) -> None:
+        with self._lock:
+            critical = list(self._critical)
+            sinks = list(self._sinks)
+        for subscriber in critical:
+            subscriber(event)
+        dead: List[Subscriber] = []
+        for sink in sinks:
+            try:
+                sink(event)
+            except Exception as exc:  # noqa: M3R004 - recorded, sink dropped
+                self.sink_errors.append(f"{type(exc).__name__}: {exc}")
+                dead.append(sink)
+        if dead:
+            with self._lock:
+                for sink in dead:
+                    if sink in self._sinks:
+                        self._sinks.remove(sink)

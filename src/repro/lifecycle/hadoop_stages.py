@@ -1,0 +1,469 @@
+"""The Hadoop engine's stage provider: out-of-core execution as stages.
+
+The body of the old monolithic ``HadoopEngine._execute`` (paper
+Section 3.1), decomposed onto the shared pipeline:
+
+    setup → plan_splits → map → [reduce] → commit
+
+Hadoop has no ``shuffle`` stage of its own: the shuffle is the copy phase
+of its reduce tasks (disk at source, wire, disk at sink), charged inside
+each task body — surfacing it as a barrier stage would change the
+simulation.  There are no ``cache-admit``/``teardown`` stages either;
+nothing survives between jobs, which is the behaviour M3R's cache
+eliminates.
+
+Clock discipline matches the M3R provider: each ``ctx.advance`` is one
+``clock +=`` of the original ``_execute``, same expressions, same order,
+so simulated seconds are byte-identical to the pre-lifecycle engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.api.conf import (
+    NUM_MAPS_HINT_KEY,
+    REAL_THREADS_KEY,
+    SHUFFLE_SORTED_RUNS_KEY,
+    JobConf,
+    conf_bool,
+)
+from repro.api.counters import JobCounter, TaskCounter
+from repro.api.extensions import is_immutable_output
+from repro.api.formats import FileOutputFormat
+from repro.api.mapred import Reporter
+from repro.api.multiple_io import TASK_FS_KEY, TASK_PARTITION_KEY
+from repro.api.splits import InputSplit
+from repro.engine_common import (
+    CollectorSink,
+    CountingReader,
+    PartitionBuffer,
+    WriterCollector,
+    run_combiner_if_any,
+    run_tasks_threaded,
+)
+from repro.fs.instrumented import FsTally, InstrumentedFileSystem
+from repro.hadoop_engine.scheduler import SlotLanes, place_map_tasks, reduce_node_for
+from repro.lifecycle.pipeline import JobContext, StageFn, StageProvider
+from repro.lifecycle.subscriptions import SanitizerSubscription
+
+__all__ = [
+    "HadoopStageProvider",
+    "SORT_BUFFER_KEY",
+    "DEFAULT_SORT_BUFFER",
+    "FAILURE_DETECT_FACTOR",
+]
+
+#: Map-side sort buffer (Hadoop's io.sort.mb, in bytes).
+SORT_BUFFER_KEY = "io.sort.mb.bytes"
+DEFAULT_SORT_BUFFER = 100 * 1024 * 1024
+
+#: Extra time to detect a dead tasktracker (heartbeat expiry).
+FAILURE_DETECT_FACTOR = 10
+
+
+class HadoopStageProvider(StageProvider):
+    """Supplies the stock engine's heartbeat/JVM/disk-flavoured stages."""
+
+    engine_name = "hadoop"
+    #: Hadoop reschedules around failures; every failure is reported
+    #: through the result object, never raised.
+    raise_node_failure = False
+
+    def __init__(self, engine: Any):
+        self.engine = engine
+
+    # ------------------------------------------------------------------ #
+    # pipeline contract
+    # ------------------------------------------------------------------ #
+
+    def subscriptions(self, ctx: JobContext) -> Sequence[Callable[[Any], None]]:
+        # No governor here — the stock engine has no cache to govern.
+        return (SanitizerSubscription(ctx),)
+
+    def stages(self, ctx: JobContext) -> Iterable[Tuple[str, StageFn]]:
+        st: Dict[str, Any] = {}
+        yield "setup", lambda: self._setup(ctx, st)
+        yield "plan_splits", lambda: self._plan_splits(ctx, st)
+        yield "map", lambda: self._map_stage(ctx, st)
+        if not ctx.spec.is_map_only:
+            yield "reduce", lambda: self._reduce_stage(ctx, st)
+        yield "commit", lambda: self._commit(ctx, st)
+
+    # ------------------------------------------------------------------ #
+    # stages
+    # ------------------------------------------------------------------ #
+
+    def _setup(self, ctx: JobContext, st: Dict[str, Any]) -> None:
+        engine = self.engine
+        model = engine.cost_model
+        spec, conf = ctx.spec, ctx.conf
+        st["job_salt"] = f"job_{engine._job_counter}_{spec.name}"  # noqa: M3R001 - driver-thread stage scratch
+
+        spec.output_format.check_output_specs(engine.filesystem, conf)
+        st["committer"] = spec.output_format.get_output_committer()  # noqa: M3R001 - driver-thread stage scratch
+        st["committer"].setup_job(engine.filesystem, conf)
+
+        # Submission: staging, split calculation, jobtracker RPCs.
+        ctx.advance(model.hadoop_job_submit)
+        ctx.metrics.time.charge("job_submit", model.hadoop_job_submit)
+        engine._report_progress(spec.name, "submitted", 0.0)
+
+    def _plan_splits(self, ctx: JobContext, st: Dict[str, Any]) -> None:
+        engine = self.engine
+        spec, conf = ctx.spec, ctx.conf
+        hint = conf.get_int(NUM_MAPS_HINT_KEY, 0) or engine.cluster.num_nodes * 2
+        splits = spec.input_format.get_splits(engine.filesystem, conf, hint)
+        ctx.metrics.incr("map_tasks", len(splits))
+        ctx.counters.increment(JobCounter.TOTAL_LAUNCHED_MAPS, len(splits))
+
+        placements, data_local = place_map_tasks(
+            splits, engine.cluster, engine._host_to_node
+        )
+        placements = engine._reroute_failures(placements, ctx.metrics)
+        ctx.counters.increment(JobCounter.DATA_LOCAL_MAPS, data_local)
+        st["splits"] = splits  # noqa: M3R001 - driver-thread stage scratch
+        st["placements"] = placements  # noqa: M3R001 - driver-thread stage scratch
+
+    def _map_stage(self, ctx: JobContext, st: Dict[str, Any]) -> Dict[int, float]:
+        engine = self.engine
+        splits: List[InputSplit] = st["splits"]
+        placements: List[int] = st["placements"]
+
+        def map_task(index: int) -> Tuple[float, List[PartitionBuffer]]:
+            return self._run_map_task(
+                ctx, splits[index], index, placements[index]
+            )
+
+        map_results = self._run_phase(
+            ctx.conf, placements, engine.map_slots, map_task
+        )
+        # Slot-lane accounting stays on the driver thread, in task-index
+        # order, so the simulated makespan matches the serial path exactly.
+        map_lanes = SlotLanes(engine.cluster.num_nodes, engine.map_slots)
+        map_outputs: List[List[PartitionBuffer]] = []
+        map_nodes: List[int] = []
+        for index, (duration, buffers) in enumerate(map_results):
+            map_lanes.add_task(placements[index], duration)
+            map_outputs.append(buffers)
+            map_nodes.append(placements[index])
+        ctx.advance(map_lanes.makespan())
+        engine._report_progress(ctx.spec.name, "map", 0.5)
+        for index, (duration, buffers) in enumerate(map_results):
+            ctx.emit_task(
+                "map", index, placements[index], duration,
+                records=sum(len(b.pairs) for b in buffers),
+                nbytes=sum(b.bytes for b in buffers),
+            )
+        st["map_outputs"] = map_outputs  # noqa: M3R001 - driver-thread stage scratch
+        st["map_nodes"] = map_nodes  # noqa: M3R001 - driver-thread stage scratch
+        return map_lanes.node_busy_seconds()
+
+    def _reduce_stage(self, ctx: JobContext, st: Dict[str, Any]) -> Dict[int, float]:
+        engine = self.engine
+        model = engine.cost_model
+        spec = ctx.spec
+        map_outputs: List[List[PartitionBuffer]] = st["map_outputs"]
+        map_nodes: List[int] = st["map_nodes"]
+
+        ctx.counters.increment(JobCounter.TOTAL_LAUNCHED_REDUCES, spec.num_reducers)
+        reduce_nodes: List[int] = []
+        failovers: List[bool] = []
+        for partition in range(spec.num_reducers):
+            node = reduce_node_for(
+                st["job_salt"], partition, engine.cluster.num_nodes
+            )
+            node, failover = engine._healthy_node(node)
+            reduce_nodes.append(node)
+            failovers.append(failover)
+
+        def reduce_task(partition: int) -> float:
+            duration = self._run_reduce_task(
+                ctx, partition, reduce_nodes[partition], map_outputs, map_nodes
+            )
+            if failovers[partition]:
+                duration += model.task_scheduling * FAILURE_DETECT_FACTOR
+                ctx.metrics.incr("reduce_task_failovers")
+            return duration
+
+        durations = self._run_phase(
+            ctx.conf, reduce_nodes, engine.reduce_slots, reduce_task
+        )
+        reduce_lanes = SlotLanes(engine.cluster.num_nodes, engine.reduce_slots)
+        for partition, duration in enumerate(durations):
+            reduce_lanes.add_task(reduce_nodes[partition], duration)
+        ctx.advance(reduce_lanes.makespan())
+        for partition, duration in enumerate(durations):
+            ctx.emit_task("reduce", partition, reduce_nodes[partition], duration)
+        return reduce_lanes.node_busy_seconds()
+
+    def _commit(self, ctx: JobContext, st: Dict[str, Any]) -> None:
+        engine = self.engine
+        model = engine.cost_model
+        st["committer"].commit_job(engine.filesystem, ctx.conf)
+        ctx.advance(model.hadoop_job_cleanup)
+        ctx.metrics.time.charge("job_submit", model.hadoop_job_cleanup)
+        engine._report_progress(ctx.spec.name, "done", 1.0)
+
+    # ------------------------------------------------------------------ #
+    # phase running
+    # ------------------------------------------------------------------ #
+
+    def _run_phase(
+        self,
+        conf: JobConf,
+        nodes: List[int],
+        slots: int,
+        task_fn,
+    ) -> List[Any]:
+        """One phase of tasks: threaded like real tasktrackers (bounded to
+        ``slots`` concurrent tasks per node), or serial when the
+        ``m3r.engine.real-threads`` knob is off — the same knob the M3R
+        engine honours, so engine-equivalence runs compare like for like.
+        Results are returned in task-index order either way."""
+        if len(nodes) <= 1 or not conf_bool(conf, REAL_THREADS_KEY, default=True):
+            return [task_fn(index) for index in range(len(nodes))]
+        return run_tasks_threaded(
+            nodes, slots, task_fn, thread_name_prefix="hadoop-task"
+        )
+
+    # ------------------------------------------------------------------ #
+    # map tasks
+    # ------------------------------------------------------------------ #
+
+    def _task_fixed_overhead(self, ctx: JobContext) -> float:
+        model = self.engine.cost_model
+        ctx.metrics.time.charge("scheduling", model.task_scheduling)
+        ctx.metrics.time.charge("jvm_startup", model.jvm_startup)
+        return model.task_scheduling + model.jvm_startup
+
+    def _run_map_task(
+        self,
+        ctx: JobContext,
+        split: InputSplit,
+        task_index: int,
+        node: int,
+    ) -> Tuple[float, List[PartitionBuffer]]:
+        """Execute one map task; returns (simulated duration, partition buffers)."""
+        engine = self.engine
+        model = engine.cost_model
+        spec, conf = ctx.spec, ctx.conf
+        counters, metrics = ctx.counters, ctx.metrics
+        duration = self._task_fixed_overhead(ctx)
+
+        tally = FsTally()
+        task_fs = InstrumentedFileSystem(engine.filesystem, tally, at_node=node)
+        task_conf = JobConf(conf)
+        task_conf.set(TASK_FS_KEY, task_fs)
+        task_conf.set(TASK_PARTITION_KEY, task_index)
+        reporter = Reporter(counters)
+
+        reader = CountingReader(
+            spec.input_format.get_record_reader(task_fs, split, task_conf, reporter),
+            counters,
+        )
+
+        if spec.is_map_only:
+            writer = spec.output_format.get_record_writer(
+                task_fs, task_conf, FileOutputFormat.part_name(task_index), reporter
+            )
+            sink = WriterCollector(writer, counters, record_policy="serialize")
+            spec.run_map_task(split, reader, sink, reporter, task_conf)
+            writer.close()
+            buffers: List[PartitionBuffer] = []
+            out_bytes, out_records = sink.bytes, sink.records
+        else:
+            collector = CollectorSink(
+                num_partitions=spec.num_reducers,
+                partitioner=spec.partitioner,
+                counters=counters,
+                record_policy="serialize",
+            )
+            spec.run_map_task(split, reader, collector, reporter, task_conf)
+            buffers = collector.partitions
+            out_bytes, out_records = collector.bytes, collector.records
+
+        # --- input-side costs -------------------------------------------- #
+        local = engine._is_local_read(split, node)
+        read_time = model.disk_read_time(tally.bytes_read, seeks=max(1, tally.read_ops))
+        metrics.time.charge("disk_read", read_time)
+        duration += read_time
+        if not local and tally.bytes_read:
+            net = model.net_transfer_time(tally.bytes_read)
+            metrics.time.charge("network", net)
+            duration += net
+            metrics.incr("remote_map_reads")
+        deser = model.deserialize_time(tally.bytes_read, reader.records)
+        metrics.time.charge("deserialize", deser)
+        duration += deser
+        nn = model.namenode_op * max(1, tally.metadata_ops)
+        metrics.time.charge("namenode", nn)
+        duration += nn
+
+        # --- user code + framework ------------------------------------------ #
+        compute = reporter.consume_compute_seconds()
+        metrics.time.charge("map_compute", compute)
+        duration += compute
+        framework = model.map_framework_time(reader.records)
+        metrics.time.charge("framework", framework)
+        duration += framework
+        if is_immutable_output(spec.resolve_mapper_class(split)):
+            # The ImmutableOutput style allocates a fresh object per emit
+            # (paper Figure 4 right); the stock engine pays that GC churn.
+            alloc = model.alloc_time(out_records) + model.gc_churn_time(out_records)
+            metrics.time.charge("alloc", alloc)
+            duration += alloc
+
+        # --- output-side costs ----------------------------------------------- #
+        ser = model.serialize_time(out_bytes, out_records)
+        metrics.time.charge("serialize", ser)
+        duration += ser
+
+        if spec.is_map_only:
+            write_time = engine._charge_fs_write(tally.bytes_written, metrics)
+            duration += write_time
+            return duration, buffers
+
+        # Combiner runs over the sorted in-memory buffer, per spill set.
+        if spec.combiner_class is not None:
+            pre_records = sum(len(b.pairs) for b in buffers)
+            pre_bytes = sum(b.bytes for b in buffers)
+            sort_time = model.sort_time(pre_records, pre_bytes)
+            metrics.time.charge("sort", sort_time)
+            duration += sort_time
+            combined: List[PartitionBuffer] = []
+            for buffer in buffers:
+                combined.append(
+                    run_combiner_if_any(spec, buffer, counters, reporter, "serialize")
+                )
+            buffers = combined
+            compute = reporter.consume_compute_seconds()
+            metrics.time.charge("map_compute", compute)
+            duration += compute
+
+        spill_bytes = sum(b.bytes for b in buffers)
+        spill_records = sum(len(b.pairs) for b in buffers)
+        counters.increment(TaskCounter.SPILLED_RECORDS, spill_records)
+        if spec.combiner_class is None:
+            sort_time = model.sort_time(spill_records, spill_bytes)
+            metrics.time.charge("sort", sort_time)
+            duration += sort_time
+        spill_write = model.disk_write_time(spill_bytes, seeks=1)
+        metrics.time.charge("disk_write", spill_write)
+        duration += spill_write
+        metrics.incr("map_spill_bytes", spill_bytes)
+
+        sort_buffer = conf.get_int(SORT_BUFFER_KEY, DEFAULT_SORT_BUFFER)
+        spills = max(1, math.ceil(spill_bytes / max(1, sort_buffer)))
+        if spills > 1:
+            merge = model.external_merge_time(spill_records, spill_bytes, spills)
+            metrics.time.charge("merge", merge)
+            duration += merge
+
+        return duration, buffers
+
+    # ------------------------------------------------------------------ #
+    # reduce tasks
+    # ------------------------------------------------------------------ #
+
+    def _run_reduce_task(
+        self,
+        ctx: JobContext,
+        partition: int,
+        node: int,
+        map_outputs: List[List[PartitionBuffer]],
+        map_nodes: List[int],
+    ) -> float:
+        engine = self.engine
+        model = engine.cost_model
+        spec, conf = ctx.spec, ctx.conf
+        counters, metrics = ctx.counters, ctx.metrics
+        duration = self._task_fixed_overhead(ctx)
+
+        # --- shuffle fetch: disk at source, wire, disk at sink ----------- #
+        run_lists: List[List[Tuple[Any, Any]]] = []
+        total_bytes = 0
+        total_records = 0
+        for map_index, buffers in enumerate(map_outputs):
+            buffer = buffers[partition]
+            if not buffer.pairs:
+                continue
+            run_lists.append(buffer.pairs)
+            total_bytes += buffer.bytes
+            total_records += len(buffer.pairs)
+            fetch = model.disk_read_time(buffer.bytes, seeks=1)
+            if map_nodes[map_index] != node:
+                fetch += model.net_transfer_time(buffer.bytes)
+                metrics.incr("shuffle_remote_bytes", buffer.bytes)
+            else:
+                metrics.incr("shuffle_local_bytes", buffer.bytes)
+            fetch += model.disk_write_time(buffer.bytes, seeks=1)
+            metrics.time.charge("network", fetch)
+            duration += fetch
+        counters.increment(TaskCounter.REDUCE_SHUFFLE_BYTES, total_bytes)
+
+        # --- out-of-core merge sort ---------------------------------------- #
+        runs = len(run_lists)
+        merge = model.external_merge_time(total_records, total_bytes, max(1, runs))
+        metrics.time.charge("merge", merge)
+        duration += merge
+        deser = model.deserialize_time(total_bytes, total_records)
+        metrics.time.charge("deserialize", deser)
+        duration += deser
+
+        sort_key = spec.sort_key()
+        if conf_bool(conf, SHUFFLE_SORTED_RUNS_KEY, default=True):
+            # Real Hadoop ships map output as sorted spill runs and the
+            # reducer merges; do the same so record order (stable-merge of
+            # stable-sorted runs, in map-index order) matches M3R's
+            # sorted-runs shuffle record for record.  The charge is already
+            # the external merge above — this changes the mechanism, not
+            # the modeled cost.
+            pairs = list(
+                heapq.merge(
+                    *[sorted(run, key=sort_key) for run in run_lists],
+                    key=sort_key,
+                )
+            )
+        else:
+            pairs = [pair for run in run_lists for pair in run]
+            pairs.sort(key=sort_key)
+        groups = list(spec.group_sorted_pairs(pairs))
+        counters.increment(TaskCounter.REDUCE_INPUT_GROUPS, len(groups))
+        counters.increment(TaskCounter.REDUCE_INPUT_RECORDS, len(pairs))
+
+        # --- reduce user code ------------------------------------------------- #
+        tally = FsTally()
+        task_fs = InstrumentedFileSystem(engine.filesystem, tally, at_node=node)
+        task_conf = JobConf(conf)
+        task_conf.set(TASK_FS_KEY, task_fs)
+        task_conf.set(TASK_PARTITION_KEY, partition)
+        reporter = Reporter(counters)
+        writer = spec.output_format.get_record_writer(
+            task_fs, task_conf, FileOutputFormat.part_name(partition), reporter
+        )
+        sink = WriterCollector(writer, counters, record_policy="serialize")
+        spec.run_reduce_task(groups, sink, reporter, task_conf)
+        writer.close()
+
+        compute = reporter.consume_compute_seconds()
+        metrics.time.charge("reduce_compute", compute)
+        duration += compute
+        framework = model.reduce_framework_time(len(pairs))
+        metrics.time.charge("framework", framework)
+        duration += framework
+        if spec.reduce_output_immutable():
+            alloc = model.alloc_time(sink.records) + model.gc_churn_time(sink.records)
+            metrics.time.charge("alloc", alloc)
+            duration += alloc
+        ser = model.serialize_time(sink.bytes, sink.records)
+        metrics.time.charge("serialize", ser)
+        duration += ser
+
+        duration += engine._charge_fs_write(tally.bytes_written, metrics)
+        nn = model.namenode_op * max(1, tally.metadata_ops)
+        metrics.time.charge("namenode", nn)
+        duration += nn
+        return duration

@@ -1,0 +1,691 @@
+"""The M3R engine's stage provider: in-memory execution as pipeline stages.
+
+This is the body of the old monolithic ``M3REngine._execute`` (paper
+Section 3.2), decomposed onto the shared :class:`~repro.lifecycle.pipeline.JobPipeline`:
+
+    setup → plan_splits → map → [shuffle → reduce] → commit →
+    cache-admit → teardown
+
+(map-only jobs skip shuffle/reduce; the combiner is a per-task sub-phase
+of ``map`` and the sort/k-way-merge a per-task sub-phase of ``reduce`` —
+they run inside task bodies, so surfacing them as barrier stages would
+change the simulation).
+
+Every ``ctx.advance`` below reproduces one ``clock +=`` of the original
+``_execute``, with compound additions (``shuffle_time + barrier``,
+``makespan + barrier``) kept as single expressions — float addition is
+order-sensitive and the refactor's invariant is byte-identical simulated
+seconds.  The memory governor and sanitizers are NOT wired here: they
+ride the event bus (see :mod:`repro.lifecycle.subscriptions`).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.api.conf import (
+    NUM_MAPS_HINT_KEY,
+    REAL_THREADS_KEY,
+    SHUFFLE_REAL_THREADS_KEY,
+    SHUFFLE_SORTED_RUNS_KEY,
+    JobConf,
+    conf_bool,
+)
+from repro.api.counters import JobCounter, TaskCounter
+from repro.api.extensions import is_immutable_output, is_temporary_output
+from repro.api.formats import FileOutputFormat
+from repro.api.mapred import Reporter
+from repro.api.multiple_io import TASK_FS_KEY, TASK_PARTITION_KEY
+from repro.api.splits import InputSplit
+from repro.engine_common import (
+    CollectorSink,
+    CountingReader,
+    MaterializedReader,
+    PartitionBuffer,
+    bounded_task_fn,
+    run_combiner_if_any,
+)
+from repro.fs.instrumented import FsTally, InstrumentedFileSystem
+from repro.hadoop_engine.scheduler import SlotLanes
+from repro.lifecycle.pipeline import JobContext, StageFn, StageProvider
+from repro.lifecycle.subscriptions import (
+    GovernorSubscription,
+    SanitizerSubscription,
+)
+from repro.shuffle import ShuffleExecutor, ShuffleInput
+from repro.x10.runtime import ActivityError
+from repro.x10.serializer import FALLBACK_TALLY
+
+__all__ = ["M3RStageProvider"]
+
+
+class M3RStageProvider(StageProvider):
+    """Supplies the M3R engine's cache/co-location/handoff stages."""
+
+    engine_name = "m3r"
+    #: No resilience: a lost node kills the job with JobFailedError.
+    raise_node_failure = True
+
+    def __init__(self, engine: Any):
+        self.engine = engine
+
+    # ------------------------------------------------------------------ #
+    # pipeline contract
+    # ------------------------------------------------------------------ #
+
+    def subscriptions(self, ctx: JobContext) -> Sequence[Callable[[Any], None]]:
+        # Governor first: pins must exist before any stage can evict.
+        return (GovernorSubscription(self.engine, ctx), SanitizerSubscription(ctx))
+
+    def stages(self, ctx: JobContext) -> Iterable[Tuple[str, StageFn]]:
+        st: Dict[str, Any] = {}
+        yield "setup", lambda: self._setup(ctx, st)
+        yield "plan_splits", lambda: self._plan_splits(ctx, st)
+        yield "map", lambda: self._map_stage(ctx, st)
+        if ctx.spec.is_map_only:
+            yield "commit", lambda: self._commit_map_only(ctx, st)
+        else:
+            yield "shuffle", lambda: self._shuffle_stage(ctx, st)
+            yield "reduce", lambda: self._reduce_stage(ctx, st)
+            yield "commit", lambda: self._commit(ctx, st)
+        yield "cache-admit", lambda: self._cache_admit(ctx)
+        yield "teardown", lambda: self._teardown(ctx, st)
+
+    # ------------------------------------------------------------------ #
+    # stages
+    # ------------------------------------------------------------------ #
+
+    def _setup(self, ctx: JobContext, st: Dict[str, Any]) -> None:
+        engine = self.engine
+        model = engine.cost_model
+        spec, conf = ctx.spec, ctx.conf
+        # Engine-lifetime tallies snapshotted up front so teardown can
+        # report per-job deltas (size cache, serializer fallbacks).
+        st["size_cache_before"] = engine.runtime.size_cache.snapshot()  # noqa: M3R001 - driver-thread stage scratch
+        st["fallbacks_before"] = FALLBACK_TALLY.snapshot()  # noqa: M3R001 - driver-thread stage scratch
+
+        spec.output_format.check_output_specs(engine.filesystem, conf)
+        st["committer"] = spec.output_format.get_output_committer()  # noqa: M3R001 - driver-thread stage scratch
+        st["job_is_temp"] = spec.output_path is not None and is_temporary_output(  # noqa: M3R001 - driver-thread stage scratch
+            spec.output_path, conf
+        )
+        if not (st["job_is_temp"] and engine.enable_cache):
+            st["committer"].setup_job(engine.filesystem, conf)
+
+        ctx.advance(model.m3r_job_submit)
+        ctx.metrics.time.charge("job_submit", model.m3r_job_submit)
+        engine._report_progress(spec.name, "submitted", 0.0)
+
+    def _plan_splits(self, ctx: JobContext, st: Dict[str, Any]) -> None:
+        engine = self.engine
+        spec, conf = ctx.spec, ctx.conf
+        hint = conf.get_int(NUM_MAPS_HINT_KEY, 0) or (
+            engine.num_places * engine.workers_per_place
+        )
+        splits = spec.input_format.get_splits(engine.filesystem, conf, hint)
+        ctx.metrics.incr("map_tasks", len(splits))
+        ctx.counters.increment(JobCounter.TOTAL_LAUNCHED_MAPS, len(splits))
+        st["splits"] = splits  # noqa: M3R001 - driver-thread stage scratch
+        st["placements"] = [  # noqa: M3R001 - driver-thread stage scratch
+            engine._place_for_split(split, index, spec)
+            for index, split in enumerate(splits)
+        ]
+
+    def _map_stage(
+        self, ctx: JobContext, st: Dict[str, Any]
+    ) -> Dict[int, float]:
+        engine = self.engine
+        splits: List[InputSplit] = st["splits"]
+        placements: List[int] = st["placements"]
+
+        def map_task(index: int) -> Tuple[float, List[PartitionBuffer]]:
+            return self._run_map_task(
+                ctx, splits[index], index, placements[index]
+            )
+
+        map_results = self._run_phase(ctx.conf, placements, map_task)
+        # Virtual-clock accounting happens after the finish joins, in
+        # task-index order, so the makespan is identical to the serial path
+        # no matter how the worker threads interleaved.
+        map_lanes = SlotLanes(engine.num_places, engine.workers_per_place)
+        map_outputs: List[List[PartitionBuffer]] = []
+        map_places: List[int] = []
+        for index, (duration, buffers) in enumerate(map_results):
+            map_lanes.add_task(placements[index], duration)
+            map_outputs.append(buffers)
+            map_places.append(placements[index])
+        ctx.advance(map_lanes.makespan())
+        engine._report_progress(ctx.spec.name, "map", 0.5)
+        for index, (duration, buffers) in enumerate(map_results):
+            ctx.emit_task(
+                "map", index, placements[index], duration,
+                records=sum(len(b.pairs) for b in buffers),
+                nbytes=sum(b.bytes for b in buffers),
+            )
+        st["map_outputs"] = map_outputs  # noqa: M3R001 - driver-thread stage scratch
+        st["map_places"] = map_places  # noqa: M3R001 - driver-thread stage scratch
+        return map_lanes.node_busy_seconds()
+
+    def _commit_map_only(self, ctx: JobContext, st: Dict[str, Any]) -> None:
+        engine = self.engine
+        model = engine.cost_model
+        ctx.advance(model.m3r_barrier)
+        ctx.metrics.time.charge("barrier", model.m3r_barrier)
+        if not (st["job_is_temp"] and engine.enable_cache):
+            st["committer"].commit_job(engine.filesystem.inner, ctx.conf)
+        engine._report_progress(ctx.spec.name, "done", 1.0)
+
+    def _shuffle_stage(self, ctx: JobContext, st: Dict[str, Any]) -> None:
+        engine = self.engine
+        model = engine.cost_model
+        spec = ctx.spec
+        ctx.counters.increment(JobCounter.TOTAL_LAUNCHED_REDUCES, spec.num_reducers)
+        shuffle_time, reduce_inputs = self._shuffle(
+            ctx, st["map_outputs"], st["map_places"]
+        )
+        ctx.advance(shuffle_time + model.m3r_barrier)
+        ctx.metrics.time.charge("barrier", model.m3r_barrier)
+        engine._report_progress(spec.name, "shuffle", 0.7)
+        st["reduce_inputs"] = reduce_inputs  # noqa: M3R001 - driver-thread stage scratch
+
+    def _reduce_stage(
+        self, ctx: JobContext, st: Dict[str, Any]
+    ) -> Dict[int, float]:
+        engine = self.engine
+        model = engine.cost_model
+        spec = ctx.spec
+        reduce_inputs: List[ShuffleInput] = st["reduce_inputs"]
+        temp_output = st["job_is_temp"]
+        reduce_places = [
+            engine.partition_place(partition)
+            for partition in range(spec.num_reducers)
+        ]
+
+        def reduce_task(partition: int) -> float:
+            return self._run_reduce_task(
+                ctx, partition, reduce_places[partition],
+                reduce_inputs[partition], temp_output,
+            )
+
+        durations = self._run_phase(ctx.conf, reduce_places, reduce_task)
+        reduce_lanes = SlotLanes(engine.num_places, engine.workers_per_place)
+        for partition, duration in enumerate(durations):
+            reduce_lanes.add_task(reduce_places[partition], duration)
+        ctx.advance(reduce_lanes.makespan() + model.m3r_barrier)
+        ctx.metrics.time.charge("barrier", model.m3r_barrier)
+        for partition, duration in enumerate(durations):
+            ctx.emit_task(
+                "reduce", partition, reduce_places[partition], duration,
+                records=reduce_inputs[partition].records,
+                nbytes=reduce_inputs[partition].bytes,
+            )
+        return reduce_lanes.node_busy_seconds()
+
+    def _commit(self, ctx: JobContext, st: Dict[str, Any]) -> None:
+        engine = self.engine
+        if not (st["job_is_temp"] and engine.enable_cache):
+            st["committer"].commit_job(engine.filesystem.inner, ctx.conf)
+        engine._report_progress(ctx.spec.name, "done", 1.0)
+
+    def _cache_admit(self, ctx: JobContext) -> None:
+        # Spill/rehydration I/O charged by the governor during the job
+        # lands on the job clock here.
+        ctx.advance(self.engine.governor.drain_seconds())
+
+    def _teardown(self, ctx: JobContext, st: Dict[str, Any]) -> None:
+        engine = self.engine
+        # How much re-measurement the memoized size cache saved this job
+        # (the cache is engine-lifetime; metrics report per-job deltas).
+        cache_hits, cache_misses = st["size_cache_before"]
+        hits, misses = engine.runtime.size_cache.snapshot()
+        ctx.metrics.incr("size_cache_hits", hits - cache_hits)
+        ctx.metrics.incr("size_cache_misses", misses - cache_misses)
+        # Size estimates that fell back to a fixed pickle guess this job
+        # (see x10.serializer.FALLBACK_TALLY) — ideally always zero.
+        ctx.metrics.incr(
+            "serializer_fallbacks",
+            FALLBACK_TALLY.snapshot() - st["fallbacks_before"],
+        )
+
+    # ------------------------------------------------------------------ #
+    # phase running
+    # ------------------------------------------------------------------ #
+
+    def _use_real_threads(self, conf: JobConf) -> bool:
+        """Real threaded execution, unless the knob (or a single worker)
+        forces the serial debugging path."""
+        return self.engine.workers_per_place > 1 and conf_bool(
+            conf, REAL_THREADS_KEY, default=True
+        )
+
+    def _run_phase(
+        self,
+        conf: JobConf,
+        placements: Sequence[int],
+        task_fn: Callable[[int], Any],
+    ) -> List[Any]:
+        """Run one barrier-delimited phase: ``task_fn(i)`` at place
+        ``placements[i]`` for every task index.
+
+        In real-threads mode this is one ``finish`` block spawning one
+        ``async`` activity per task at its place, with a per-place semaphore
+        bounding concurrency to ``workers_per_place``.  Results come back in
+        task-index order either way, and the first task exception is
+        re-raised exactly as the serial loop would raise it (unwrapped from
+        :class:`ActivityError`), preserving the fail-fast "no resilience"
+        semantics — a :class:`JobFailedError` from a task still reaches
+        the pipeline as a :class:`JobFailedError`.
+        """
+        engine = self.engine
+        if len(placements) <= 1 or not self._use_real_threads(conf):
+            return [task_fn(index) for index in range(len(placements))]
+        bounded = bounded_task_fn(placements, engine.workers_per_place, task_fn)
+
+        def spawn(scope: Any) -> None:
+            for index, place_id in enumerate(placements):
+                scope.async_at(engine.runtime.place(place_id), bounded, index)
+
+        try:
+            return engine.runtime.finish_collect(spawn)
+        except ActivityError as error:
+            raise error.first from error
+
+    # ------------------------------------------------------------------ #
+    # map tasks
+    # ------------------------------------------------------------------ #
+
+    def _run_map_task(
+        self,
+        ctx: JobContext,
+        split: InputSplit,
+        task_index: int,
+        place: int,
+    ) -> Tuple[float, List[PartitionBuffer]]:
+        # The cached input (if any) is pinned for the task's duration — a
+        # concurrent task's eviction wave must not spill the sequence this
+        # task is actively reading.
+        pinned: List[str] = []
+        try:
+            return self._map_task_body(ctx, split, task_index, place, pinned)
+        finally:
+            for name in pinned:
+                self.engine.cache.unpin(name)
+
+    def _map_task_body(
+        self,
+        ctx: JobContext,
+        split: InputSplit,
+        task_index: int,
+        place: int,
+        pinned: List[str],
+    ) -> Tuple[float, List[PartitionBuffer]]:
+        engine = self.engine
+        model = engine.cost_model
+        spec, conf = ctx.spec, ctx.conf
+        counters, metrics = ctx.counters, ctx.metrics
+        duration = 0.0
+        node = engine.place_node(place)
+
+        tally = FsTally()
+        task_fs = InstrumentedFileSystem(engine.filesystem, tally, at_node=node)
+        task_conf = JobConf(conf)
+        task_conf.set(TASK_FS_KEY, task_fs)
+        task_conf.set(TASK_PARTITION_KEY, task_index)
+        reporter = Reporter(counters)
+
+        mapper_class = spec.resolve_mapper_class(split)
+        mapper_immutable = is_immutable_output(mapper_class)
+
+        # --- input: cache, or filesystem + cache insert ------------------- #
+        entry = engine._cache_lookup(split, pin=True)
+        if entry is not None:
+            pinned.append(entry.name)  # noqa: M3R001 - per-task private list
+            metrics.incr("cache_hits")
+            pairs = entry.pairs
+            nbytes = entry.nbytes
+            if entry.place_id != place:
+                # A PlacedSplit overrode the cache's location: the sequence
+                # crosses places once, with full serialization cost.
+                wire = engine.runtime.serializer.measure_pairs(pairs)
+                cost = (
+                    model.serialize_time(wire.wire_bytes, len(pairs))
+                    + model.net_transfer_time(wire.wire_bytes)
+                    + model.deserialize_time(wire.wire_bytes, len(pairs))
+                )
+                metrics.time.charge("network", cost)
+                duration += cost
+                pairs = copy.deepcopy(pairs)
+            if mapper_immutable:
+                feed = model.handoff_time(len(pairs))
+                metrics.time.charge("framework", feed)
+            else:
+                feed = model.clone_time(nbytes, len(pairs))
+                metrics.time.charge("clone", feed)
+                metrics.incr("cloned_records", len(pairs))
+            duration += feed
+            reader = CountingReader(
+                MaterializedReader(pairs, clone=not mapper_immutable), counters
+            )
+        else:
+            metrics.incr("cache_misses")
+            raw_reader = spec.input_format.get_record_reader(
+                task_fs, split, task_conf, reporter
+            )
+            identity = engine._split_cache_identity(split)
+            if identity is not None and engine.enable_cache:
+                pairs = [pair for pair in iter(raw_reader.next_pair, None)]
+                nbytes = tally.bytes_read
+                engine._cache_insert(identity, place, pairs, nbytes)
+                metrics.incr("cache_inserts")
+                if mapper_immutable:
+                    feed = model.handoff_time(len(pairs))
+                    metrics.time.charge("framework", feed)
+                else:
+                    feed = model.clone_time(nbytes, len(pairs))
+                    metrics.time.charge("clone", feed)
+                    metrics.incr("cloned_records", len(pairs))
+                duration += feed
+                reader = CountingReader(
+                    MaterializedReader(pairs, clone=not mapper_immutable), counters
+                )
+            else:
+                # Unknown split type (or cache disabled): stream straight
+                # through without caching.
+                reader = CountingReader(raw_reader, counters)
+            read_time = model.disk_read_time(
+                tally.bytes_read, seeks=max(1, tally.read_ops)
+            )
+            metrics.time.charge("disk_read", read_time)
+            duration += read_time
+            if not engine._is_local_read(split, node) and tally.bytes_read:
+                net = model.net_transfer_time(tally.bytes_read)
+                metrics.time.charge("network", net)
+                duration += net
+                metrics.incr("remote_map_reads")
+
+        # --- run the user code ------------------------------------------- #
+        if spec.is_map_only:
+            collector = CollectorSink(
+                num_partitions=1,
+                partitioner=None,
+                counters=counters,
+                record_policy="alias"
+                if spec.map_output_immutable(split, fresh_runner=True)
+                else "clone",
+            )
+        else:
+            collector = CollectorSink(
+                num_partitions=spec.num_reducers,
+                partitioner=spec.partitioner,
+                counters=counters,
+                record_policy="alias"
+                if spec.map_output_immutable(split, fresh_runner=True)
+                else "clone",
+            )
+        spec.run_map_task(
+            split, reader, collector, reporter, task_conf, fresh_runner=True
+        )
+
+        # Deserialization is paid only when records actually came off the
+        # filesystem; cache hits skip it entirely (the paper's point).
+        if entry is None:
+            deser = model.deserialize_time(tally.bytes_read, reader.records)
+            metrics.time.charge("deserialize", deser)
+            duration += deser
+            nn = model.namenode_op * max(1, tally.metadata_ops)
+            metrics.time.charge("namenode", nn)
+            duration += nn
+
+        compute = reporter.consume_compute_seconds()
+        metrics.time.charge("map_compute", compute)
+        duration += compute
+        framework = model.map_framework_time(reader.records)
+        metrics.time.charge("framework", framework)
+        duration += framework
+        if mapper_immutable:
+            alloc = model.alloc_time(collector.records) + model.gc_churn_time(
+                collector.records
+            )
+            metrics.time.charge("alloc", alloc)
+            duration += alloc
+        if collector.copied_records:
+            clone = model.clone_time(collector.copied_bytes, collector.copied_records)
+            metrics.time.charge("clone", clone)
+            metrics.incr("cloned_records", collector.copied_records)
+            duration += clone
+
+        if spec.is_map_only:
+            part_path = FileOutputFormat.part_path(conf, task_index)
+            temp = spec.output_path is not None and is_temporary_output(
+                spec.output_path, conf
+            )
+            duration += self._emit_output(
+                ctx, task_conf, part_path, task_index, place,
+                collector.partitions[0].pairs, collector.partitions[0].bytes,
+                temp, reporter,
+            )
+            return duration, []
+
+        buffers = collector.partitions
+        if spec.combiner_class is not None:
+            pre_records = sum(len(b.pairs) for b in buffers)
+            pre_bytes = sum(b.bytes for b in buffers)
+            sort_time = model.sort_time(pre_records, pre_bytes)
+            metrics.time.charge("sort", sort_time)
+            duration += sort_time
+            policy = (
+                "alias" if spec.map_output_immutable(split, fresh_runner=True) else "clone"
+            )
+            buffers = [
+                run_combiner_if_any(spec, buffer, counters, reporter, policy)
+                for buffer in buffers
+            ]
+            compute = reporter.consume_compute_seconds()
+            metrics.time.charge("map_compute", compute)
+            duration += compute
+        return duration, buffers
+
+    # ------------------------------------------------------------------ #
+    # shuffle
+    # ------------------------------------------------------------------ #
+
+    def _use_shuffle_threads(self, conf: JobConf) -> bool:
+        """Parallel shuffle messages, unless the shuffle knob (or a single
+        worker) forces the serial path.  Independent of the task-execution
+        knob so the two mechanisms can be ablated separately."""
+        return self.engine.workers_per_place > 1 and conf_bool(
+            conf, SHUFFLE_REAL_THREADS_KEY, default=True
+        )
+
+    def _shuffle(
+        self,
+        ctx: JobContext,
+        map_outputs: List[List[PartitionBuffer]],
+        map_places: List[int],
+    ) -> Tuple[float, List[ShuffleInput]]:
+        """Route map output to reducer places; returns (time, reduce inputs).
+
+        Co-located traffic is a pointer hand-off.  Cross-place messages pay
+        (de-duplicated) serialization, wire time and deserialization, and
+        are deep-copied *with a shared memo* so aliasing survives transport
+        exactly as X10 reconstructs it on the receiving place.
+
+        The heavy lifting lives in :mod:`repro.shuffle`: a deterministic
+        plan, parallel (or serial) execution of one activity per
+        place-to-place message, and a post-join replay of all charges in
+        plan order — so simulated time is identical however the worker
+        threads interleave.  With ``m3r.shuffle.sorted-runs`` on (default),
+        runs are sorted map-side and reducers stream a k-way merge.  The
+        replay also narrates each message as a ``shuffle`` TaskEnd event.
+        """
+        engine = self.engine
+        spec, conf = ctx.spec, ctx.conf
+        sorted_runs = conf_bool(conf, SHUFFLE_SORTED_RUNS_KEY, default=True)
+        executor = ShuffleExecutor(
+            runtime=engine.runtime,
+            cost_model=engine.cost_model,
+            num_places=engine.num_places,
+            partition_place=engine.partition_place,
+            workers_per_place=engine.workers_per_place,
+            enable_dedup=engine.enable_dedup,
+        )
+        plan = executor.plan(spec.num_reducers, map_outputs, map_places)
+        results = executor.execute(
+            plan,
+            sort_key=spec.sort_key() if sorted_runs else None,
+            parallel=self._use_shuffle_threads(conf),
+        )
+        reduce_inputs = [
+            ShuffleInput(sorted_runs) for _ in range(spec.num_reducers)
+        ]
+        seconds = executor.replay(
+            plan, results, reduce_inputs, ctx.counters, ctx.metrics, bus=ctx.bus
+        )
+        return seconds, reduce_inputs
+
+    # ------------------------------------------------------------------ #
+    # reduce tasks
+    # ------------------------------------------------------------------ #
+
+    def _run_reduce_task(
+        self,
+        ctx: JobContext,
+        partition: int,
+        place: int,
+        shuffle_input: ShuffleInput,
+        temp_output: bool,
+    ) -> float:
+        engine = self.engine
+        model = engine.cost_model
+        spec, conf = ctx.spec, ctx.conf
+        counters, metrics = ctx.counters, ctx.metrics
+        duration = 0.0
+        node = engine.place_node(place)
+
+        tally = FsTally()
+        task_fs = InstrumentedFileSystem(engine.filesystem, tally, at_node=node)
+        task_conf = JobConf(conf)
+        task_conf.set(TASK_FS_KEY, task_fs)
+        task_conf.set(TASK_PARTITION_KEY, partition)
+        reporter = Reporter(counters)
+
+        # Bytes and records were accounted while the runs accumulated — no
+        # re-walk of the pairs through the size estimator here.
+        records = shuffle_input.records
+        nbytes = shuffle_input.bytes
+        if shuffle_input.sorted_runs:
+            # Runs arrived pre-sorted: stream a k-way merge instead of
+            # re-sorting the concatenation.  heapq.merge is stable and runs
+            # are merged in map-index order, so the output order matches a
+            # stable sort of the concatenated input exactly.
+            merge_t = model.merge_time(records, nbytes, len(shuffle_input.runs))
+            metrics.time.charge("merge", merge_t)
+            duration += merge_t
+            ordered = shuffle_input.merged(spec.sort_key())
+        else:
+            sort_time = model.sort_time(records, nbytes)
+            metrics.time.charge("sort", sort_time)
+            duration += sort_time
+            ordered = sorted(shuffle_input.concatenated(), key=spec.sort_key())
+        groups = list(spec.group_sorted_pairs(ordered))
+        counters.increment(TaskCounter.REDUCE_INPUT_GROUPS, len(groups))
+        counters.increment(TaskCounter.REDUCE_INPUT_RECORDS, records)
+
+        policy = "alias" if spec.reduce_output_immutable() else "clone"
+        sink = CollectorSink(
+            num_partitions=1,
+            partitioner=None,
+            counters=counters,
+            record_policy=policy,
+            output_counter=TaskCounter.REDUCE_OUTPUT_RECORDS,
+        )
+        spec.run_reduce_task(groups, sink, reporter, task_conf)
+
+        compute = reporter.consume_compute_seconds()
+        metrics.time.charge("reduce_compute", compute)
+        duration += compute
+        framework = model.reduce_framework_time(records)
+        metrics.time.charge("framework", framework)
+        duration += framework
+        if spec.reduce_output_immutable():
+            alloc = model.alloc_time(sink.records) + model.gc_churn_time(sink.records)
+            metrics.time.charge("alloc", alloc)
+            duration += alloc
+        if sink.copied_records:
+            clone = model.clone_time(sink.copied_bytes, sink.copied_records)
+            metrics.time.charge("clone", clone)
+            metrics.incr("cloned_records", sink.copied_records)
+            duration += clone
+
+        # Filesystem writes made directly by user code during the reduce
+        # (e.g. MultipleOutputs) are charged at disk rate.  Snapshot before
+        # _emit_output so the part-file flush is not double-counted.
+        user_bytes_written = tally.bytes_written
+        if user_bytes_written:
+            write = model.disk_write_time(user_bytes_written, seeks=1)
+            metrics.time.charge("disk_write", write)
+            duration += write
+
+        part_path = FileOutputFormat.part_path(conf, partition)
+        duration += self._emit_output(
+            ctx, task_conf, part_path, partition, place,
+            sink.partitions[0].pairs, sink.partitions[0].bytes,
+            temp_output, reporter,
+        )
+        return duration
+
+    # ------------------------------------------------------------------ #
+    # output
+    # ------------------------------------------------------------------ #
+
+    def _emit_output(
+        self,
+        ctx: JobContext,
+        task_conf: JobConf,
+        part_path: str,
+        partition: int,
+        place: int,
+        pairs: List[Tuple[Any, Any]],
+        nbytes: int,
+        temp_output: bool,
+        reporter: Reporter,
+    ) -> float:
+        """Cache the output at this place; flush to the filesystem unless
+        the output is temporary.  Returns the simulated cost."""
+        engine = self.engine
+        model = engine.cost_model
+        metrics = ctx.metrics
+        duration = 0.0
+        if not (temp_output and engine.enable_cache):
+            # Flush to the real filesystem first: writing through the
+            # M3RFileSystem invalidates any cache entry for the path, so the
+            # cache insert must come after the flush.
+            writer = ctx.spec.output_format.get_record_writer(
+                task_conf.get(TASK_FS_KEY), task_conf,
+                FileOutputFormat.part_name(partition), reporter,
+            )
+            for key, value in pairs:
+                writer.write(key, value)
+            writer.close()
+            ser = model.serialize_time(nbytes, len(pairs))
+            metrics.time.charge("serialize", ser)
+            duration += ser
+            duration += engine._charge_fs_write(nbytes, metrics)
+            nn = model.namenode_op
+            metrics.time.charge("namenode", nn)
+            duration += nn
+        else:
+            metrics.incr("temp_outputs_skipped")
+        if engine.enable_cache:
+            # A temp output exists ONLY here — mark it non-durable so
+            # eviction must spill it (never drop it).
+            engine.cache.put_file(
+                part_path, place, pairs, nbytes, durable=not temp_output
+            )
+            cost = model.handoff_time(len(pairs))
+            metrics.time.charge("framework", cost)
+            duration += cost
+            metrics.incr("cache_outputs")
+        duration += engine._replicate_output(part_path, place, pairs, nbytes, metrics)
+        return duration

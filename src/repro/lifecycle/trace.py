@@ -1,0 +1,209 @@
+"""Render lifecycle event streams as per-stage / per-place waterfalls.
+
+The collector accepts either live :class:`~repro.lifecycle.events.LifecycleEvent`
+objects (from a :class:`~repro.lifecycle.sinks.RingBufferSink`) or the plain
+dicts parsed back from a JSONL trace file — both normalize to the same
+document shape, so ``python -m repro trace`` can render a run it just
+executed or a trace file from an earlier one.
+
+Per job the waterfall shows each stage's simulated seconds (the clock
+delta), the running clock, the stage's task/record/byte totals, and —
+where the stage reported per-place lane occupancy — how the stage's work
+spread over places.  Cache/spill events are tallied per action.  The text
+renderer draws proportional bars; ``--format json`` emits the same
+structure as data.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.lifecycle.events import LifecycleEvent
+
+__all__ = [
+    "StageRow",
+    "JobWaterfall",
+    "collect_waterfalls",
+    "read_jsonl",
+    "render_text",
+    "render_json",
+]
+
+
+@dataclass
+class StageRow:
+    """One stage of one job, as the waterfall shows it."""
+
+    stage: str
+    seconds: float = 0.0
+    clock: float = 0.0
+    #: Per-place busy seconds, when the stage reported lane occupancy.
+    busy: Dict[int, float] = field(default_factory=dict)
+    tasks: int = 0
+    records: int = 0
+    nbytes: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "seconds": self.seconds,
+            "clock": self.clock,
+            "busy": {str(place): sec for place, sec in sorted(self.busy.items())},
+            "tasks": self.tasks,
+            "records": self.records,
+            "nbytes": self.nbytes,
+        }
+
+
+@dataclass
+class JobWaterfall:
+    """One job's staged timeline."""
+
+    job_id: str
+    engine: str
+    job_name: str = ""
+    succeeded: Optional[bool] = None
+    seconds: float = 0.0
+    error: Optional[str] = None
+    stages: List[StageRow] = field(default_factory=list)
+    #: ``{action: count}`` over CacheEvents (evict/drop/...).
+    cache_events: Dict[str, int] = field(default_factory=dict)
+    #: ``{action: count}`` over SpillEvents (spill/rehydrate/...).
+    spill_events: Dict[str, int] = field(default_factory=dict)
+
+    def stage(self, name: str) -> StageRow:
+        for row in self.stages:
+            if row.stage == name:
+                return row
+        row = StageRow(stage=name)
+        self.stages.append(row)
+        return row
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "engine": self.engine,
+            "job_name": self.job_name,
+            "succeeded": self.succeeded,
+            "seconds": self.seconds,
+            "error": self.error,
+            "stages": [row.as_dict() for row in self.stages],
+            "cache_events": dict(sorted(self.cache_events.items())),
+            "spill_events": dict(sorted(self.spill_events.items())),
+        }
+
+
+EventLike = Union[LifecycleEvent, Dict[str, Any]]
+
+
+def _as_doc(event: EventLike) -> Dict[str, Any]:
+    if isinstance(event, LifecycleEvent):
+        return event.to_dict()
+    return event
+
+
+def collect_waterfalls(events: Iterable[EventLike]) -> List[JobWaterfall]:
+    """Fold an event stream into one waterfall per job, in first-seen order."""
+    jobs: Dict[str, JobWaterfall] = {}
+    order: List[str] = []
+    for raw in events:
+        doc = _as_doc(raw)
+        job_id = doc.get("job_id", "?")
+        if job_id not in jobs:
+            jobs[job_id] = JobWaterfall(job_id=job_id, engine=doc.get("engine", "?"))
+            order.append(job_id)
+        wf = jobs[job_id]
+        kind = doc.get("event", "")
+        if kind == "job_start":
+            wf.job_name = doc.get("job_name", "")
+        elif kind == "stage_end":
+            row = wf.stage(doc.get("stage", "?"))
+            row.seconds = float(doc.get("seconds", 0.0))
+            row.clock = float(doc.get("clock", 0.0))
+            for place, sec in (doc.get("busy") or {}).items():
+                row.busy[int(place)] = float(sec)
+        elif kind == "task_end":
+            row = wf.stage(doc.get("stage", "?"))
+            row.tasks += 1
+            row.records += int(doc.get("records", 0))
+            row.nbytes += int(doc.get("nbytes", 0))
+        elif kind == "cache_event":
+            action = doc.get("action", "?")
+            wf.cache_events[action] = wf.cache_events.get(action, 0) + 1
+        elif kind == "spill_event":
+            action = doc.get("action", "?")
+            wf.spill_events[action] = wf.spill_events.get(action, 0) + 1
+        elif kind == "job_end":
+            wf.succeeded = bool(doc.get("succeeded", False))
+            wf.seconds = float(doc.get("seconds", 0.0))
+            wf.error = doc.get("error")
+    return [jobs[job_id] for job_id in order]
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace file back into event documents."""
+    docs: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                docs.append(json.loads(line))
+    return docs
+
+
+_BAR_WIDTH = 30
+
+
+def _bar(seconds: float, scale: float) -> str:
+    if scale <= 0:
+        return ""
+    filled = int(round(_BAR_WIDTH * seconds / scale))
+    return "█" * min(_BAR_WIDTH, filled)
+
+
+def render_text(waterfalls: List[JobWaterfall]) -> str:
+    """The per-stage / per-place waterfall as terminal text."""
+    lines: List[str] = []
+    for wf in waterfalls:
+        status = (
+            "?" if wf.succeeded is None else ("ok" if wf.succeeded else "FAILED")
+        )
+        title = wf.job_name or wf.job_id
+        lines.append(
+            f"{title} [{wf.engine}] ({wf.job_id}) — {status}, "
+            f"{wf.seconds:.6f} simulated seconds"
+        )
+        if wf.error:
+            lines.append(f"  error: {wf.error}")
+        scale = max((row.seconds for row in wf.stages), default=0.0)
+        for row in wf.stages:
+            bar = _bar(row.seconds, scale)
+            detail = f"clock={row.clock:.6f}"
+            if row.tasks:
+                detail += f"  tasks={row.tasks} records={row.records} bytes={row.nbytes}"
+            lines.append(
+                f"  {row.stage:<12} {row.seconds:>12.6f}s  {bar:<{_BAR_WIDTH}}  {detail}"
+            )
+            for place, sec in sorted(row.busy.items()):
+                lines.append(f"      place {place:<4} busy {sec:>12.6f}s")
+        if wf.cache_events:
+            tally = ", ".join(
+                f"{action}={count}"
+                for action, count in sorted(wf.cache_events.items())
+            )
+            lines.append(f"  cache events: {tally}")
+        if wf.spill_events:
+            tally = ", ".join(
+                f"{action}={count}"
+                for action, count in sorted(wf.spill_events.items())
+            )
+            lines.append(f"  spill events: {tally}")
+        lines.append("")
+    return "\n".join(lines).rstrip("\n") + ("\n" if lines else "")
+
+
+def render_json(waterfalls: List[JobWaterfall]) -> Dict[str, Any]:
+    """The same structure as data (for ``--format json``)."""
+    return {"jobs": [wf.as_dict() for wf in waterfalls]}

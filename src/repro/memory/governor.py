@@ -55,6 +55,7 @@ class MemoryGovernor:
         self._job_metrics: Optional[Metrics] = None
         self._pending_seconds = 0.0
         self._pinned_prefixes: Counter = Counter()
+        self._bus: Optional[object] = None
         self._lock = threading.RLock()
 
     # -- spill availability -------------------------------------------------- #
@@ -78,6 +79,56 @@ class MemoryGovernor:
     def detach_job_metrics(self) -> None:
         with self._lock:
             self._job_metrics = None
+
+    # -- lifecycle event narration ------------------------------------------- #
+
+    def attach_bus(self, bus: object) -> None:
+        """Narrate governance decisions onto a job's lifecycle event bus
+        (CacheEvent/SpillEvent) for its duration.  The governor never
+        *requires* a bus — between jobs it simply stays silent."""
+        with self._lock:
+            self._bus = bus
+
+    def detach_bus(self) -> None:
+        with self._lock:
+            self._bus = None
+
+    def emit_cache(self, action: str, name: str, place: int, nbytes: int) -> None:
+        """Emit a CacheEvent on the attached bus, if any.
+
+        Imported lazily: ``memory`` sits below ``lifecycle`` in the layer
+        order and must not import it at module scope.
+        """
+        with self._lock:
+            bus = self._bus
+        if bus is None:
+            return
+        from repro.lifecycle.events import CacheEvent
+
+        bus.emit(
+            CacheEvent(
+                job_id=bus.job_id, engine=bus.engine,
+                action=action, name=name, place=place, nbytes=nbytes,
+            )
+        )
+
+    def emit_spill(
+        self, action: str, name: str, place: int, nbytes: int, seconds: float
+    ) -> None:
+        """Emit a SpillEvent on the attached bus, if any."""
+        with self._lock:
+            bus = self._bus
+        if bus is None:
+            return
+        from repro.lifecycle.events import SpillEvent
+
+        bus.emit(
+            SpillEvent(
+                job_id=bus.job_id, engine=bus.engine,
+                action=action, name=name, place=place, nbytes=nbytes,
+                seconds=seconds,
+            )
+        )
 
     def incr(self, name: str, amount: int = 1) -> None:
         """Count an event against lifetime AND the attached job metrics."""

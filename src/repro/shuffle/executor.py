@@ -178,6 +178,7 @@ class ShuffleExecutor:
         reduce_inputs: List[ShuffleInput],
         counters: Counters,
         metrics: Metrics,
+        bus: Optional[Any] = None,
     ) -> float:
         """Charge simulated time and account every byte, in plan order.
 
@@ -187,10 +188,15 @@ class ShuffleExecutor:
         ``REDUCE_SHUFFLE_BYTES``, so on M3R
         ``hadoop.REDUCE_SHUFFLE_BYTES == m3r.REDUCE_SHUFFLE_BYTES +
         m3r.REDUCE_LOCAL_HANDOFF_BYTES`` holds for any placement.
+
+        With ``bus`` set, each plan item is also narrated as a ``shuffle``
+        TaskEnd lifecycle event (local hand-offs at their place, remote
+        messages at the receiving place) — pure observation, emitted from
+        the driver in plan order, charging nothing.
         """
         model = self.cost_model
         timer = PhaseTimer(self.num_places)
-        for item, result in zip(plan.items, results):
+        for item_index, (item, result) in enumerate(zip(plan.items, results)):
             if isinstance(item, LocalHandoff):
                 if result.sort_seconds:
                     timer.charge(item.src, result.sort_seconds)
@@ -205,6 +211,12 @@ class ShuffleExecutor:
                 metrics.incr("shuffle_local_records", len(item.pairs))
                 metrics.incr(shuffle_place_key(item.src), item.nbytes)
                 reduce_inputs[item.partition].add_run(result.run, item.nbytes)
+                if bus is not None:
+                    self._emit_item(
+                        bus, item_index, item.src,
+                        result.sort_seconds + cost,
+                        len(item.pairs), item.nbytes,
+                    )
             else:
                 for seconds in result.sort_seconds:
                     if seconds:
@@ -236,4 +248,23 @@ class ShuffleExecutor:
                     item.partitions, result.transported, item.run_bytes
                 ):
                     reduce_inputs[partition].add_run(run, nbytes)
+                if bus is not None:
+                    self._emit_item(
+                        bus, item_index, item.dst,
+                        sum(result.sort_seconds) + send + net + recv,
+                        message.records, wire,
+                    )
         return timer.barrier()
+
+    @staticmethod
+    def _emit_item(
+        bus: Any, task: int, place: int, seconds: float, records: int, nbytes: int
+    ) -> None:
+        from repro.lifecycle.events import TaskEnd, TaskStart
+
+        base = dict(
+            job_id=bus.job_id, engine=bus.engine, stage="shuffle",
+            task=task, place=place,
+        )
+        bus.emit(TaskStart(**base))
+        bus.emit(TaskEnd(seconds=seconds, records=records, nbytes=nbytes, **base))

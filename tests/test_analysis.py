@@ -412,6 +412,49 @@ def test_baseline_missing_file_is_empty():
     assert load_baseline(Path("/nonexistent/baseline.json")) == set()
 
 
+def test_orphaned_fingerprints_detects_moved_files(tmp_path):
+    from repro.analysis import orphaned_fingerprints
+
+    root = tmp_path / "pkg"
+    root.mkdir()
+    (root / "alive.py").write_text("x = 1\n")
+    baseline_file = tmp_path / "baseline.json"
+    baseline_file.write_text(json.dumps({
+        "version": 1,
+        "fingerprints": {
+            "aaaa": "M3R001 pkg/alive.py some_fn",
+            "bbbb": "M3R001 pkg/deleted.py gone_fn",
+        },
+    }))
+    orphans = orphaned_fingerprints(baseline_file, [root])
+    assert list(orphans) == ["bbbb"]
+    assert "deleted.py" in orphans["bbbb"]
+
+
+def test_orphaned_fingerprints_empty_cases(tmp_path):
+    from repro.analysis import orphaned_fingerprints
+
+    assert orphaned_fingerprints(tmp_path / "missing.json", [tmp_path]) == {}
+    baseline_file = tmp_path / "baseline.json"
+    baseline_file.write_text(json.dumps({"version": 1, "fingerprints": {}}))
+    assert orphaned_fingerprints(baseline_file, [tmp_path]) == {}
+
+
+def test_shipped_baseline_has_no_orphans():
+    """The committed baseline must only reference files that still exist
+    (the CI analyze gate enforces this)."""
+    import repro
+    from repro.analysis import DEFAULT_BASELINE_PATH, orphaned_fingerprints
+
+    repo_root = Path(repro.__file__).parent.parent.parent
+    baseline_file = repo_root / DEFAULT_BASELINE_PATH
+    assert baseline_file.exists()
+    orphans = orphaned_fingerprints(
+        baseline_file, [Path(repro.__file__).parent]
+    )
+    assert orphans == {}
+
+
 # --------------------------------------------------------------------- #
 # call graph
 # --------------------------------------------------------------------- #

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -71,6 +73,66 @@ class TestCommands:
         assert "policy=gds" in out
         assert "evictions=0" not in out  # pressure produced evictions
         assert "spill=on" in out
+
+    def test_cache_stats_json_round_trip(self, capsys):
+        assert main(["--nodes", "4", "cache-stats", "--rows", "100",
+                     "--iterations", "1", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["capacity_bytes"] == 0
+        assert doc["policy"] == "lru"
+        assert doc["spill_enabled"] is True
+        assert sorted(doc["places"]) == ["0", "1", "2", "3"]
+        for slot in doc["places"].values():
+            assert slot["entries"] >= 0 and slot["resident_bytes"] >= 0
+        assert doc["lifetime"]["counters"].get("cache_evictions", 0) == 0
+
+    def test_shuffle_stats_json_round_trip(self, capsys):
+        assert main(["--nodes", "4", "shuffle-stats", "--workload",
+                     "wordcount", "--lines", "200", "--iterations", "1",
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["workload"] == "wordcount" and doc["jobs"] == 1
+        assert all(isinstance(k, str) for k in doc["places"])
+        assert doc["traffic"]["remote_bytes"] >= 0
+        assert doc["skew"]["skew_ratio"] >= 1.0
+
+    def test_trace_matvec_stage_seconds_sum_to_total(self, tmp_path, capsys):
+        """Acceptance: the trace's per-stage seconds reconstruct each
+        job's EngineResult total (JobEnd mirrors it byte-exactly)."""
+        out = tmp_path / "trace.jsonl"
+        assert main(["--nodes", "4", "trace", "--workload", "matvec",
+                     "--rows", "160", "--iterations", "1",
+                     "--out", str(out), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert out.exists()
+        jobs = doc["jobs"]
+        assert len(jobs) == 4  # multiply + sum, on both engines
+        assert {j["engine"] for j in jobs} == {"hadoop", "m3r"}
+        for job in jobs:
+            assert job["succeeded"]
+            assert sum(s["seconds"] for s in job["stages"]) == pytest.approx(
+                job["seconds"], rel=1e-12
+            )
+            assert job["stages"][-1]["clock"] == job["seconds"]
+
+    def test_trace_text_renders_waterfall(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        assert main(["--engine", "m3r", "--nodes", "4", "trace",
+                     "--workload", "wordcount", "--lines", "100",
+                     "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "trace written to" in text
+        for stage in ("setup", "map", "shuffle", "reduce", "commit"):
+            assert stage in text
+
+    def test_trace_out_file_starts_fresh(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        out.write_text('{"event": "stale"}\n')
+        assert main(["--engine", "m3r", "--nodes", "2", "trace",
+                     "--workload", "wordcount", "--lines", "50",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert "stale" not in out.read_text()
 
     def test_pig_script(self, tmp_path, capsys):
         script = tmp_path / "s.pig"

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.api.conf import Configuration, JobConf
+from repro.api.conf import Configuration, JobConf, conf_bool
 from repro.api.counters import Counters, FileSystemCounter, JobCounter, TaskCounter
 from repro.api.mapred import IdentityMapper, IdentityReducer
 from repro.api.partitioner import HashPartitioner
@@ -67,6 +67,46 @@ class TestConfiguration:
         assert "k" in conf
         conf.unset("k")
         assert "k" not in conf
+
+
+class TestConfBool:
+    """The one canonical boolean-knob resolver: JobConf > env > default."""
+
+    KEY = "m3r.test.knob"
+    ENV = "M3R_TEST_KNOB"
+
+    def test_default_when_nothing_set(self, monkeypatch):
+        monkeypatch.delenv(self.ENV, raising=False)
+        assert conf_bool(JobConf(), self.KEY, self.ENV, default=True) is True
+        assert conf_bool(JobConf(), self.KEY, self.ENV, default=False) is False
+
+    def test_none_conf_falls_through_to_env(self, monkeypatch):
+        monkeypatch.setenv(self.ENV, "true")
+        assert conf_bool(None, self.KEY, self.ENV, default=False) is True
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv(self.ENV, "1")
+        assert conf_bool(JobConf(), self.KEY, self.ENV, default=False) is True
+        monkeypatch.setenv(self.ENV, "no")
+        assert conf_bool(JobConf(), self.KEY, self.ENV, default=True) is False
+
+    def test_conf_beats_env(self, monkeypatch):
+        monkeypatch.setenv(self.ENV, "true")
+        conf = JobConf()
+        conf.set_boolean(self.KEY, False)
+        assert conf_bool(conf, self.KEY, self.ENV, default=True) is False
+        monkeypatch.setenv(self.ENV, "false")
+        conf.set_boolean(self.KEY, True)
+        assert conf_bool(conf, self.KEY, self.ENV, default=False) is True
+
+    def test_blank_env_is_ignored(self, monkeypatch):
+        monkeypatch.setenv(self.ENV, "   ")
+        assert conf_bool(JobConf(), self.KEY, self.ENV, default=True) is True
+        assert conf_bool(JobConf(), self.KEY, self.ENV, default=False) is False
+
+    def test_no_env_name_means_no_env_lookup(self, monkeypatch):
+        monkeypatch.setenv(self.ENV, "true")
+        assert conf_bool(JobConf(), self.KEY, env=None, default=False) is False
 
 
 class TestJobConf:
