@@ -170,6 +170,17 @@ TRACE_PATH_KEY = "m3r.trace.path"
 TRACE_PATH_ENV = "M3R_TRACE_PATH"
 TRACE_RING_KEY = "m3r.trace.ring-size"
 
+# Cross-job result-reuse knobs (repro.restore): when ``m3r.restore.enabled``
+# is set (or the ``M3R_RESTORE`` environment variable, which is what the CI
+# restore row uses), each committed job's plan fingerprint is recorded in the
+# engine's ResultStore and consulted at admission — an exact rerun serves the
+# stored output with zero map/reduce tasks executed.  ``max-entries`` bounds
+# the store (LRU).  Reuse never changes a byte of output: a hit replays the
+# recorded result, anything else is a miss that runs the job normally.
+RESTORE_ENABLED_KEY = "m3r.restore.enabled"
+RESTORE_ENV = "M3R_RESTORE"
+RESTORE_MAX_ENTRIES_KEY = "m3r.restore.max-entries"
+
 #: String literals accepted as "true" by :func:`conf_bool` env parsing
 #: (mirrors ``repro.analysis.sanitizers._env_flag``, which cannot import
 #: this module — the sanitizers sit below the API layer).

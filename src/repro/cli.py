@@ -457,6 +457,114 @@ def cmd_shuffle_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_restore_stats(args: argparse.Namespace) -> int:
+    """Cross-job reuse admin view: run the same workload ``--runs`` times
+    on one M3R engine with ``m3r.restore.enabled`` on, then print per-run
+    seconds, the rerun speedup, and the result store's contents."""
+    from repro.api.conf import RESTORE_ENABLED_KEY
+    from repro.api.counters import JobCounter
+
+    cluster = Cluster(args.nodes)
+    fs = SimulatedHDFS(cluster, block_size=256 * 1024, replication=1)
+    engine = m3r_engine(filesystem=fs)
+
+    if args.workload == "wordcount":
+        from repro.apps.wordcount import generate_text, wordcount_job
+
+        engine.filesystem.write_text("/in.txt", generate_text(args.lines))
+
+        def run_once(tag: int):
+            conf = wordcount_job("/in.txt", f"/out-{tag}", args.nodes)
+            conf.set_boolean(RESTORE_ENABLED_KEY, True)
+            return [engine.run_job(conf)]
+    else:
+        from repro.apps import matvec
+
+        block = max(1, args.rows // 8)
+        num_row_blocks = (args.rows + block - 1) // block
+        g = matvec.generate_blocked_matrix(args.rows, block,
+                                           sparsity=args.sparsity)
+        v = matvec.generate_blocked_vector(args.rows, block)
+        matvec.write_partitioned(engine.filesystem, "/G", g, num_row_blocks,
+                                 args.nodes)
+        matvec.write_partitioned(engine.filesystem, "/V0", v, num_row_blocks,
+                                 args.nodes)
+
+        def run_once(tag: int):
+            sequence = matvec.iteration_jobs(
+                "/G", "/V0", f"/V1-{tag}", f"/scratch-{tag}", 0,
+                num_row_blocks, args.nodes,
+            )
+            for conf in sequence.confs:
+                conf.set_boolean(RESTORE_ENABLED_KEY, True)
+            return sequence.run_all(engine)
+
+    runs = []
+    for index in range(args.runs):
+        results = run_once(index)
+        for result in results:
+            if not result.succeeded:
+                print(f"  {result.job_name}: FAILED — {result.error}")
+                return 1
+        runs.append({
+            "seconds": sum(r.simulated_seconds for r in results),
+            "hits": sum(r.metrics.get("restore_hits") for r in results),
+            "misses": sum(r.metrics.get("restore_misses") for r in results),
+            "tasks": sum(
+                r.counters.value(JobCounter.TOTAL_LAUNCHED_MAPS)
+                + r.counters.value(JobCounter.TOTAL_LAUNCHED_REDUCES)
+                for r in results
+            ),
+            "served_bytes": sum(
+                r.metrics.get("restore_served_bytes") for r in results
+            ),
+        })
+
+    speedup = (
+        runs[0]["seconds"] / runs[1]["seconds"]
+        if len(runs) > 1 and runs[1]["seconds"] > 0
+        else None
+    )
+    stats = engine.restore.stats()
+    if args.format == "json":
+        doc = {
+            "workload": args.workload,
+            "nodes": args.nodes,
+            "runs": runs,
+            "speedup": speedup,
+            "store": stats,
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    print(f"restore-stats: {args.workload}, {args.runs} run(s), "
+          f"{args.nodes} places:")
+    print(f"  {'run':>3}  {'seconds':>10}  {'tasks':>6}  {'hits':>4}  "
+          f"{'misses':>6}  {'served B':>10}")
+    for index, run in enumerate(runs):
+        print(f"  {index:>3}  {run['seconds']:>10.4f}  {run['tasks']:>6}  "
+              f"{run['hits']:>4}  {run['misses']:>6}  "
+              f"{run['served_bytes']:>10,}")
+    if speedup is not None:
+        print(f"  rerun speedup: {speedup:.1f}x")
+    lifetime = stats["lifetime"]
+    print(
+        f"  store: {len(stats['entries'])}/{stats['max_entries']} entries"
+        f"  lineage={stats['lineage_entries']}"
+        f"  hits={lifetime.get('hits', 0)}"
+        f" misses={lifetime.get('misses', 0)}"
+        f" invalidations={lifetime.get('invalidations', 0)}"
+        f" bypasses={lifetime.get('bypasses', 0)}"
+        f" evicted={lifetime.get('evicted', 0)}"
+    )
+    for entry in stats["entries"]:
+        print(
+            f"    {entry['fingerprint'][:12]}…  {entry['job_name']}"
+            f"  → {entry['output_path']}  ({entry['parts']} part(s),"
+            f" {entry['nbytes']:,} B)"
+        )
+    return 0
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -627,6 +735,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--data-path", default="/data/input.txt",
                    help="cluster path for --data (default /data/input.txt)")
     p.set_defaults(func=cmd_pig)
+
+    p = sub.add_parser(
+        "restore-stats",
+        help="cross-job reuse admin view: run a workload repeatedly with "
+             "the result store on, show the rerun speedup and store "
+             "contents",
+    )
+    p.add_argument("--workload", choices=("wordcount", "matvec"),
+                   default="wordcount")
+    p.add_argument("--lines", type=int, default=2000,
+                   help="wordcount input size")
+    p.add_argument("--rows", type=int, default=400, help="matvec matrix rows")
+    p.add_argument("--sparsity", type=float, default=0.01)
+    p.add_argument("--runs", type=int, default=2)
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.set_defaults(func=cmd_restore_stats)
 
     p = sub.add_parser(
         "analyze",

@@ -70,6 +70,11 @@ class CacheEntry:
     spilled: bool = False
     spill: Optional[SpillRecord] = None
     pins: int = field(default=0, compare=False)
+    #: Monotonic admission stamp (per cache instance): re-registering a path
+    #: bumps it, so equality of versions means "the very same admission" —
+    #: the restore subsystem keys content validity on it.  Spill/rehydrate
+    #: do not change the version (the data is the same).
+    version: int = 0
 
     @property
     def records(self) -> int:
@@ -97,6 +102,8 @@ class KeyValueCache:
         # and rehydration run under the same lock, so an entry can never be
         # observed mid-demotion.
         self._lock = threading.RLock()
+        # Admission stamp source for CacheEntry.version (guarded by _lock).
+        self._version_counter = 0
 
     # -- writes ------------------------------------------------------------- #
 
@@ -172,9 +179,10 @@ class KeyValueCache:
                 MUTATION_SANITIZER.observe_pairs(
                     stored, site=f"KeyValueCache.put({name})"
                 )
+            self._version_counter += 1
             entry = CacheEntry(
                 name=name, path=path, place_id=place_id, pairs=stored,
-                nbytes=nbytes, durable=durable,
+                nbytes=nbytes, durable=durable, version=self._version_counter,
             )
             self._index[name] = entry
             self.governor.budget.charge(place_id, nbytes)

@@ -67,6 +67,7 @@ from repro.lifecycle.events import LifecycleEvent
 from repro.lifecycle.m3r_stages import M3RStageProvider
 from repro.lifecycle.pipeline import JobPipeline
 from repro.lifecycle.sinks import RingBufferSink, open_job_bus
+from repro.restore.store import ResultStore
 from repro.memory import MemoryBudget, MemoryGovernor, SpillManager, create_policy
 from repro.sim.cluster import Cluster
 from repro.sim.cost_model import CostModel
@@ -134,6 +135,11 @@ class M3REngine:
         #: Programmatic JSONL trace destination (the ``m3r.trace.path``
         #: JobConf key and ``M3R_TRACE_PATH`` env var also work).
         self.trace_path: Optional[str] = None
+        #: Cross-job result reuse (``m3r.restore.enabled``): fingerprint →
+        #: committed output, consulted at admission.  Stored results live
+        #: in the cache/filesystem — this is metadata the governor's
+        #: eviction can invalidate, never a second copy of the data.
+        self.restore = ResultStore()
         self._pipeline = JobPipeline(M3RStageProvider(self))
         self._job_counter = 0
         self._host_to_node = {n.hostname: n.node_id for n in cluster}

@@ -42,6 +42,7 @@ from repro.lifecycle.hadoop_stages import (
 )
 from repro.lifecycle.pipeline import JobPipeline
 from repro.lifecycle.sinks import RingBufferSink, open_job_bus
+from repro.restore.store import ResultStore
 from repro.sim.cluster import Cluster
 from repro.sim.cost_model import CostModel
 from repro.sim.metrics import Metrics
@@ -86,6 +87,9 @@ class HadoopEngine:
         #: Programmatic JSONL trace destination (the ``m3r.trace.path``
         #: JobConf key and ``M3R_TRACE_PATH`` env var also work).
         self.trace_path: Optional[str] = None
+        #: Cross-job result reuse (``m3r.restore.enabled``): fingerprint →
+        #: committed output, consulted at admission.
+        self.restore = ResultStore()
         self._pipeline = JobPipeline(HadoopStageProvider(self))
         self._job_counter = 0
         self._host_to_node = {n.hostname: n.node_id for n in cluster}

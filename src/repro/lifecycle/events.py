@@ -36,6 +36,7 @@ __all__ = [
     "TaskEnd",
     "CacheEvent",
     "SpillEvent",
+    "ReuseEvent",
     "JobEnd",
     "EventBus",
 ]
@@ -137,6 +138,27 @@ class SpillEvent(LifecycleEvent):
     place: int = 0
     nbytes: int = 0
     seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class ReuseEvent(LifecycleEvent):
+    """A cross-job result-reuse decision at job admission.
+
+    ``action`` is ``"hit"`` (the stored output is served, no tasks run),
+    ``"miss"`` (no stored result for this fingerprint), ``"invalidate"``
+    (a stored result existed but failed validation — it is discarded and
+    the job runs fresh), or ``"bypass"`` (the plan could not be
+    fingerprinted canonically, e.g. a closure with an unstable repr).
+    ``nbytes``/``records`` are only populated on a hit.
+    """
+
+    kind: ClassVar[str] = "reuse_event"
+
+    action: str = ""
+    fingerprint: Optional[str] = None
+    output_path: Optional[str] = None
+    nbytes: int = 0
+    records: int = 0
 
 
 @dataclass(frozen=True)

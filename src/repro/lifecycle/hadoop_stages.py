@@ -48,6 +48,7 @@ from repro.fs.instrumented import FsTally, InstrumentedFileSystem
 from repro.hadoop_engine.scheduler import SlotLanes, place_map_tasks, reduce_node_for
 from repro.lifecycle.pipeline import JobContext, StageFn, StageProvider
 from repro.lifecycle.subscriptions import SanitizerSubscription
+from repro.restore import admission as restore
 
 __all__ = [
     "HadoopStageProvider",
@@ -85,12 +86,22 @@ class HadoopStageProvider(StageProvider):
 
     def stages(self, ctx: JobContext) -> Iterable[Tuple[str, StageFn]]:
         st: Dict[str, Any] = {}
+        reuse = restore.restore_enabled(ctx.conf)
+        if reuse:
+            # Same shape as the M3R provider: the generator resumes after
+            # admission ran, so a hit swaps the stage list for one serve.
+            yield "admission", lambda: restore.admit(ctx, self.engine, st)
+            if st.get(restore.HIT_KEY) is not None:
+                yield "serve", lambda: restore.serve_hadoop(ctx, self.engine, st)
+                return
         yield "setup", lambda: self._setup(ctx, st)
         yield "plan_splits", lambda: self._plan_splits(ctx, st)
         yield "map", lambda: self._map_stage(ctx, st)
         if not ctx.spec.is_map_only:
             yield "reduce", lambda: self._reduce_stage(ctx, st)
         yield "commit", lambda: self._commit(ctx, st)
+        if reuse:
+            yield "restore-record", lambda: restore.record(ctx, self.engine, st)
 
     # ------------------------------------------------------------------ #
     # stages

@@ -53,6 +53,7 @@ from repro.lifecycle.subscriptions import (
     GovernorSubscription,
     SanitizerSubscription,
 )
+from repro.restore import admission as restore
 from repro.shuffle import ShuffleExecutor, ShuffleInput
 from repro.x10.runtime import ActivityError
 from repro.x10.serializer import FALLBACK_TALLY
@@ -80,6 +81,15 @@ class M3RStageProvider(StageProvider):
 
     def stages(self, ctx: JobContext) -> Iterable[Tuple[str, StageFn]]:
         st: Dict[str, Any] = {}
+        reuse = restore.restore_enabled(ctx.conf)
+        if reuse:
+            # Admission runs before any stage touches the filesystem; the
+            # generator resumes after the pipeline executed it, so a hit
+            # replaces the whole stage list with one serve stage.
+            yield "admission", lambda: restore.admit(ctx, self.engine, st)
+            if st.get(restore.HIT_KEY) is not None:
+                yield "serve", lambda: restore.serve_m3r(ctx, self.engine, st)
+                return
         yield "setup", lambda: self._setup(ctx, st)
         yield "plan_splits", lambda: self._plan_splits(ctx, st)
         yield "map", lambda: self._map_stage(ctx, st)
@@ -91,6 +101,8 @@ class M3RStageProvider(StageProvider):
             yield "commit", lambda: self._commit(ctx, st)
         yield "cache-admit", lambda: self._cache_admit(ctx)
         yield "teardown", lambda: self._teardown(ctx, st)
+        if reuse:
+            yield "restore-record", lambda: restore.record(ctx, self.engine, st)
 
     # ------------------------------------------------------------------ #
     # stages

@@ -26,6 +26,7 @@ from repro.lifecycle.events import (
     EventBus,
     JobEnd,
     LifecycleEvent,
+    ReuseEvent,
     SpillEvent,
     StageEnd,
     TaskEnd,
@@ -136,6 +137,8 @@ class MetricsBridgeSink:
             self.metrics.incr(f"cache_event[{event.action}]")
         elif isinstance(event, SpillEvent):
             self.metrics.incr(f"spill_event[{event.action}]")
+        elif isinstance(event, ReuseEvent):
+            self.metrics.incr(f"reuse_event[{event.action}]")
         elif isinstance(event, JobEnd):
             self.metrics.incr("jobs_succeeded" if event.succeeded else "jobs_failed")
 

@@ -1,0 +1,39 @@
+"""Cross-job result reuse (the ReStore idea, specialized to this engine).
+
+A long-lived engine serving repeated analyst queries — the paper's
+BigSheets scenario — re-submits the same jobs, and Jaql/Pig compile the
+same scripts to the same sub-job prefixes, over and over.  *ReStore:
+Reusing Results of MapReduce Jobs* (PAPERS.md) keys whole job outputs by
+a canonical plan fingerprint so an exact rerun is a lookup, not a job.
+
+This package provides exactly that:
+
+* :mod:`repro.restore.fingerprint` — the canonical plan hash over input
+  content versions, relevant ``JobConf`` keys and user-class identity;
+* :mod:`repro.restore.store` — the per-engine :class:`ResultStore`
+  mapping fingerprint → committed output location (plus output lineage
+  for compiled-pipeline prefix reuse);
+* :mod:`repro.restore.admission` — the admission / serve / record stage
+  bodies both engines' lifecycle providers yield when
+  ``m3r.restore.enabled`` is on.
+
+Reuse is an overlay on the existing machinery, not a second data path:
+stored results live wherever the job put them (the in-memory cache, the
+simulated HDFS, or both), so the memory governor's budget/pin/spill
+decisions apply to them unchanged — a hit that finds its data demoted
+simply pays the rehydration, and a hit whose data was dropped entirely
+turns into an invalidation plus a fresh run.
+"""
+
+from repro.restore.admission import restore_enabled
+from repro.restore.fingerprint import compute_fingerprint, content_version
+from repro.restore.store import ResultStore, StoredPart, StoredResult
+
+__all__ = [
+    "ResultStore",
+    "StoredPart",
+    "StoredResult",
+    "compute_fingerprint",
+    "content_version",
+    "restore_enabled",
+]

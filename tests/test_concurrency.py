@@ -25,107 +25,22 @@ from collections import Counter as PyCounter
 import numpy as np
 import pytest
 
-from repro.api.conf import (
-    REAL_THREADS_KEY,
-    SHUFFLE_REAL_THREADS_KEY,
-    JobConf,
-)
+from repro.api.conf import REAL_THREADS_KEY, SHUFFLE_REAL_THREADS_KEY
 from repro.api.counters import TaskCounter
-from repro.api.formats import SequenceFileOutputFormat, TextInputFormat
-from repro.api.mapred import Mapper
-from repro.api.writables import IntWritable, Text
 from repro.apps import matvec
-from repro.apps.wordcount import SumReducer, generate_text, wordcount_job
+from repro.apps.wordcount import generate_text, wordcount_job
 from repro.engine_common import JobFailedError
 
-from conftest import make_hadoop, make_m3r
-
-NUM_SPLITS = 64
-
-
-def write_corpus(fs, path: str, seed: int, parts: int = NUM_SPLITS,
-                 lines_per_part: int = 6) -> str:
-    """Write ``parts`` small text files under ``path``; returns the corpus."""
-    chunks = []
-    for part in range(parts):
-        text = generate_text(lines_per_part, seed=seed * 1000 + part)
-        fs.write_text(f"{path}/part-{part:05d}", text, at_node=None)
-        chunks.append(text)
-    return "\n".join(chunks)
-
-
-def snapshot(engine, out_dir: str = "/out"):
-    """Everything the determinism contract covers: committed output pairs,
-    per-file layout, all counter totals, and (for M3R) the cached blocks."""
-    per_file = {}
-    for status in engine.filesystem.list_status(out_dir):
-        per_file[status.path] = [
-            (repr(k), repr(v)) for k, v in engine.filesystem.read_kv_pairs(status.path)
-        ] if not status.path.endswith("_SUCCESS") else []
-    cached = None
-    if hasattr(engine, "cache"):
-        cached = sorted(
-            (e.name, e.path, e.place_id, e.nbytes,
-             sorted((repr(k), repr(v)) for k, v in e.pairs))
-            for e in engine.cache.entries()
-        )
-    return per_file, cached
-
-
-class WordStressMapper(Mapper):
-    """Word splitter with a per-record user counter (lost updates under
-    concurrent increments would show up as an inexact total)."""
-
-    def map(self, key, value, output, reporter):
-        reporter.incr_counter("stress", "records", 1)
-        for word in str(value).split():
-            reporter.incr_counter("stress", "words", 1)
-            output.collect(Text(word), IntWritable(1))
-
-
-def stress_job(input_path: str, output_path: str, reducers: int = 8) -> JobConf:
-    conf = JobConf()
-    conf.set_job_name("wordcount-stress")
-    conf.set_input_paths(input_path)
-    conf.set_output_path(output_path)
-    conf.set_input_format(TextInputFormat)
-    conf.set_output_format(SequenceFileOutputFormat)
-    conf.set_num_reduce_tasks(reducers)
-    conf.set_mapper_class(WordStressMapper)
-    conf.set_reducer_class(SumReducer)
-    conf.set_combiner_class(SumReducer)
-    return conf
-
-
-def run_stress(factory, seed: int, threaded: bool, parts: int = NUM_SPLITS,
-               engine_kwargs=None, conf_bools=None):
-    """One engine, one seeded corpus, one run; returns the full snapshot."""
-    engine = factory(**(engine_kwargs or {}))
-    try:
-        corpus = write_corpus(engine.filesystem, "/in", seed, parts=parts)
-        conf = stress_job("/in", "/out")
-        conf.set_boolean(REAL_THREADS_KEY, threaded)
-        for key, value in (conf_bools or {}).items():
-            conf.set_boolean(key, value)
-        result = engine.run_job(conf)
-        assert result.succeeded, result.error
-        per_file, cached = snapshot(engine)
-        counts = PyCounter()
-        for k, v in engine.filesystem.read_kv_pairs("/out"):
-            counts[str(k)] += v.get()
-        return {
-            "corpus": corpus,
-            "output": per_file,
-            "cached": cached,
-            "counts": counts,
-            "counters": result.counters.as_dict(),
-            "counters_obj": result.counters,
-            "metrics": result.metrics,
-            "seconds": result.simulated_seconds,
-        }
-    finally:
-        if hasattr(engine, "shutdown"):
-            engine.shutdown()
+from workloads import (
+    NodeLossMapper,
+    PoisonedMapper,
+    failing_job,
+    make_hadoop,
+    make_m3r,
+    poison_corpus,
+    run_stress,
+    stress_job,
+)
 
 
 class TestM3RStress:
@@ -304,47 +219,6 @@ class TestMatvecStress:
         # threaded vs serial: bit-identical floats, not just close
         assert np.array_equal(vectors[True], vectors[False])
         assert np.allclose(vectors[True], reference)
-
-
-class PoisonedMapper(Mapper):
-    """Raises mid-phase when it encounters the poisoned record."""
-
-    exception: type = ValueError
-
-    def map(self, key, value, output, reporter):
-        if "POISON" in str(value):
-            raise self.exception("injected task failure")
-        output.collect(Text(str(value)), IntWritable(1))
-
-
-class NodeLossMapper(PoisonedMapper):
-    exception = JobFailedError
-
-
-def poison_corpus(fs, seed: int, parts: int = NUM_SPLITS) -> int:
-    """64 part files, one of which (seeded-random) contains the poison."""
-    import random
-
-    victim = random.Random(seed).randrange(parts)
-    for part in range(parts):
-        text = generate_text(4, seed=seed * 77 + part)
-        if part == victim:
-            text += "\nPOISON\n"
-        fs.write_text(f"/in/part-{part:05d}", text)
-    return victim
-
-
-def failing_job(mapper_cls) -> JobConf:
-    conf = JobConf()
-    conf.set_job_name("fault-injection")
-    conf.set_input_paths("/in")
-    conf.set_output_path("/out")
-    conf.set_input_format(TextInputFormat)
-    conf.set_output_format(SequenceFileOutputFormat)
-    conf.set_num_reduce_tasks(4)
-    conf.set_mapper_class(mapper_cls)
-    conf.set_reducer_class(SumReducer)
-    return conf
 
 
 class TestFaultInjection:

@@ -9,7 +9,7 @@ hypothesis sweep over random datasets.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 
 import pytest
 from hypothesis import given, settings
@@ -25,25 +25,14 @@ from repro.apps.grep import grep_sequence
 from repro.apps.sortapp import is_sorted, read_globally_sorted, sample_and_build_job
 from repro.apps.wordcount import generate_text, wordcount_job
 
-from conftest import make_hadoop, make_m3r
-
-
-def run_both(build_job, datasets, reducers=4, jobs=1):
-    """Run the same job(s) on fresh engines; return both output dicts."""
-    outputs = {}
-    for kind, factory in (("hadoop", make_hadoop), ("m3r", make_m3r)):
-        engine = factory()
-        for path, pairs in datasets.items():
-            chunks = defaultdict(list)
-            for index, pair in enumerate(pairs):
-                chunks[index % 2].append(pair)
-            for part, chunk in chunks.items():
-                engine.filesystem.write_pairs(f"{path}/part-{part:05d}", chunk)
-        build_job(engine)
-        outputs[kind] = sorted(
-            (repr(k), repr(v)) for k, v in engine.filesystem.read_kv_pairs("/out")
-        )
-    return outputs
+from workloads import (
+    DATA,
+    histogram_job,
+    make_hadoop,
+    make_m3r,
+    run_both,
+    seeded_histogram_dataset,
+)
 
 
 class TestWordCountEquivalence:
@@ -86,9 +75,6 @@ class OldApiConcat(Reducer):
 class NewApiConcat(NewReducer):
     def reduce(self, key, values, context):
         context.write(key, Text("+".join(sorted(str(v) for v in values))))
-
-
-DATA = [(IntWritable(i % 7), Text(f"t{i % 3}")) for i in range(40)]
 
 
 class TestApiGenerations:
@@ -303,38 +289,13 @@ class TestPipelines:
         assert [k for k, _ in results["m3r"]] == sorted(k.get() for k, _ in pairs)
 
 
-class ToOneMapper(Mapper):
-    """(key, anything) → (key, 1); with SumValuesReducer this is a
-    combiner-safe key histogram."""
-
-    def map(self, key, value, output, reporter):
-        output.collect(key, IntWritable(1))
-
-
-class SumValuesReducer(Reducer):
-    def reduce(self, key, values, output, reporter):
-        output.collect(key, IntWritable(sum(v.get() for v in values)))
-
-
 @pytest.mark.parametrize("seed", range(20))
 def test_seeded_random_jobs_differential(seed):
     """Seeded-random differential sweep (both engines on real threads):
     random key skew, split count, reducer count and combiner choice — M3R's
     committed output must equal Hadoop's, pair for pair."""
-    import random
-
-    rng = random.Random(seed)
-    num_keys = rng.randint(1, 40)
-    num_pairs = rng.randint(1, 200)
-    num_parts = rng.randint(1, 8)
-    reducers = rng.randint(1, 6)
-    use_combiner = rng.random() < 0.5
-    skew = rng.choice([1.0, 2.0])  # uniform vs quadratically skewed keys
-    pairs = []
-    for i in range(num_pairs):
-        draw = rng.random() ** skew
-        key = int(draw * num_keys)
-        pairs.append((IntWritable(key), Text(f"v{i % 5}")))
+    pairs, params = seeded_histogram_dataset(seed)
+    num_parts = params["num_parts"]
     reference = Counter(k.get() for k, _ in pairs)
 
     outputs = {}
@@ -344,17 +305,11 @@ def test_seeded_random_jobs_differential(seed):
             engine.filesystem.write_pairs(
                 f"/in/part-{part:05d}", pairs[part::num_parts]
             )
-        conf = JobConf()
-        conf.set_job_name(f"differential-{seed}")
-        conf.set_input_paths("/in")
-        conf.set_input_format(SequenceFileInputFormat)
-        conf.set_mapper_class(ToOneMapper)
-        conf.set_reducer_class(SumValuesReducer)
-        if use_combiner:
-            conf.set_combiner_class(SumValuesReducer)
-        conf.set_output_format(SequenceFileOutputFormat)
-        conf.set_output_path("/out")
-        conf.set_num_reduce_tasks(reducers)
+        conf = histogram_job(
+            "/in", "/out", params["reducers"],
+            use_combiner=params["use_combiner"],
+            name=f"differential-{seed}",
+        )
         result = engine.run_job(conf)
         assert result.succeeded, result.error
         outputs[kind] = sorted(
