@@ -1,0 +1,192 @@
+"""Multi-tenant job service: throughput and per-tenant latency.
+
+N tenants share one always-on engine, each submitting J identical-plan
+wordcount jobs over a shared corpus (to its own output namespace).  The
+engine executes serially either way — what the service changes is the
+*order*, and with ReStore, *how many* submissions execute at all:
+
+* **serial** — the baseline an overnight batch queue gives each tenant:
+  tenant-major FIFO, so the last tenant waits for every earlier tenant's
+  whole batch;
+* **fair** — the service's weighted round-robin: the same jobs interleave
+  one-per-tenant, so every tenant's mean turnaround drops while the
+  total stays the same;
+* **fair+private-restore** — per-tenant result stores: each tenant's
+  first job executes, its remaining J-1 identical plans are served;
+* **fair+shared-restore** — the opt-in shared namespace: one execution
+  serves the whole service's N*J submissions.
+
+Latency is the simulated *turnaround* of a submission: the cumulative
+simulated seconds of everything that ran up to and including it (the
+engine is serial, so that is exactly when its results come back).  The
+per-tenant figure is the mean over the tenant's submissions; "worst" is
+the unluckiest tenant's mean.
+
+Checked: byte-identical outputs in every mode, fair scheduling improving
+the worst tenant's mean turnaround over serial, and the restore modes
+strictly increasing throughput (private < shared).
+
+Set ``BENCH_SMOKE=1`` to shrink the run for CI smoke jobs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from common import (
+    BENCH_NODES,
+    format_table,
+    fresh_engine,
+    publish,
+    scaled_cost_model,
+)
+from repro.api.conf import RESTORE_ENABLED_KEY
+from repro.apps.wordcount import generate_text, wordcount_job
+from repro.service import JobService
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+NUM_TENANTS = 3 if SMOKE else 4
+JOBS_PER_TENANT = 2 if SMOKE else 4
+CORPUS_LINES = 2000 if SMOKE else 8000
+
+
+def tenant_names():
+    return [f"t{i}" for i in range(NUM_TENANTS)]
+
+
+def make_job(tenant: str, index: int, restore: bool):
+    conf = wordcount_job("/corpus/in.txt", f"/out/{tenant}/run-{index}",
+                         BENCH_NODES)
+    if restore:
+        conf.set_boolean(RESTORE_ENABLED_KEY, True)
+    return conf
+
+
+def stage(engine) -> None:
+    engine.filesystem.write_text("/corpus/in.txt",
+                                 generate_text(CORPUS_LINES, 12))
+
+
+def outputs_view(engine):
+    """One tenant-keyed byte snapshot (every mode must produce this)."""
+    view = {}
+    for tenant in tenant_names():
+        for index in range(JOBS_PER_TENANT):
+            out = f"/out/{tenant}/run-{index}"
+            for status in engine.filesystem.list_files_recursive(out):
+                basename = status.path.rsplit("/", 1)[-1]
+                if basename.startswith(("_", ".")):
+                    continue
+                view[f"{tenant}/{index}/{basename}"] = repr(
+                    engine.filesystem.read_pairs(status.path))
+    return view
+
+
+def turnaround_stats(completions):
+    """completions: list of (tenant, finish_time) in run order."""
+    per_tenant = {}
+    for tenant, finished in completions:
+        per_tenant.setdefault(tenant, []).append(finished)
+    means = {t: sum(v) / len(v) for t, v in per_tenant.items()}
+    return means, max(means.values())
+
+
+def run_serial():
+    """Tenant-major FIFO on a bare engine: the batch-queue baseline."""
+    engine = fresh_engine("m3r", cost_model=scaled_cost_model())
+    stage(engine)
+    clock = 0.0
+    completions = []
+    for tenant in tenant_names():
+        for index in range(JOBS_PER_TENANT):
+            result = engine.run_job(make_job(tenant, index, restore=False))
+            assert result.succeeded, result.error
+            clock += result.simulated_seconds
+            completions.append((tenant, clock))
+    return clock, completions, outputs_view(engine)
+
+
+def run_service(restore: str):
+    """The same jobs through the service.  ``restore`` is ``"off"``,
+    ``"private"`` or ``"shared"``."""
+    engine = fresh_engine("m3r", cost_model=scaled_cost_model())
+    stage(engine)
+    service = JobService(engine)
+    clients = {
+        name: service.register_tenant(
+            name, prefixes=(f"/out/{name}",),
+            shared_restore=(restore == "shared"))
+        for name in tenant_names()
+    }
+    tickets = {}
+    for name, client in clients.items():
+        for index in range(JOBS_PER_TENANT):
+            ticket = client.submit(
+                make_job(name, index, restore=restore != "off"))
+            tickets[ticket] = name
+    service.drain()
+    clock = 0.0
+    completions = []
+    for tenant, ticket in service.schedule_log():
+        status = service.status(ticket)
+        assert status.state == "succeeded", (ticket, status.error)
+        clock += status.simulated_seconds
+        completions.append((tenant, clock))
+    return clock, completions, outputs_view(engine)
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_throughput_and_latency(benchmark, capfd):
+    data = {}
+
+    def run():
+        total_jobs = NUM_TENANTS * JOBS_PER_TENANT
+        rows = []
+        views = {}
+        worst = {}
+        totals = {}
+        for mode, runner in (
+            ("serial", run_serial),
+            ("fair", lambda: run_service("off")),
+            ("fair+private-restore", lambda: run_service("private")),
+            ("fair+shared-restore", lambda: run_service("shared")),
+        ):
+            total, completions, view = runner()
+            means, worst_mean = turnaround_stats(completions)
+            views[mode] = view
+            worst[mode] = worst_mean
+            totals[mode] = total
+            rows.append((
+                mode, NUM_TENANTS, total_jobs, total,
+                total_jobs / total, worst_mean,
+                max(means.values()) / min(means.values()),
+            ))
+        data.update(rows=rows, views=views, worst=worst, totals=totals)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    text = format_table(
+        f"Job service: {NUM_TENANTS} tenants x {JOBS_PER_TENANT} jobs on "
+        "one M3R engine",
+        ["mode", "tenants", "jobs", "total (s)", "jobs/s",
+         "worst tenant mean (s)", "tenant skew"],
+        data["rows"],
+    )
+    publish("service", text, capfd)
+
+    views, worst, totals = data["views"], data["worst"], data["totals"]
+    # Isolation invariant: every mode produces the same bytes.
+    assert views["serial"] == views["fair"]
+    assert views["serial"] == views["fair+private-restore"]
+    assert views["serial"] == views["fair+shared-restore"]
+    # Fairness: interleaving improves the unluckiest tenant's turnaround
+    # without costing total time (same jobs, same serial engine).
+    assert worst["fair"] < worst["serial"]
+    assert totals["fair"] <= totals["serial"] * 1.001
+    # Reuse: private stores serve within a tenant, the shared namespace
+    # serves across tenants — each strictly cheaper than the last.
+    assert totals["fair+private-restore"] < totals["fair"]
+    assert totals["fair+shared-restore"] < totals["fair+private-restore"]

@@ -181,6 +181,23 @@ RESTORE_ENABLED_KEY = "m3r.restore.enabled"
 RESTORE_ENV = "M3R_RESTORE"
 RESTORE_MAX_ENTRIES_KEY = "m3r.restore.max-entries"
 
+# Multi-tenant job-service knobs (repro.service): defaults for the
+# always-on server wrapping one long-lived engine.  ``queue-depth`` bounds
+# the total number of queued submissions across all tenants (admission
+# rejects beyond it — backpressure); ``in-flight-limit`` bounds one
+# tenant's queued+running submissions; ``tenant-weight`` is the default
+# fair-share weight of a newly registered tenant; ``tenant-budget-bytes``
+# is the default per-tenant cache residency budget (0 = unbounded); and
+# ``shared-restore`` makes new tenants publish/consume the service-wide
+# shared ReStore namespace instead of a private per-tenant store.  All are
+# read from the Configuration handed to ``JobService`` — per-tenant
+# ``register_tenant`` arguments override them.
+SERVICE_QUEUE_DEPTH_KEY = "m3r.service.queue-depth"
+SERVICE_IN_FLIGHT_KEY = "m3r.service.in-flight-limit"
+SERVICE_TENANT_WEIGHT_KEY = "m3r.service.tenant-weight"
+SERVICE_TENANT_BUDGET_KEY = "m3r.service.tenant-budget-bytes"
+SERVICE_SHARED_RESTORE_KEY = "m3r.service.shared-restore"
+
 #: String literals accepted as "true" by :func:`conf_bool` env parsing
 #: (mirrors ``repro.analysis.sanitizers._env_flag``, which cannot import
 #: this module — the sanitizers sit below the API layer).

@@ -565,6 +565,106 @@ def cmd_restore_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_demo(args: argparse.Namespace):
+    """Build one engine + a JobService and submit the demo workload:
+    ``--tenants`` tenants, each with its own /out/<tenant> namespace and
+    ``--jobs`` wordcount jobs over a shared corpus.  Returns the service
+    (queues loaded, nothing run yet) so the caller picks the drive mode."""
+    from repro.apps.wordcount import generate_text, wordcount_job
+    from repro.service import JobService
+
+    kind = "m3r" if args.engine == "both" else args.engine
+    cluster = Cluster(args.nodes)
+    fs = SimulatedHDFS(cluster, block_size=256 * 1024, replication=1)
+    engine = m3r_engine(filesystem=fs) if kind == "m3r" else hadoop_engine(
+        filesystem=fs
+    )
+    fs.write_text("/in.txt", generate_text(args.lines))
+
+    weights = [int(w) for w in args.weights.split(",")] if args.weights else []
+    service = JobService(engine)
+    clients = []
+    for i in range(args.tenants):
+        name = f"t{i}"
+        clients.append(
+            service.register_tenant(
+                name,
+                weight=weights[i] if i < len(weights) else 1,
+                prefixes=(f"/out/{name}",),
+            )
+        )
+    tickets = []
+    for job in range(args.jobs):
+        for client in clients:
+            tickets.append(
+                client.submit(
+                    wordcount_job("/in.txt", f"/out/{client.tenant}/run-{job}")
+                )
+            )
+    return service, tickets
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Always-on server demo: start the background worker, stream the
+    admission/scheduling narration as the queues drain, then summarize."""
+    service, tickets = _service_demo(args)
+    print(
+        f"serving {len(tickets)} submission(s) from {args.tenants} tenant(s) "
+        f"on one {service.service_stats()['engine']} engine:"
+    )
+    with service:
+        for ticket in tickets:
+            service.wait(ticket)
+    for event in service.events():
+        line = f"  [{event.action:>9}] {event.tenant:<6} {event.job_id}"
+        if event.detail:
+            line += f"  ({event.detail})"
+        print(line)
+    stats = service.service_stats()
+    print("per-tenant totals:")
+    for name, tstats in stats["tenants"].items():
+        print(
+            f"  {name:>6}: weight={tstats['weight']}"
+            f"  jobs={tstats['jobs_run']}"
+            f"  simulated={tstats['simulated_seconds']:.2f}s"
+        )
+    return 0
+
+
+def cmd_service_stats(args: argparse.Namespace) -> int:
+    """Deterministic admission/fairness accounting: load the demo queues,
+    drain them caller-driven (single thread, reproducible schedule) and
+    print the schedule plus the per-tenant isolation accounting."""
+    service, _ = _service_demo(args)
+    service.drain()
+    if args.format == "json":
+        stats = service.service_stats()
+        stats["schedule"] = service.schedule_log()
+        for name in list(stats["tenants"]):
+            stats["tenants"][name] = service.tenant_stats(name)
+        print(json.dumps(stats, indent=2, default=str))
+        return 0
+    stats = service.service_stats()
+    print(f"service over one {stats['engine']} engine "
+          f"(queue depth {stats['queue_depth']}):")
+    print("  schedule:", " ".join(t for t, _ in service.schedule_log()))
+    print(
+        f"  {'tenant':>8} {'weight':>6} {'jobs':>5} {'sim s':>9}"
+        f" {'cache B':>10} {'restore':>8}"
+    )
+    for name in sorted(stats["tenants"]):
+        tstats = service.tenant_stats(name)
+        cache = tstats.get("cache", {})
+        restore = tstats.get("restore", {})
+        print(
+            f"  {name:>8} {tstats['weight']:>6} {tstats['jobs_run']:>5}"
+            f" {tstats['simulated_seconds']:>9.2f}"
+            f" {cache.get('occupancy_bytes', 0):>10,}"
+            f" {len(restore.get('entries', ())):>8}"
+        )
+    return 0
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -751,6 +851,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=2)
     p.add_argument("--format", choices=("text", "json"), default="text")
     p.set_defaults(func=cmd_restore_stats)
+
+    p = sub.add_parser(
+        "serve",
+        help="multi-tenant job service demo: start the always-on worker, "
+             "stream admission/scheduling events while tenant queues drain",
+    )
+    p.add_argument("--tenants", type=int, default=3)
+    p.add_argument("--jobs", type=int, default=2,
+                   help="submissions per tenant")
+    p.add_argument("--lines", type=int, default=500,
+                   help="shared wordcount corpus size")
+    p.add_argument("--weights", default="",
+                   help="comma-separated fair-share weights, e.g. 2,1,1")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "service-stats",
+        help="deterministic service accounting: drain the demo tenant "
+             "queues caller-driven and print the fair schedule plus "
+             "per-tenant isolation stats",
+    )
+    p.add_argument("--tenants", type=int, default=3)
+    p.add_argument("--jobs", type=int, default=2,
+                   help="submissions per tenant")
+    p.add_argument("--lines", type=int, default=500,
+                   help="shared wordcount corpus size")
+    p.add_argument("--weights", default="",
+                   help="comma-separated fair-share weights, e.g. 2,1,1")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.set_defaults(func=cmd_service_stats)
 
     p = sub.add_parser(
         "analyze",

@@ -13,6 +13,14 @@ updates."  This module provides those three, engine-agnostically:
 * :class:`ProgressTracker` — asynchronous progress/counter updates: a
   polling view of a running submission that an interactive front-end (the
   paper's BigSheets) would refresh.
+
+Both trackers are fed by the typed lifecycle event bus (they subscribe to
+``engine.trace_sinks``), not by any private engine hook: the per-queue
+success/failure/seconds accounting and the phase-fraction progress view
+are derived from the same ``JobStart``/``StageEnd``/``JobEnd`` stream that
+traces, sanitizers and the job service read.  The multi-tenant successor
+to the queue manager is :class:`repro.service.JobService` — this module
+remains the single-tenant, Hadoop-shaped administrative surface.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.api.conf import JOB_END_NOTIFICATION_URL_KEY, JOB_QUEUE_NAME_KEY, JobConf
 from repro.engine_common import EngineResult
+from repro.lifecycle.events import JobEnd, JobStart, LifecycleEvent, StageEnd
 
 #: The default queue, as in stock Hadoop.
 DEFAULT_QUEUE = "default"
@@ -107,6 +116,38 @@ class JobQueueManager:
         self._queues: Dict[str, List[JobConf]] = {name: [] for name in names}
         self._stats: Dict[str, QueueStats] = {name: QueueStats() for name in names}
         self._lock = threading.Lock()
+        #: The queue whose job is currently on the engine — JobEnd events
+        #: arriving on the bus are accounted to it.
+        self._active_queue: Optional[str] = None
+        sinks = getattr(engine, "trace_sinks", None)
+        if sinks is not None:
+            sinks.append(self._on_event)
+
+    def detach(self) -> None:
+        """Unsubscribe from the engine's lifecycle stream."""
+        sinks = getattr(self.engine, "trace_sinks", None)
+        if sinks is not None and self._on_event in sinks:
+            sinks.remove(self._on_event)
+
+    def _on_event(self, event: LifecycleEvent) -> None:
+        """Lifecycle sink: per-queue accounting from JobEnd events.
+
+        ``JobEnd.seconds`` mirrors ``EngineResult.simulated_seconds``
+        exactly (0.0 on failure), so the bus-fed stats match what the old
+        result-inspecting drain computed.
+        """
+        if not isinstance(event, JobEnd):
+            return
+        with self._lock:
+            queue = self._active_queue
+            if queue is None:
+                return  # a job outside any drain (direct run_job)
+            stats = self._stats[queue]
+            if event.succeeded:
+                stats.succeeded += 1
+            else:
+                stats.failed += 1
+            stats.simulated_seconds += event.seconds
 
     @property
     def queue_names(self) -> List[str]:
@@ -133,22 +174,25 @@ class JobQueueManager:
             return self._stats[queue]
 
     def drain(self, queue: str = DEFAULT_QUEUE) -> List[EngineResult]:
-        """Run every queued job of one queue in FIFO order."""
+        """Run every queued job of one queue in FIFO order.
+
+        Accounting happens on the lifecycle bus (:meth:`_on_event` sees
+        each job's ``JobEnd``); drain only moves jobs from the queue to
+        the engine and delivers end notifications.
+        """
         results: List[EngineResult] = []
         while True:
             with self._lock:
                 if not self._queues[queue]:
                     break
                 conf = self._queues[queue].pop(0)
-            result = self.engine.run_job(conf)
+                self._active_queue = queue
+            try:
+                result = self.engine.run_job(conf)
+            finally:
+                with self._lock:
+                    self._active_queue = None
             results.append(result)
-            with self._lock:
-                stats = self._stats[queue]
-                if result.succeeded:
-                    stats.succeeded += 1
-                else:
-                    stats.failed += 1
-                stats.simulated_seconds += result.simulated_seconds
             if self.notifier is not None:
                 self.notifier.notify(conf, result)
         return results
@@ -167,19 +211,34 @@ class ProgressEvent:
     fraction: float
 
 
+#: Stage-completion → (phase, fraction) for the polling progress view.
+#: Bookkeeping stages (setup, commit) are not user-visible phases.
+_STAGE_PROGRESS: Dict[str, tuple] = {
+    "map": ("map", 0.5),
+    "shuffle": ("shuffle", 0.7),
+    "reduce": ("reduce", 0.9),
+}
+
+
 class ProgressTracker:
     """Asynchronous progress and counter updates for interactive clients.
 
-    Attach to an engine with :meth:`attach`; the engine reports phase
-    transitions through the standard ``progress_listener`` hook and clients
-    poll :meth:`snapshot` (or read :attr:`events`) without blocking the
-    job — the shape of Hadoop's ``JobClient.monitorAndPrintJob``.
+    Attach to an engine with :meth:`attach`: the tracker subscribes to the
+    engine's lifecycle stream (``trace_sinks``) and translates the typed
+    events into phase/fraction updates — ``JobStart`` is "submitted",
+    each task stage's ``StageEnd`` advances the fraction, a successful
+    ``JobEnd`` is "done".  Clients poll :meth:`snapshot` (or read
+    :attr:`events`) without blocking the job — the shape of Hadoop's
+    ``JobClient.monitorAndPrintJob``.  Direct calls
+    (``tracker(name, phase, fraction)``) still work for custom reporters.
     """
 
     def __init__(self) -> None:
         self.events: List[ProgressEvent] = []
         self._lock = threading.Lock()
         self._latest: Dict[str, ProgressEvent] = {}
+        #: Bus job id (``m3r-<n>``) → user-facing job name, from JobStart.
+        self._job_names: Dict[str, str] = {}
 
     def __call__(self, job_name: str, phase: str, fraction: float) -> None:
         event = ProgressEvent(job_name, phase, min(1.0, max(0.0, fraction)))
@@ -188,8 +247,30 @@ class ProgressTracker:
             self._latest[job_name] = event
 
     def attach(self, engine: Any) -> "ProgressTracker":
-        engine.progress_listener = self
+        engine.trace_sinks.append(self._on_event)
         return self
+
+    def detach(self, engine: Any) -> None:
+        if self._on_event in engine.trace_sinks:
+            engine.trace_sinks.remove(self._on_event)
+
+    def _on_event(self, event: LifecycleEvent) -> None:
+        """Lifecycle sink: translate bus events into progress updates."""
+        if isinstance(event, JobStart):
+            name = event.job_name or event.job_id
+            with self._lock:
+                self._job_names[event.job_id] = name
+            self(name, "submitted", 0.0)
+        elif isinstance(event, StageEnd) and event.stage in _STAGE_PROGRESS:
+            phase, fraction = _STAGE_PROGRESS[event.stage]
+            self(self._name_of(event.job_id), phase, fraction)
+        elif isinstance(event, JobEnd) and event.succeeded:
+            # Failed jobs never reach "done", matching Hadoop's monitor.
+            self(self._name_of(event.job_id), "done", 1.0)
+
+    def _name_of(self, job_id: str) -> str:
+        with self._lock:
+            return self._job_names.get(job_id, job_id)
 
     def snapshot(self, job_name: str) -> Optional[ProgressEvent]:
         with self._lock:

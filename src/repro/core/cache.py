@@ -186,8 +186,10 @@ class KeyValueCache:
             )
             self._index[name] = entry
             self.governor.budget.charge(place_id, nbytes)
+            self.governor.tenants.charge(path, nbytes)
             self.governor.policy.on_admit(name, nbytes)
             self._enforce(place_id)
+            self._enforce_tenants()
             return entry
 
     # -- memory governance --------------------------------------------------- #
@@ -220,6 +222,38 @@ class KeyValueCache:
             if not evicted:
                 break  # everything left is pinned; high-water records it
 
+    def _enforce_tenants(self) -> None:
+        """Evict each over-budget tenant's own unpinned resident entries
+        down to its low watermark.  Caller holds the lock.
+
+        Candidates are restricted to the over-budget tenant's namespace,
+        so one tenant's pressure can never touch another tenant's entries
+        — pinned or not — and the place-budget invariant (pins are always
+        exempt) carries over unchanged.
+        """
+        governor = self.governor
+        for tenant in governor.tenants.over_high_watermark():
+            while governor.tenants.eviction_target(tenant) > 0:
+                spill_active = governor.spill_active
+                candidates = [
+                    EvictionCandidate(entry.name, entry.place_id, entry.nbytes)
+                    for entry in self._index.values()  # noqa: M3R002 - insertion-ordered index, deterministic
+                    if not entry.spilled
+                    and governor.tenants.tenant_of(entry.path) == tenant
+                    and (spill_active or entry.durable)
+                    and not governor.is_pinned(entry.name, entry.path, entry.pins)
+                ]
+                victims = governor.plan_tenant_eviction(tenant, candidates)
+                evicted = 0
+                for name in victims:
+                    entry = self._index.get(name)
+                    if entry is None or entry.spilled:
+                        continue
+                    self._evict(entry)
+                    evicted += 1
+                if not evicted:
+                    break  # everything left is pinned; high-water records it
+
     def _evict(self, entry: CacheEntry) -> None:
         """Demote one resident entry: spill if available, else drop."""
         governor = self.governor
@@ -240,6 +274,7 @@ class KeyValueCache:
             del self._index[entry.name]
             governor.emit_cache("drop", entry.name, entry.place_id, entry.nbytes)
         governor.budget.release(entry.place_id, entry.nbytes)
+        governor.tenants.release(entry.path, entry.nbytes)
         governor.policy.on_remove(entry.name)
         governor.incr("cache_evictions")
         governor.emit_cache("evict", entry.name, entry.place_id, entry.nbytes)
@@ -255,6 +290,7 @@ class KeyValueCache:
         entry.spilled = False  # noqa: M3R001 - caller holds self._lock
         entry.spill = None  # noqa: M3R001 - caller holds self._lock
         governor.budget.charge(entry.place_id, entry.nbytes)
+        governor.tenants.charge(entry.path, entry.nbytes)
         governor.policy.on_admit(entry.name, entry.nbytes)
         governor.incr("cache_rehydrations")
         governor.charge_seconds("spill_read", seconds)
@@ -266,6 +302,7 @@ class KeyValueCache:
         entry.pins += 1  # noqa: M3R001 - caller holds self._lock
         try:
             self._enforce(entry.place_id)
+            self._enforce_tenants()
         finally:
             entry.pins -= 1  # noqa: M3R001 - caller holds self._lock
 
@@ -277,6 +314,7 @@ class KeyValueCache:
         else:
             self._store.delete(name)
             self.governor.budget.release(entry.place_id, entry.nbytes)
+            self.governor.tenants.release(entry.path, entry.nbytes)
         self.governor.policy.on_remove(name)
 
     def pin(self, name: str) -> bool:
@@ -307,6 +345,7 @@ class KeyValueCache:
             )
             for place_id in {e.place_id for e in self._index.values()}:  # noqa: M3R002 - deduped place ids, order-independent loop
                 self._enforce(place_id)
+            self._enforce_tenants()
 
     # -- lookups --------------------------------------------------------- #
 
@@ -441,6 +480,13 @@ class KeyValueCache:
             for old_name, new_name, entry in moves:
                 if not entry.spilled:
                     self._store.rename(old_name, new_name)
+                    # A rename can cross tenant namespaces (commit moves a
+                    # temp path into the tenant's output dir) — re-attribute
+                    # the resident bytes to the destination's owner.
+                    self.governor.tenants.release(entry.path, entry.nbytes)
+                    self.governor.tenants.charge(
+                        dst + entry.path[len(src):], entry.nbytes
+                    )
                 del self._index[old_name]
                 entry.name = new_name
                 entry.path = dst + entry.path[len(src):]
@@ -509,6 +555,7 @@ class KeyValueCache:
             "policy": governor.policy.name,
             "spill_enabled": governor.spill_active,
             "places": per_place,
+            "tenants": governor.tenants.snapshot(),
             "lifetime": lifetime,
         }
 

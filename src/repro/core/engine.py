@@ -124,9 +124,6 @@ class M3REngine:
         self.enable_partition_stability = enable_partition_stability
         #: Failure injection: any entry here makes every job fail (no resilience).
         self.fail_nodes: Set[int] = set()
-        #: Optional asynchronous progress hook: callable(job_name, phase,
-        #: fraction) — see repro.core.admin.ProgressTracker.
-        self.progress_listener = None
         #: The last N lifecycle events across all of this engine's jobs
         #: (``python -m repro trace`` renders these back).
         self.event_ring = RingBufferSink()
@@ -277,10 +274,6 @@ class M3REngine:
                     f"place {place_id} lost its node — M3R does not support "
                     "resilience; the engine instance is dead"
                 )
-
-    def _report_progress(self, job_name: str, phase: str, fraction: float) -> None:
-        if self.progress_listener is not None:
-            self.progress_listener(job_name, phase, fraction)
 
     # ------------------------------------------------------------------ #
     # split placement & cache identity

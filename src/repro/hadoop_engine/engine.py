@@ -77,9 +77,6 @@ class HadoopEngine:
         #: Nodes considered dead for failure-injection experiments; Hadoop
         #: reschedules their tasks (M3R, by design, cannot).
         self.fail_nodes: Set[int] = set()
-        #: Optional asynchronous progress hook: callable(job_name, phase,
-        #: fraction) — see repro.core.admin.ProgressTracker.
-        self.progress_listener = None
         #: The last N lifecycle events across all of this engine's jobs.
         self.event_ring = RingBufferSink()
         #: Extra lifecycle sinks subscribed on every job's bus.
@@ -127,12 +124,8 @@ class HadoopEngine:
         return results
 
     # ------------------------------------------------------------------ #
-    # failover & progress helpers (used by the stage provider)
+    # failover helpers (used by the stage provider)
     # ------------------------------------------------------------------ #
-
-    def _report_progress(self, job_name: str, phase: str, fraction: float) -> None:
-        if self.progress_listener is not None:
-            self.progress_listener(job_name, phase, fraction)
 
     def _reroute_failures(
         self, placements: List[int], metrics: Metrics

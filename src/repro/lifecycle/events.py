@@ -37,6 +37,7 @@ __all__ = [
     "CacheEvent",
     "SpillEvent",
     "ReuseEvent",
+    "ServiceEvent",
     "JobEnd",
     "EventBus",
 ]
@@ -159,6 +160,30 @@ class ReuseEvent(LifecycleEvent):
     output_path: Optional[str] = None
     nbytes: int = 0
     records: int = 0
+
+
+@dataclass(frozen=True)
+class ServiceEvent(LifecycleEvent):
+    """A multi-tenant job-service admission/scheduling decision.
+
+    ``action`` is ``"submitted"`` (a ticket entered a tenant queue),
+    ``"rejected"`` (backpressure: the service queue was full or the tenant
+    hit its in-flight limit — ``detail`` says which), ``"cancelled"`` (a
+    queued submission was withdrawn), ``"started"`` (the fair scheduler
+    dispatched the submission to the engine) or ``"finished"`` (the
+    submission completed; ``detail`` carries its terminal state).
+    ``job_id`` is the submission's ticket and ``engine`` is ``"service"``
+    — service events narrate decisions *between* jobs, so they carry the
+    admission identity rather than any one engine job id.  ``queued`` is
+    the service-wide queue depth after the action.
+    """
+
+    kind: ClassVar[str] = "service_event"
+
+    action: str = ""
+    tenant: str = ""
+    queued: int = 0
+    detail: Optional[str] = None
 
 
 @dataclass(frozen=True)

@@ -120,7 +120,6 @@ class HadoopStageProvider(StageProvider):
         # Submission: staging, split calculation, jobtracker RPCs.
         ctx.advance(model.hadoop_job_submit)
         ctx.metrics.time.charge("job_submit", model.hadoop_job_submit)
-        engine._report_progress(spec.name, "submitted", 0.0)
 
     def _plan_splits(self, ctx: JobContext, st: Dict[str, Any]) -> None:
         engine = self.engine
@@ -161,7 +160,6 @@ class HadoopStageProvider(StageProvider):
             map_outputs.append(buffers)
             map_nodes.append(placements[index])
         ctx.advance(map_lanes.makespan())
-        engine._report_progress(ctx.spec.name, "map", 0.5)
         for index, (duration, buffers) in enumerate(map_results):
             ctx.emit_task(
                 "map", index, placements[index], duration,
@@ -216,7 +214,6 @@ class HadoopStageProvider(StageProvider):
         st["committer"].commit_job(engine.filesystem, ctx.conf)
         ctx.advance(model.hadoop_job_cleanup)
         ctx.metrics.time.charge("job_submit", model.hadoop_job_cleanup)
-        engine._report_progress(ctx.spec.name, "done", 1.0)
 
     # ------------------------------------------------------------------ #
     # phase running

@@ -127,7 +127,6 @@ class M3RStageProvider(StageProvider):
 
         ctx.advance(model.m3r_job_submit)
         ctx.metrics.time.charge("job_submit", model.m3r_job_submit)
-        engine._report_progress(spec.name, "submitted", 0.0)
 
     def _plan_splits(self, ctx: JobContext, st: Dict[str, Any]) -> None:
         engine = self.engine
@@ -168,7 +167,6 @@ class M3RStageProvider(StageProvider):
             map_outputs.append(buffers)
             map_places.append(placements[index])
         ctx.advance(map_lanes.makespan())
-        engine._report_progress(ctx.spec.name, "map", 0.5)
         for index, (duration, buffers) in enumerate(map_results):
             ctx.emit_task(
                 "map", index, placements[index], duration,
@@ -186,7 +184,6 @@ class M3RStageProvider(StageProvider):
         ctx.metrics.time.charge("barrier", model.m3r_barrier)
         if not (st["job_is_temp"] and engine.enable_cache):
             st["committer"].commit_job(engine.filesystem.inner, ctx.conf)
-        engine._report_progress(ctx.spec.name, "done", 1.0)
 
     def _shuffle_stage(self, ctx: JobContext, st: Dict[str, Any]) -> None:
         engine = self.engine
@@ -198,7 +195,6 @@ class M3RStageProvider(StageProvider):
         )
         ctx.advance(shuffle_time + model.m3r_barrier)
         ctx.metrics.time.charge("barrier", model.m3r_barrier)
-        engine._report_progress(spec.name, "shuffle", 0.7)
         st["reduce_inputs"] = reduce_inputs  # noqa: M3R001 - driver-thread stage scratch
 
     def _reduce_stage(
@@ -238,7 +234,6 @@ class M3RStageProvider(StageProvider):
         engine = self.engine
         if not (st["job_is_temp"] and engine.enable_cache):
             st["committer"].commit_job(engine.filesystem.inner, ctx.conf)
-        engine._report_progress(ctx.spec.name, "done", 1.0)
 
     def _cache_admit(self, ctx: JobContext) -> None:
         # Spill/rehydration I/O charged by the governor during the job

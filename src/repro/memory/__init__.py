@@ -17,7 +17,7 @@ cooperating parts, all replaceable:
 what :class:`~repro.core.cache.KeyValueCache` talks to.
 """
 
-from repro.memory.budget import MemoryBudget
+from repro.memory.budget import MemoryBudget, TenantLedger
 from repro.memory.governor import MemoryGovernor
 from repro.memory.policy import (
     POLICIES,
@@ -32,6 +32,7 @@ from repro.memory.spill import SPILL_ROOT, SpillManager, SpillRecord
 
 __all__ = [
     "MemoryBudget",
+    "TenantLedger",
     "MemoryGovernor",
     "EvictionCandidate",
     "EvictionPolicy",

@@ -15,7 +15,7 @@ budget models each host's heap, not the cluster aggregate.  A capacity of
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 
 class MemoryBudget:
@@ -146,3 +146,134 @@ class MemoryBudget:
             f"MemoryBudget({cap}, high={self.high_watermark}, "
             f"low={self.low_watermark}, occupied={self.total_occupancy()}B)"
         )
+
+
+class TenantLedger:
+    """Per-tenant cache-residency accounting, keyed by path namespace.
+
+    Where :class:`MemoryBudget` models each host's heap, the ledger models
+    *who is using it*: a tenant is a named set of path prefixes with an
+    engine-wide byte budget.  Every resident cache byte whose path falls
+    under a registered prefix is charged to that tenant (longest prefix
+    wins), and crossing the high watermark makes the governor evict that
+    tenant's own unpinned entries down to the low watermark — one tenant's
+    pressure never selects another tenant's entries, and pinned entries are
+    always exempt (occupancy may exceed the budget when everything left is
+    pinned, exactly like the place budget).  A budget of ``0`` means the
+    tenant is tracked but unbounded.
+    """
+
+    def __init__(self, high_watermark: float = 0.9, low_watermark: float = 0.75):
+        self._lock = threading.Lock()
+        self.high_watermark = float(high_watermark)
+        self.low_watermark = float(low_watermark)
+        self._prefixes: Dict[str, tuple] = {}
+        self._capacity: Dict[str, int] = {}
+        self._occupancy: Dict[str, int] = {}
+        self._high_water: Dict[str, int] = {}
+
+    def register(self, name: str, prefixes, capacity_bytes: int = 0) -> None:
+        """Register (or re-register) ``name`` over ``prefixes``.
+
+        Occupancy restarts at zero — callers register tenants before any
+        of their data is admitted (the job service registers at tenant
+        creation, ahead of the first submission).
+        """
+        if capacity_bytes < 0:
+            raise ValueError(f"capacity cannot be negative: {capacity_bytes}")
+        cleaned = tuple(sorted({p.rstrip("/") or "/" for p in prefixes}))
+        if not cleaned:
+            raise ValueError(f"tenant {name!r} needs at least one path prefix")
+        with self._lock:
+            self._prefixes[name] = cleaned
+            self._capacity[name] = int(capacity_bytes)
+            self._occupancy.setdefault(name, 0)
+            self._high_water.setdefault(name, 0)
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            for table in (self._prefixes, self._capacity,
+                          self._occupancy, self._high_water):
+                table.pop(name, None)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._prefixes)
+
+    def tenant_of(self, path: str) -> Optional[str]:
+        """The tenant owning ``path`` (longest registered prefix wins)."""
+        with self._lock:
+            best: Optional[str] = None
+            best_len = -1
+            for name, prefixes in self._prefixes.items():
+                for prefix in prefixes:
+                    if path == prefix or path.startswith(prefix + "/"):
+                        if len(prefix) > best_len:
+                            best, best_len = name, len(prefix)
+            return best
+
+    # -- accounting -------------------------------------------------------- #
+
+    def charge(self, path: str, nbytes: int) -> None:
+        name = self.tenant_of(path)
+        if name is None:
+            return
+        with self._lock:
+            occupancy = self._occupancy.get(name, 0) + nbytes
+            self._occupancy[name] = occupancy
+            if occupancy > self._high_water.get(name, 0):
+                self._high_water[name] = occupancy
+
+    def release(self, path: str, nbytes: int) -> None:
+        name = self.tenant_of(path)
+        if name is None:
+            return
+        with self._lock:
+            self._occupancy[name] = max(0, self._occupancy.get(name, 0) - nbytes)
+
+    def occupancy(self, name: str) -> int:
+        with self._lock:
+            return self._occupancy.get(name, 0)
+
+    def high_water(self, name: str) -> int:
+        with self._lock:
+            return self._high_water.get(name, 0)
+
+    def capacity(self, name: str) -> int:
+        with self._lock:
+            return self._capacity.get(name, 0)
+
+    # -- watermark queries -------------------------------------------------- #
+
+    def over_high_watermark(self) -> List[str]:
+        """Tenants whose residency crossed their high watermark (sorted —
+        tenant-budget eviction must run in a deterministic order)."""
+        with self._lock:
+            return sorted(
+                name
+                for name, capacity in self._capacity.items()
+                if capacity > 0
+                and self._occupancy.get(name, 0) > self.high_watermark * capacity
+            )
+
+    def eviction_target(self, name: str) -> int:
+        """Bytes tenant ``name`` must free to reach its low watermark."""
+        with self._lock:
+            capacity = self._capacity.get(name, 0)
+            if capacity <= 0:
+                return 0
+            floor = int(self.low_watermark * capacity)
+            return max(0, self._occupancy.get(name, 0) - floor)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-tenant ``{prefixes, occupancy, high_water, capacity}``."""
+        with self._lock:
+            return {
+                name: {
+                    "prefixes": list(self._prefixes[name]),
+                    "occupancy_bytes": self._occupancy.get(name, 0),
+                    "high_water_bytes": self._high_water.get(name, 0),
+                    "capacity_bytes": self._capacity.get(name, 0),
+                }
+                for name in sorted(self._prefixes)
+            }

@@ -25,7 +25,7 @@ import threading
 from collections import Counter
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.memory.budget import MemoryBudget
+from repro.memory.budget import MemoryBudget, TenantLedger
 from repro.memory.policy import (
     EvictionCandidate,
     EvictionPolicy,
@@ -47,6 +47,9 @@ class MemoryGovernor:
         spill_enabled: bool = True,
     ):
         self.budget = budget if budget is not None else MemoryBudget.unbounded()
+        #: Per-tenant residency accounting (the multi-tenant job service
+        #: registers namespaces + budgets here; empty = no tenancy).
+        self.tenants = TenantLedger()
         self.policy = policy if policy is not None else LRUPolicy()
         self.spill = spill
         self.spill_enabled = spill_enabled
@@ -202,6 +205,18 @@ class MemoryGovernor:
         """Victim names for ``place_id`` (already filtered to unpinned,
         resident entries by the cache)."""
         target = self.budget.eviction_target(place_id)
+        if target <= 0 or not candidates:
+            return []
+        return self.policy.select_victims(candidates, target)
+
+    def plan_tenant_eviction(
+        self, tenant: str, candidates: Sequence[EvictionCandidate]
+    ) -> List[str]:
+        """Victim names to bring ``tenant`` back under its low watermark
+        (candidates already filtered to that tenant's unpinned, resident
+        entries by the cache).  Reuses the active replacement policy, so a
+        tenant under pressure sheds its own coldest entries first."""
+        target = self.tenants.eviction_target(tenant)
         if target <= 0 or not candidates:
             return []
         return self.policy.select_victims(candidates, target)

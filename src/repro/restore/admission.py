@@ -256,7 +256,6 @@ def _finish_serve(ctx: Any, engine: Any, st: Dict[str, Any],
     # compiled pipeline rerun reading it fingerprints its next stage
     # identically (transitive prefix reuse).
     _register_output_lineage(ctx, engine, st[FINGERPRINT_KEY])
-    engine._report_progress(ctx.spec.name, "done", 1.0)
 
 
 def record(ctx: Any, engine: Any, st: Dict[str, Any]) -> None:

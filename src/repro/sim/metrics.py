@@ -15,9 +15,10 @@ polling model, disk-based out-of-core shuffling, and JVM startup costs").
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import defaultdict
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 
 #: The canonical time categories engines charge against.
@@ -111,10 +112,18 @@ class TimeBreakdown:
 
     Charges are atomic: concurrent tasks all charge the same breakdown, and
     a float ``+=`` is a read-modify-write that would otherwise lose time.
+
+    Charges are also *order-independent*: tasks running on real threads
+    charge in whatever order the OS schedules them, and a running float
+    sum would round differently per interleaving (last-ulp drift that
+    breaks byte-identity checks on the metrics snapshot).  Each category
+    therefore keeps its addends and reduces with :func:`math.fsum`, whose
+    result is the correctly-rounded exact sum — the same float for every
+    arrival order.
     """
 
     def __init__(self) -> None:
-        self._seconds: Dict[str, float] = defaultdict(float)
+        self._parts: Dict[str, List[float]] = defaultdict(list)
         self._lock = threading.Lock()
 
     def charge(self, category: str, seconds: float) -> None:
@@ -122,12 +131,13 @@ class TimeBreakdown:
         if seconds < 0:
             raise ValueError(f"cannot charge negative time: {seconds}")
         with self._lock:
-            self._seconds[category] += seconds
+            self._parts[category].append(seconds)
 
     def get(self, category: str) -> float:
         """Seconds attributed so far to ``category`` (0.0 when never charged)."""
         with self._lock:
-            return self._seconds.get(category, 0.0)
+            parts = self._parts.get(category)
+            return math.fsum(parts) if parts else 0.0
 
     def total(self) -> float:
         """Sum over all categories.
@@ -136,23 +146,29 @@ class TimeBreakdown:
         engines report wall-clock separately and this total can exceed it.
         """
         with self._lock:
-            return sum(self._seconds.values())
+            return math.fsum(
+                seconds
+                for parts in self._parts.values()
+                for seconds in parts
+            )
 
     def merge(self, other: "TimeBreakdown") -> None:
         """Fold another breakdown into this one."""
         with other._lock:
-            snapshot = list(other._seconds.items())
+            snapshot = [(k, list(v)) for k, v in other._parts.items()]
         with self._lock:
-            for category, seconds in snapshot:
-                self._seconds[category] += seconds
+            for category, parts in snapshot:
+                self._parts[category].extend(parts)
 
     def as_dict(self) -> Dict[str, float]:
         """A plain dict snapshot (categories with zero time omitted)."""
         with self._lock:
-            return dict(self._seconds)
+            return {k: math.fsum(v) for k, v in self._parts.items()}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        parts = ", ".join(f"{k}={v:.3f}" for k, v in sorted(self._seconds.items()))
+        parts = ", ".join(
+            f"{k}={math.fsum(v):.3f}" for k, v in sorted(self._parts.items())
+        )
         return f"TimeBreakdown({parts})"
 
 

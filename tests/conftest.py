@@ -1,6 +1,15 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Set ``M3R_SERVICE=1`` to route every ``make_m3r``/``make_hadoop`` engine
+through a single-tenant :class:`repro.service.JobService` client: the
+whole suite then exercises service admission, fair scheduling and the
+wait/re-raise path, and must observe byte-identical behaviour (the
+service's determinism contract).
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -40,11 +49,21 @@ def m3r4():
     engine.shutdown()
 
 
+def _maybe_service(engine):
+    """Under M3R_SERVICE=1, hand back a service tenant client instead of
+    the bare engine (drop-in: unknown attributes delegate to the engine)."""
+    if os.environ.get("M3R_SERVICE") != "1":
+        return engine
+    from repro.service import JobService
+
+    return JobService(engine).register_tenant("suite")
+
+
 def make_hadoop(num_nodes: int = 4, **kwargs):
     fs = SimulatedHDFS(Cluster(num_nodes), block_size=64 * 1024, replication=2)
-    return hadoop_engine(filesystem=fs, **kwargs)
+    return _maybe_service(hadoop_engine(filesystem=fs, **kwargs))
 
 
 def make_m3r(num_nodes: int = 4, **kwargs):
     fs = SimulatedHDFS(Cluster(num_nodes), block_size=64 * 1024, replication=2)
-    return m3r_engine(filesystem=fs, **kwargs)
+    return _maybe_service(m3r_engine(filesystem=fs, **kwargs))
