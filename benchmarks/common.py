@@ -93,11 +93,23 @@ def format_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -
     return "\n".join(lines)
 
 
-def publish(name: str, text: str, capfd=None) -> None:
-    """Print a results table live and archive it under benchmarks/results/."""
+def publish(name: str, text: str, capfd=None, data=None) -> None:
+    """Print a results table live and archive it under benchmarks/results/.
+
+    ``data`` (any JSON-serializable object) is additionally archived as
+    ``BENCH_<name>.json`` so downstream tooling can read the series without
+    re-parsing the aligned text tables.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
         handle.write(text + "\n")
+    if data is not None:
+        import json
+
+        path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+        with open(path, "w") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     if capfd is not None:
         with capfd.disabled():
             print("\n" + text)

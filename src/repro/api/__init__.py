@@ -90,6 +90,12 @@ from repro.api.multiple_io import (
 )
 from repro.api.distcache import DistributedCache
 from repro.api.job import JobSpec, JobSequence
+from repro.api.vectorized import (
+    AssociativeReducer,
+    VectorizedMapper,
+    is_associative_reducer,
+    is_vectorized,
+)
 
 __all__ = [
     # writables
@@ -169,6 +175,11 @@ __all__ = [
     "TaggedInputSplit",
     "DelegatingInputFormat",
     "DelegatingMapper",
+    # batched execution (DESIGN.md §14)
+    "AssociativeReducer",
+    "VectorizedMapper",
+    "is_associative_reducer",
+    "is_vectorized",
     # misc
     "DistributedCache",
     "JobSpec",

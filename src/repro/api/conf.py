@@ -198,6 +198,29 @@ SERVICE_TENANT_WEIGHT_KEY = "m3r.service.tenant-weight"
 SERVICE_TENANT_BUDGET_KEY = "m3r.service.tenant-budget-bytes"
 SERVICE_SHARED_RESTORE_KEY = "m3r.service.shared-restore"
 
+# Batched record-path knobs (repro.engine_common, DESIGN.md §14): when
+# ``m3r.batch.enabled`` is set (or the ``M3R_BATCH`` environment variable,
+# which is what the CI batched row uses), map tasks pull records from their
+# splits in ``m3r.batch.size``-record batches and the collectors publish
+# system counters once per task instead of once per record — same totals,
+# far less per-record dispatch.  ``m3r.imc.enabled`` (env ``M3R_IMC``)
+# additionally layers automatic in-mapper combining over the batched path
+# for jobs whose combiner is a known-associative reducer (the
+# ``AssociativeReducer`` marker or the conservative allowlist in
+# ``repro.api.vectorized``): the map side folds duplicate keys into a
+# bounded hash aggregate (``m3r.imc.max-entries`` live keys, spill-to-emit
+# on overflow) so shuffle volume shrinks *before* serialization
+# measurement and transport.  Both paths are byte-identical to the
+# per-record path — same outputs, counters and simulated seconds.
+BATCH_ENABLED_KEY = "m3r.batch.enabled"
+BATCH_ENV = "M3R_BATCH"
+BATCH_SIZE_KEY = "m3r.batch.size"
+DEFAULT_BATCH_SIZE = 256
+IMC_ENABLED_KEY = "m3r.imc.enabled"
+IMC_ENV = "M3R_IMC"
+IMC_MAX_ENTRIES_KEY = "m3r.imc.max-entries"
+DEFAULT_IMC_MAX_ENTRIES = 4096
+
 #: String literals accepted as "true" by :func:`conf_bool` env parsing
 #: (mirrors ``repro.analysis.sanitizers._env_flag``, which cannot import
 #: this module — the sanitizers sit below the API layer).

@@ -41,7 +41,9 @@ from repro.api.mapred import (
     OutputCollector,
     Reducer,
     Reporter,
+    _reuse_into,
 )
+from repro.api.vectorized import is_vectorized, pack_batch
 from repro.api.mapreduce import (
     NEW_COMBINER_CLASS_KEY,
     NEW_MAPPER_CLASS_KEY,
@@ -158,6 +160,29 @@ class JobSpec:
             return IdentityMapper
         return self.mapper_class
 
+    def uses_natural_ordering(self) -> bool:
+        """No custom sort or grouping comparator (DESIGN.md §14).
+
+        In-mapper combining groups keys with a hash table, so it is only
+        byte-identical to sort-then-combine when dict equality and the
+        comparators agree — guaranteed for the natural ordering, not for
+        arbitrary user comparators.
+        """
+        return self.sort_cmp is _natural_compare and self.group_cmp is _natural_compare
+
+    def supports_batched_map(self, split: InputSplit) -> bool:
+        """Can the batched driver run this split's mapper faithfully?
+
+        Custom MapRunnables own their own read loop and new-API mappers run
+        through a context; both fall back to the per-record driver.
+        """
+        mapper_class = self.resolve_mapper_class(split)
+        if mapper_class is DelegatingMapper:
+            return False
+        if _uses_new_api(mapper_class):
+            return False
+        return self.map_runner_class is None
+
     # ------------------------------------------------------------------ #
     # immutability (paper Section 4.1)
     # ------------------------------------------------------------------ #
@@ -227,6 +252,71 @@ class JobSpec:
             runner = DefaultMapRunnable(mapper)
         try:
             runner.run(reader, collector, reporter)
+        finally:
+            mapper.close()
+
+    def run_map_task_batched(
+        self,
+        split: InputSplit,
+        reader: Any,
+        collector: OutputCollector,
+        reporter: Reporter,
+        task_conf: Optional[JobConf] = None,
+        fresh_runner: bool = False,
+    ) -> None:
+        """Batched counterpart of :meth:`run_map_task` (DESIGN.md §14).
+
+        ``reader`` must expose ``next_batch() -> list[(k, v)] | None``
+        (see :class:`repro.engine_common.BatchingReader`).  Record order,
+        object-reuse semantics and emissions are identical to the
+        per-record driver; only the read/dispatch granularity changes.
+        Unsupported shapes (custom MapRunnable, new-API mapper) fall back
+        to :meth:`run_map_task` driven through the same reader.
+        """
+        if not self.supports_batched_map(split):
+            self.run_map_task(split, reader, collector, reporter, task_conf, fresh_runner)
+            return
+        conf = task_conf if task_conf is not None else JobConf(self.conf)
+        mapper_class = self.resolve_mapper_class(split)
+        mapper = mapper_class()
+        mapper.configure(conf)
+        next_batch = reader.next_batch
+        try:
+            if is_vectorized(mapper_class):
+                as_arrays = bool(getattr(mapper_class, "batch_arrays", False))
+                map_batch = mapper.map_batch
+                while True:
+                    batch = next_batch()
+                    if batch is None:
+                        break
+                    keys, values = pack_batch(
+                        [pair[0] for pair in batch],
+                        [pair[1] for pair in batch],
+                        as_arrays,
+                    )
+                    map_batch(keys, values, collector, reporter)
+            elif fresh_runner:
+                map_fn = mapper.map
+                while True:
+                    batch = next_batch()
+                    if batch is None:
+                        break
+                    for key, value in batch:
+                        map_fn(key, value, collector, reporter)
+            else:
+                # Hadoop's stock object-reuse loop, batched: same
+                # _reuse_into dance per record as DefaultMapRunnable.
+                map_fn = mapper.map
+                reused_key: Any = None
+                reused_value: Any = None
+                while True:
+                    batch = next_batch()
+                    if batch is None:
+                        break
+                    for key, value in batch:
+                        reused_key = _reuse_into(reused_key, key)
+                        reused_value = _reuse_into(reused_value, value)
+                        map_fn(reused_key, reused_value, collector, reporter)
         finally:
             mapper.close()
 

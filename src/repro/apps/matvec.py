@@ -34,6 +34,7 @@ from repro.api.formats import SequenceFileInputFormat, SequenceFileOutputFormat
 from repro.api.job import JobSequence
 from repro.api.mapred import Mapper, OutputCollector, Reducer, Reporter
 from repro.api.multiple_io import MultipleInputs
+from repro.api.vectorized import VectorizedMapper
 from repro.api.partitioner import Partitioner
 from repro.api.writables import (
     BlockIndexWritable,
@@ -65,8 +66,10 @@ class RowChunkPartitioner(Partitioner):
         return min(num_partitions - 1, max(0, chunk))
 
 
-class GPassMapper(Mapper, ImmutableOutput):
+class GPassMapper(Mapper, ImmutableOutput, VectorizedMapper):
     """Job 1, matrix side: pass every ``G`` block through unchanged."""
+
+    batch_arrays = True
 
     def map(
         self,
@@ -76,6 +79,11 @@ class GPassMapper(Mapper, ImmutableOutput):
         reporter: Reporter,
     ) -> None:
         output.collect(key, value)
+
+    def map_batch(self, keys, values, output, reporter) -> None:
+        collect = output.collect
+        for i in range(len(keys)):
+            collect(keys[i], values[i])
 
 
 class VBroadcastMapper(Mapper, ImmutableOutput):
@@ -129,9 +137,11 @@ class MultiplyReducer(Reducer, ImmutableOutput):
         output.collect(key.clone(), VectorBlockWritable(partial))
 
 
-class PartialKeyMapper(Mapper, ImmutableOutput):
+class PartialKeyMapper(Mapper, ImmutableOutput, VectorizedMapper):
     """Job 2 mapper: rewrite ``(i, j)`` to ``(i, 0)`` so one reduce call sees
     every partial sum of block-row i."""
+
+    batch_arrays = True
 
     def map(
         self,
@@ -141,6 +151,12 @@ class PartialKeyMapper(Mapper, ImmutableOutput):
         reporter: Reporter,
     ) -> None:
         output.collect(BlockIndexWritable(key.row, 0), value)
+
+    def map_batch(self, keys, values, output, reporter) -> None:
+        collect = output.collect
+        make_key = BlockIndexWritable
+        for i in range(len(keys)):
+            collect(make_key(keys[i].row, 0), values[i])
 
 
 class SumReducer(Reducer, ImmutableOutput):

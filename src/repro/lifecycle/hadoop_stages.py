@@ -37,10 +37,15 @@ from repro.api.mapred import Reporter
 from repro.api.multiple_io import TASK_FS_KEY, TASK_PARTITION_KEY
 from repro.api.splits import InputSplit
 from repro.engine_common import (
+    BatchingReader,
     CollectorSink,
     CountingReader,
+    InMapperCombineSink,
     PartitionBuffer,
     WriterCollector,
+    batch_size_for,
+    imc_armed,
+    imc_max_entries_for,
     run_combiner_if_any,
     run_tasks_threaded,
 )
@@ -268,28 +273,65 @@ class HadoopStageProvider(StageProvider):
         task_conf.set(TASK_PARTITION_KEY, task_index)
         reporter = Reporter(counters)
 
-        reader = CountingReader(
-            spec.input_format.get_record_reader(task_fs, split, task_conf, reporter),
-            counters,
+        batch_size = batch_size_for(conf)
+        use_batched = batch_size > 0 and spec.supports_batched_map(split)
+        use_imc = use_batched and imc_armed(spec, conf)
+
+        raw_reader = spec.input_format.get_record_reader(
+            task_fs, split, task_conf, reporter
+        )
+        reader: Any = (
+            BatchingReader(raw_reader, counters, batch_size)
+            if use_batched
+            else CountingReader(raw_reader, counters)
         )
 
+        def run_user_code(sink: Any) -> None:
+            if use_batched:
+                spec.run_map_task_batched(split, reader, sink, reporter, task_conf)
+                metrics.incr("batch_batches", reader.batches)
+                metrics.incr("batch_records", reader.records)
+            else:
+                spec.run_map_task(split, reader, sink, reporter, task_conf)
+
+        collector: Any = None
         if spec.is_map_only:
             writer = spec.output_format.get_record_writer(
                 task_fs, task_conf, FileOutputFormat.part_name(task_index), reporter
             )
-            sink = WriterCollector(writer, counters, record_policy="serialize")
-            spec.run_map_task(split, reader, sink, reporter, task_conf)
+            sink = WriterCollector(
+                writer, counters, record_policy="serialize",
+                deferred_counters=use_batched,
+            )
+            run_user_code(sink)
+            if use_batched:
+                sink.flush_counters()
             writer.close()
             buffers: List[PartitionBuffer] = []
             out_bytes, out_records = sink.bytes, sink.records
+        elif use_imc:
+            collector = InMapperCombineSink(
+                spec,
+                num_partitions=spec.num_reducers,
+                counters=counters,
+                record_policy="serialize",
+                max_entries=imc_max_entries_for(conf),
+                task_conf=task_conf,
+            )
+            run_user_code(collector)
+            buffers = []  # produced by collector.finish() after the charges
+            out_bytes, out_records = collector.bytes, collector.records
         else:
             collector = CollectorSink(
                 num_partitions=spec.num_reducers,
                 partitioner=spec.partitioner,
                 counters=counters,
                 record_policy="serialize",
+                deferred_counters=use_batched,
             )
-            spec.run_map_task(split, reader, collector, reporter, task_conf)
+            run_user_code(collector)
+            if use_batched:
+                collector.flush_counters()
             buffers = collector.partitions
             out_bytes, out_records = collector.bytes, collector.records
 
@@ -335,7 +377,22 @@ class HadoopStageProvider(StageProvider):
             return duration, buffers
 
         # Combiner runs over the sorted in-memory buffer, per spill set.
-        if spec.combiner_class is not None:
+        if use_imc:
+            # Same charge the buffer-sort-combine path pays, from the same
+            # pre-combine totals; only the wall-clock mechanism differs
+            # (DESIGN.md §14).
+            sort_time = model.sort_time(collector.records, collector.bytes)
+            metrics.time.charge("sort", sort_time)
+            duration += sort_time
+            buffers = collector.finish()
+            compute = reporter.consume_compute_seconds()
+            metrics.time.charge("map_compute", compute)
+            duration += compute
+            metrics.incr("imc_input_records", collector.records)
+            metrics.incr("imc_output_records", collector.output_records)
+            metrics.incr("imc_folded_records", collector.imc_folds)
+            metrics.incr("imc_spills", collector.imc_spills)
+        elif spec.combiner_class is not None:
             pre_records = sum(len(b.pairs) for b in buffers)
             pre_bytes = sum(b.bytes for b in buffers)
             sort_time = model.sort_time(pre_records, pre_bytes)
@@ -394,6 +451,11 @@ class HadoopStageProvider(StageProvider):
         run_lists: List[List[Tuple[Any, Any]]] = []
         total_bytes = 0
         total_records = 0
+        disk_read_time = model.disk_read_time
+        disk_write_time = model.disk_write_time
+        net_transfer_time = model.net_transfer_time
+        incr = metrics.incr
+        charge = metrics.time.charge
         for map_index, buffers in enumerate(map_outputs):
             buffer = buffers[partition]
             if not buffer.pairs:
@@ -401,14 +463,14 @@ class HadoopStageProvider(StageProvider):
             run_lists.append(buffer.pairs)
             total_bytes += buffer.bytes
             total_records += len(buffer.pairs)
-            fetch = model.disk_read_time(buffer.bytes, seeks=1)
+            fetch = disk_read_time(buffer.bytes, seeks=1)
             if map_nodes[map_index] != node:
-                fetch += model.net_transfer_time(buffer.bytes)
-                metrics.incr("shuffle_remote_bytes", buffer.bytes)
+                fetch += net_transfer_time(buffer.bytes)
+                incr("shuffle_remote_bytes", buffer.bytes)
             else:
-                metrics.incr("shuffle_local_bytes", buffer.bytes)
-            fetch += model.disk_write_time(buffer.bytes, seeks=1)
-            metrics.time.charge("network", fetch)
+                incr("shuffle_local_bytes", buffer.bytes)
+            fetch += disk_write_time(buffer.bytes, seeks=1)
+            charge("network", fetch)
             duration += fetch
         counters.increment(TaskCounter.REDUCE_SHUFFLE_BYTES, total_bytes)
 
@@ -452,8 +514,13 @@ class HadoopStageProvider(StageProvider):
         writer = spec.output_format.get_record_writer(
             task_fs, task_conf, FileOutputFormat.part_name(partition), reporter
         )
-        sink = WriterCollector(writer, counters, record_policy="serialize")
+        deferred = batch_size_for(conf) > 0
+        sink = WriterCollector(
+            writer, counters, record_policy="serialize", deferred_counters=deferred
+        )
         spec.run_reduce_task(groups, sink, reporter, task_conf)
+        if deferred:
+            sink.flush_counters()
         writer.close()
 
         compute = reporter.consume_compute_seconds()

@@ -39,11 +39,16 @@ from repro.api.mapred import Reporter
 from repro.api.multiple_io import TASK_FS_KEY, TASK_PARTITION_KEY
 from repro.api.splits import InputSplit
 from repro.engine_common import (
+    BatchingReader,
     CollectorSink,
     CountingReader,
+    InMapperCombineSink,
     MaterializedReader,
     PartitionBuffer,
+    batch_size_for,
     bounded_task_fn,
+    imc_armed,
+    imc_max_entries_for,
     run_combiner_if_any,
 )
 from repro.fs.instrumented import FsTally, InstrumentedFileSystem
@@ -344,6 +349,15 @@ class M3RStageProvider(StageProvider):
         mapper_class = spec.resolve_mapper_class(split)
         mapper_immutable = is_immutable_output(mapper_class)
 
+        batch_size = batch_size_for(conf)
+        use_batched = batch_size > 0 and spec.supports_batched_map(split)
+        use_imc = use_batched and imc_armed(spec, conf)
+
+        def make_reader(inner: Any) -> Any:
+            if use_batched:
+                return BatchingReader(inner, counters, batch_size)
+            return CountingReader(inner, counters)
+
         # --- input: cache, or filesystem + cache insert ------------------- #
         entry = engine._cache_lookup(split, pin=True)
         if entry is not None:
@@ -371,8 +385,8 @@ class M3RStageProvider(StageProvider):
                 metrics.time.charge("clone", feed)
                 metrics.incr("cloned_records", len(pairs))
             duration += feed
-            reader = CountingReader(
-                MaterializedReader(pairs, clone=not mapper_immutable), counters
+            reader = make_reader(
+                MaterializedReader(pairs, clone=not mapper_immutable)
             )
         else:
             metrics.incr("cache_misses")
@@ -393,13 +407,13 @@ class M3RStageProvider(StageProvider):
                     metrics.time.charge("clone", feed)
                     metrics.incr("cloned_records", len(pairs))
                 duration += feed
-                reader = CountingReader(
-                    MaterializedReader(pairs, clone=not mapper_immutable), counters
+                reader = make_reader(
+                    MaterializedReader(pairs, clone=not mapper_immutable)
                 )
             else:
                 # Unknown split type (or cache disabled): stream straight
                 # through without caching.
-                reader = CountingReader(raw_reader, counters)
+                reader = make_reader(raw_reader)
             read_time = model.disk_read_time(
                 tally.bytes_read, seeks=max(1, tally.read_ops)
             )
@@ -412,27 +426,46 @@ class M3RStageProvider(StageProvider):
                 metrics.incr("remote_map_reads")
 
         # --- run the user code ------------------------------------------- #
+        policy = (
+            "alias" if spec.map_output_immutable(split, fresh_runner=True) else "clone"
+        )
         if spec.is_map_only:
             collector = CollectorSink(
                 num_partitions=1,
                 partitioner=None,
                 counters=counters,
-                record_policy="alias"
-                if spec.map_output_immutable(split, fresh_runner=True)
-                else "clone",
+                record_policy=policy,
+                deferred_counters=use_batched,
+            )
+        elif use_imc:
+            collector = InMapperCombineSink(
+                spec,
+                num_partitions=spec.num_reducers,
+                counters=counters,
+                record_policy=policy,
+                max_entries=imc_max_entries_for(conf),
+                task_conf=task_conf,
             )
         else:
             collector = CollectorSink(
                 num_partitions=spec.num_reducers,
                 partitioner=spec.partitioner,
                 counters=counters,
-                record_policy="alias"
-                if spec.map_output_immutable(split, fresh_runner=True)
-                else "clone",
+                record_policy=policy,
+                deferred_counters=use_batched,
             )
-        spec.run_map_task(
-            split, reader, collector, reporter, task_conf, fresh_runner=True
-        )
+        if use_batched:
+            spec.run_map_task_batched(
+                split, reader, collector, reporter, task_conf, fresh_runner=True
+            )
+            metrics.incr("batch_batches", reader.batches)
+            metrics.incr("batch_records", reader.records)
+            if not use_imc:
+                collector.flush_counters()
+        else:
+            spec.run_map_task(
+                split, reader, collector, reporter, task_conf, fresh_runner=True
+            )
 
         # Deserialization is paid only when records actually came off the
         # filesystem; cache hits skip it entirely (the paper's point).
@@ -474,6 +507,24 @@ class M3RStageProvider(StageProvider):
             )
             return duration, []
 
+        if use_imc:
+            # The hash aggregate replaced buffer-sort-combine, but the
+            # simulated cost of the avoided sort is still charged from the
+            # same pre-combine totals — identical simulated seconds, the
+            # win is wall-clock only (DESIGN.md §14).
+            sort_time = model.sort_time(collector.records, collector.bytes)
+            metrics.time.charge("sort", sort_time)
+            duration += sort_time
+            buffers = collector.finish()
+            compute = reporter.consume_compute_seconds()
+            metrics.time.charge("map_compute", compute)
+            duration += compute
+            metrics.incr("imc_input_records", collector.records)
+            metrics.incr("imc_output_records", collector.output_records)
+            metrics.incr("imc_folded_records", collector.imc_folds)
+            metrics.incr("imc_spills", collector.imc_spills)
+            return duration, buffers
+
         buffers = collector.partitions
         if spec.combiner_class is not None:
             pre_records = sum(len(b.pairs) for b in buffers)
@@ -481,9 +532,6 @@ class M3RStageProvider(StageProvider):
             sort_time = model.sort_time(pre_records, pre_bytes)
             metrics.time.charge("sort", sort_time)
             duration += sort_time
-            policy = (
-                "alias" if spec.map_output_immutable(split, fresh_runner=True) else "clone"
-            )
             buffers = [
                 run_combiner_if_any(spec, buffer, counters, reporter, policy)
                 for buffer in buffers
@@ -600,14 +648,18 @@ class M3RStageProvider(StageProvider):
         counters.increment(TaskCounter.REDUCE_INPUT_RECORDS, records)
 
         policy = "alias" if spec.reduce_output_immutable() else "clone"
+        deferred = batch_size_for(conf) > 0
         sink = CollectorSink(
             num_partitions=1,
             partitioner=None,
             counters=counters,
             record_policy=policy,
             output_counter=TaskCounter.REDUCE_OUTPUT_RECORDS,
+            deferred_counters=deferred,
         )
         spec.run_reduce_task(groups, sink, reporter, task_conf)
+        if deferred:
+            sink.flush_counters()
 
         compute = reporter.consume_compute_seconds()
         metrics.time.charge("reduce_compute", compute)
@@ -672,8 +724,9 @@ class M3RStageProvider(StageProvider):
                 task_conf.get(TASK_FS_KEY), task_conf,
                 FileOutputFormat.part_name(partition), reporter,
             )
+            write = writer.write
             for key, value in pairs:
-                writer.write(key, value)
+                write(key, value)
             writer.close()
             ser = model.serialize_time(nbytes, len(pairs))
             metrics.time.charge("serialize", ser)

@@ -299,6 +299,7 @@ def test_seeded_random_jobs_differential(seed):
     reference = Counter(k.get() for k, _ in pairs)
 
     outputs = {}
+    combines = {}
     for kind, factory in (("hadoop", make_hadoop), ("m3r", make_m3r)):
         engine = factory()
         for part in range(num_parts):
@@ -315,10 +316,31 @@ def test_seeded_random_jobs_differential(seed):
         outputs[kind] = sorted(
             (k.get(), v.get()) for k, v in engine.filesystem.read_kv_pairs("/out")
         )
+        combines[kind] = {
+            name: value
+            for name, value in result.counters.as_dict()
+            .get("org.apache.hadoop.mapreduce.TaskCounter", {})
+            .items()
+            if name.startswith("COMBINE_")
+        }
         if hasattr(engine, "shutdown"):
             engine.shutdown()
     assert outputs["hadoop"] == outputs["m3r"]
     assert dict(outputs["m3r"]) == dict(reference)
+    # Hadoop counter-name parity for the combiner: both engines must agree
+    # on COMBINE_INPUT_RECORDS / COMBINE_OUTPUT_RECORDS (and on their
+    # absence when the job has no combiner or it never ran).
+    assert combines["hadoop"] == combines["m3r"]
+    if params["use_combiner"] and combines["m3r"]:
+        assert set(combines["m3r"]) == {
+            "COMBINE_INPUT_RECORDS", "COMBINE_OUTPUT_RECORDS"
+        }
+        assert (
+            combines["m3r"]["COMBINE_INPUT_RECORDS"]
+            >= combines["m3r"]["COMBINE_OUTPUT_RECORDS"]
+        )
+    else:
+        assert not params["use_combiner"] or combines["m3r"]
 
 
 @given(

@@ -22,6 +22,7 @@ from repro.api.formats import (
     TextInputFormat,
 )
 from repro.api.mapred import Mapper, Reducer
+from repro.api.vectorized import AssociativeReducer
 from repro.api.writables import IntWritable, Text
 from repro.apps import matvec
 from repro.apps.grep import grep_sequence
@@ -128,7 +129,10 @@ class ToOneMapper(Mapper):
         output.collect(key, IntWritable(1))
 
 
-class SumValuesReducer(Reducer):
+class SumValuesReducer(Reducer, AssociativeReducer):
+    """Integer sum — marked associative, so the IMC suites exercise the
+    opt-in marker path (the stock SumReducers exercise the allowlist)."""
+
     def reduce(self, key, values, output, reporter):
         output.collect(key, IntWritable(sum(v.get() for v in values)))
 
