@@ -1,11 +1,18 @@
 """Static lint + runtime sanitizers for the engine's concurrency contracts.
 
-Two halves:
+Three parts:
 
-* ``python -m repro analyze`` — an AST lint (M3R001..M3R005) over the
+* ``python -m repro analyze`` — an AST lint (M3R001..M3R010) over the
   source tree enforcing the async-mutation, determinism, ImmutableOutput,
-  exception-reporting, and import-surface contracts (see
-  :mod:`repro.analysis.rules`);
+  exception-reporting, import-surface, place-portability, ReStore
+  fingerprintability, float-determinism, associativity-claim, and
+  knob-registry contracts (see :mod:`repro.analysis.rules`), backed by
+  the interprocedural capture/taint summaries of
+  :mod:`repro.analysis.dataflow` and the portability inventory of
+  :mod:`repro.analysis.portability`;
+* the :mod:`repro.analysis.knobs` ``KnobRegistry`` — the single source
+  of truth for every ``m3r.*`` configuration key (``repro.api.conf`` and
+  the README knob table derive from it);
 * runtime sanitizers (:mod:`repro.analysis.sanitizers`) behind the
   ``m3r.sanitize.mutation`` / ``m3r.sanitize.lock-order`` knobs, wired
   into the serializer, cache, and lock table.
@@ -20,9 +27,12 @@ from repro.analysis.baseline import (
     write_baseline,
 )
 from repro.analysis.callgraph import CallGraph, FunctionInfo, build_call_graph
+from repro.analysis.dataflow import Dataflow, analyze_dataflow
+from repro.analysis.knobs import REGISTRY, Knob, KnobRegistry, render_markdown_table
 from repro.analysis.linter import Analyzer, Module, Project, load_project
+from repro.analysis.portability import portability_inventory
 from repro.analysis.report import findings_to_document, render_json, render_text
-from repro.analysis.rules import Finding, Rule, default_rules
+from repro.analysis.rules import Finding, Rule, default_rules, rule_by_id
 from repro.analysis.sanitizers import (
     LOCK_ORDER_SANITIZER,
     MUTATION_SANITIZER,
@@ -37,8 +47,12 @@ __all__ = [
     "Analyzer",
     "CallGraph",
     "DEFAULT_BASELINE_PATH",
+    "Dataflow",
     "Finding",
     "FunctionInfo",
+    "Knob",
+    "KnobRegistry",
+    "REGISTRY",
     "ImmutableViolation",
     "LOCK_ORDER_SANITIZER",
     "LockOrderSanitizer",
@@ -48,6 +62,7 @@ __all__ = [
     "MutationSanitizer",
     "Project",
     "Rule",
+    "analyze_dataflow",
     "build_call_graph",
     "default_rules",
     "diff_baseline",
@@ -56,8 +71,11 @@ __all__ = [
     "load_project",
     "new_findings",
     "orphaned_fingerprints",
+    "portability_inventory",
     "render_json",
+    "render_markdown_table",
     "render_text",
+    "rule_by_id",
     "sanitizer_overrides",
     "write_baseline",
 ]

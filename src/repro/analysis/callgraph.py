@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 __all__ = [
     "SPAWN_APIS",
@@ -65,6 +65,16 @@ class CallSite:
     #: Arguments that are (syntactically) parameters of the enclosing
     #: function — used for the spawn-forwarder fixpoint.
     param_args: List[str] = field(default_factory=list)
+    #: Structured view for the dataflow layer: the bare Name id of each
+    #: positional argument (``None`` for anything more complex) ...
+    pos_args: List[Optional[str]] = field(default_factory=list)
+    #: ... and of each keyword argument, keyed by keyword.
+    kw_args: Dict[str, Optional[str]] = field(default_factory=dict)
+    #: ``obj.method(...)`` rather than ``fn(...)`` — the dataflow layer
+    #: offsets positional→parameter alignment past ``self``/``cls``.
+    is_attribute_call: bool = False
+    #: The call expression itself (line/col for findings).
+    node: Optional[ast.Call] = None
 
 
 @dataclass
@@ -153,12 +163,23 @@ class _FunctionCollector(ast.NodeVisitor):
             if not callee:
                 continue
             info.callees.add(callee)
-            site = CallSite(callee=callee)
+            site = CallSite(
+                callee=callee,
+                is_attribute_call=isinstance(child.func, ast.Attribute),
+                node=child,
+            )
             for arg in list(child.args) + [kw.value for kw in child.keywords]:
                 names = _function_arg_names(arg)
                 site.arg_names.extend(names)
                 if isinstance(arg, ast.Name) and arg.id in param_set:
                     site.param_args.append(arg.id)
+            for arg in child.args:
+                site.pos_args.append(arg.id if isinstance(arg, ast.Name) else None)
+            for kw in child.keywords:
+                if kw.arg is not None:
+                    site.kw_args[kw.arg] = (
+                        kw.value.id if isinstance(kw.value, ast.Name) else None
+                    )
             info.call_sites.append(site)
         for child in ast.walk(node):
             if child is node or not isinstance(

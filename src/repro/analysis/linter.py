@@ -24,7 +24,17 @@ from repro.analysis.rules import Finding, Rule, default_rules
 
 __all__ = ["Module", "Project", "Analyzer", "load_project"]
 
-_NOQA = re.compile(r"#\s*noqa(?!\w)(?::\s*(?P<codes>[A-Z0-9,\s]+))?", re.IGNORECASE)
+# A rule id is letters followed by digits (M3R001, E501, ...).  The codes
+# group must match *id tokens* specifically, not "any uppercase-ish text":
+# the old pattern ``[A-Z0-9,\s]+`` under IGNORECASE swallowed trailing
+# prose ("# noqa: M3R001,M3R004 and why"), so the second id parsed as
+# "M3R004 AND WHY" and its suppression silently failed.
+_NOQA_CODE = r"[A-Za-z][A-Za-z0-9]*[0-9]"
+_NOQA = re.compile(
+    rf"#\s*noqa(?!\w)"
+    rf"(?P<colon>:\s*(?P<codes>{_NOQA_CODE}(?:\s*,\s*{_NOQA_CODE})*)?)?",
+    re.IGNORECASE,
+)
 
 
 @dataclass
@@ -46,6 +56,17 @@ class Project:
         self.call_graph: CallGraph = build_call_graph(
             [(m.relpath, m.tree) for m in modules]
         )
+        self._dataflow = None
+
+    @property
+    def dataflow(self):
+        """The interprocedural capture/taint summaries, built on first use
+        (only the dataflow-backed rules and the portability report pay)."""
+        if self._dataflow is None:
+            from repro.analysis.dataflow import analyze_dataflow
+
+            self._dataflow = analyze_dataflow(self.call_graph)
+        return self._dataflow
 
     def module_for(self, relpath: str) -> Optional[Module]:
         for module in self.modules:
@@ -101,13 +122,17 @@ def load_project(roots: Sequence[Path]) -> Project:
 
 def _suppressed_codes(line: str) -> Optional[List[str]]:
     """``None`` if the line has no noqa; ``[]`` for a bare ``# noqa``;
-    otherwise the listed rule ids."""
+    otherwise the listed rule ids.  ``# noqa:`` with a colon but nothing
+    that parses as a rule id suppresses *nothing* (flake8 semantics) —
+    it is returned as an impossible code rather than a bare noqa."""
     match = _NOQA.search(line)
     if match is None:
         return None
+    if match.group("colon") is None:
+        return []
     codes = match.group("codes")
     if not codes:
-        return []
+        return ["<invalid>"]
     return [code.strip().upper() for code in codes.split(",") if code.strip()]
 
 

@@ -13,9 +13,17 @@ from typing import Dict, List
 
 from repro.analysis.rules import Finding
 
-__all__ = ["render_text", "render_json", "findings_to_document"]
+__all__ = [
+    "render_text",
+    "render_json",
+    "findings_to_document",
+    "REPORT_SCHEMA_VERSION",
+]
 
-REPORT_VERSION = 1
+#: Version of the JSON document shape CI consumes.  History:
+#: 1 — the original ``version`` field with counts + findings;
+#: 2 — renamed to ``schema_version``, rule catalog grown to M3R010.
+REPORT_SCHEMA_VERSION = 2
 
 
 def render_text(findings: List[Finding]) -> str:
@@ -42,7 +50,7 @@ def findings_to_document(findings: List[Finding]) -> Dict:
     for finding in findings:
         counts[finding.rule] = counts.get(finding.rule, 0) + 1
     return {
-        "version": REPORT_VERSION,
+        "schema_version": REPORT_SCHEMA_VERSION,
         "counts": {
             "total": len(findings),
             "active": sum(1 for f in findings if not f.suppressed),

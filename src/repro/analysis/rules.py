@@ -15,7 +15,24 @@ M3R004    a bare ``except``/``except Exception`` that swallows the error
           (no re-raise, never reads the bound exception)
 M3R005    a package ``__init__.py`` without an ``__all__`` export list
           (the import-surface ground truth)
+M3R006    a closure capturing fatally unpicklable state (lock, file
+          handle, lambda, local class...) crossing a spawn/serialize
+          boundary — the process-based-places portability blocker
+M3R007    a lambda / function-local callable registered on a JobSpec
+          (ReStore sees it only as a silent fingerprint bypass)
+M3R008    order-sensitive ``+=`` float accumulation into shared state on
+          an async-reachable path (use the addend-list + ``math.fsum``
+          pattern the TimeBreakdown fix established)
+M3R009    an ``AssociativeReducer``/allowlist associativity claim whose
+          ``reduce`` mutates inputs, keeps cross-call state, or branches
+          on arrival order
+M3R010    an ``m3r.*`` knob string literal outside the KnobRegistry
+          (misspelled knobs silently no-op)
 ========  ==============================================================
+
+M3R006/M3R007 consume the interprocedural capture summaries of
+:mod:`repro.analysis.dataflow` (``project.dataflow``); the rest stay
+single-pass over the AST + call graph.
 
 Findings are suppressed line-by-line with ``# noqa: M3Rxxx`` (see
 :mod:`repro.analysis.linter`).  Thread-safe state is recognised
@@ -48,7 +65,13 @@ __all__ = [
     "ImmutableOutputWriteRule",
     "SwallowedExceptionRule",
     "ImportSurfaceRule",
+    "UnpicklableCaptureRule",
+    "LocalCallableRegistrationRule",
+    "FloatAccumulationOrderRule",
+    "AssociativityClaimRule",
+    "KnobLiteralRule",
     "default_rules",
+    "rule_by_id",
 ]
 
 
@@ -76,10 +99,18 @@ class Finding:
 
 
 class Rule:
-    """Base class: rules are stateless and check the whole project."""
+    """Base class: rules are stateless and check the whole project.
+
+    ``rationale``/``example``/``fix`` back ``analyze --explain M3R00x``:
+    why the rule exists, a minimal violating snippet, and the idiomatic
+    repair.
+    """
 
     id: str = ""
     summary: str = ""
+    rationale: str = ""
+    example: str = ""
+    fix: str = ""
 
     def check(self, project: "Project") -> List[Finding]:
         raise NotImplementedError
@@ -123,6 +154,16 @@ class AsyncParamMutationRule(Rule):
     id = "M3R001"
     summary = (
         "parameter mutated inside an async-reachable function without a lock"
+    )
+    rationale = (
+        "Functions reachable from async/finish bodies run on X10 worker "
+        "threads; mutating a caller-supplied object there without a lock "
+        "is a data race against every other task sharing it."
+    )
+    example = "def task(shared):  # spawned via async_at\n    shared.append(x)"
+    fix = (
+        "Hold the owning lock (`with self._lock:`), or give each task "
+        "private state and merge on the driver thread."
     )
 
     def check(self, project: "Project") -> List[Finding]:
@@ -206,6 +247,13 @@ class UnorderedIterationRule(Rule):
 
     id = "M3R002"
     summary = "set/dict.values() iteration on a shuffle-ordering path"
+    rationale = (
+        "Shuffle-plan construction and replay must be deterministic: "
+        "iterating a set (or dict.values() of unordered insertions) "
+        "there makes plan order depend on hash seeds."
+    )
+    example = "def build_plan(parts):\n    for p in set(parts): ..."
+    fix = "Wrap the iterable in sorted(...) with an explicit key."
 
     def check(self, project: "Project") -> List[Finding]:
         graph = project.call_graph
@@ -295,6 +343,16 @@ class ImmutableOutputWriteRule(Rule):
 
     id = "M3R003"
     summary = "attribute write on an ImmutableOutput class outside builders"
+    rationale = (
+        "ImmutableOutput licenses the engine to alias emitted objects "
+        "instead of cloning; a post-construction attribute write breaks "
+        "every aliased copy downstream."
+    )
+    example = "class W(ImmutableOutput):\n    def map(self, ...):\n        self.buf = []"
+    fix = (
+        "Confine writes to __init__/configure/builder methods, or drop "
+        "the ImmutableOutput marker."
+    )
 
     def check(self, project: "Project") -> List[Finding]:
         registered = self._registered_classes(project)
@@ -379,6 +437,16 @@ class SwallowedExceptionRule(Rule):
 
     id = "M3R004"
     summary = "bare except Exception that swallows the error"
+    rationale = (
+        "A worker-thread exception that is caught broadly and never "
+        "reported turns a task failure into silent data loss — the "
+        "engine's wait/re-raise path can only surface what it sees."
+    )
+    example = "try: task()\nexcept Exception:\n    pass"
+    fix = (
+        "Narrow the exception type, or bind it (`except Exception as "
+        "exc:`) and report/re-raise."
+    )
 
     _BROAD = frozenset({"Exception", "BaseException"})
 
@@ -452,6 +520,13 @@ class ImportSurfaceRule(Rule):
 
     id = "M3R005"
     summary = "package __init__.py without __all__"
+    rationale = (
+        "__all__ is the package's declared import surface; without it, "
+        "internal helpers leak into `from pkg import *` and refactors "
+        "silently break downstream imports."
+    )
+    example = "# repro/foo/__init__.py\nfrom repro.foo.impl import helper"
+    fix = "Declare __all__ = [...] listing the public names."
 
     def check(self, project: "Project") -> List[Finding]:
         findings: List[Finding] = []
@@ -493,6 +568,543 @@ class ImportSurfaceRule(Rule):
         return False
 
 
+class UnpicklableCaptureRule(Rule):
+    """M3R006: fatally unpicklable capture crossing a spawn/serialize
+    boundary (the dataflow layer's headline consumer)."""
+
+    id = "M3R006"
+    summary = "unpicklable capture reaches a spawn/serialize boundary"
+    rationale = (
+        "On the threaded backend a task-body closure may freely capture "
+        "locks, file handles or other closures — everything shares one "
+        "address space.  Process-based places (the ROADMAP item) must "
+        "pickle whatever crosses async_at/serialize, and these captures "
+        "are exactly what cannot be pickled.  The rule inventories the "
+        "portability debt before the backend exists."
+    )
+    example = (
+        "lock = threading.Lock()\n"
+        "def task(i):\n"
+        "    with lock: ...\n"
+        "finish_collect(task)  # task captures `lock`"
+    )
+    fix = (
+        "Keep unpicklable state out of the closure: pass indexes/paths "
+        "and re-acquire resources inside the task, or hoist shared state "
+        "into the place-local store keyed by place id."
+    )
+
+    def check(self, project: "Project") -> List[Finding]:
+        dataflow = project.dataflow
+        boundaries = dataflow.boundary_names()
+        findings: List[Finding] = []
+        seen: Set[tuple] = set()
+        for fn in project.call_graph.functions:
+            summary = dataflow.summary(fn)
+            if not summary.closures:
+                continue
+            for site in fn.call_sites:
+                if site.callee not in boundaries:
+                    continue
+                for closure in self._closure_args(summary, site):
+                    for capture in closure.fatal_captures():
+                        key = (
+                            fn.relpath, fn.qualname, closure.name,
+                            capture.name, site.callee,
+                        )
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        findings.append(
+                            Finding(
+                                rule=self.id,
+                                path=fn.relpath,
+                                line=capture.line,
+                                col=capture.col,
+                                symbol=f"{fn.qualname}.{closure.name}",
+                                message=(
+                                    f"task body {closure.name!r} captures "
+                                    f"{capture.kind} {capture.name!r} and "
+                                    f"crosses boundary {site.callee!r}; "
+                                    f"unpicklable under process-based places"
+                                ),
+                            )
+                        )
+        return findings
+
+    @staticmethod
+    def _closure_args(summary, site) -> List:
+        """The ClosureInfos handed to this call: name-bound closures plus
+        anonymous lambdas appearing directly in the argument list."""
+        closures = []
+        names = list(site.pos_args) + list(site.kw_args.values())
+        for name in names:
+            if name is not None and name in summary.closure_by_name:
+                closures.append(summary.closure_by_name[name])
+        if site.node is not None:
+            arg_exprs = list(site.node.args) + [
+                kw.value for kw in site.node.keywords
+            ]
+            anonymous = {
+                (c.line, c.col): c
+                for c in summary.closures
+                if c.is_lambda and c.name == "<lambda>"
+            }
+            for expr in arg_exprs:
+                if isinstance(expr, ast.Lambda):
+                    closure = anonymous.get((expr.lineno, expr.col_offset))
+                    if closure is not None:
+                        closures.append(closure)
+        return closures
+
+
+#: JobSpec/JobConf entry points that register a user class for the job.
+_JOBSPEC_SETTERS = frozenset(
+    {
+        "set_mapper_class",
+        "set_reducer_class",
+        "set_combiner_class",
+        "set_map_runner_class",
+        "set_partitioner_class",
+        "set_input_format",
+        "set_output_format",
+    }
+)
+
+
+class LocalCallableRegistrationRule(Rule):
+    """M3R007: lambda / function-local callable registered on a JobSpec."""
+
+    id = "M3R007"
+    summary = "lambda or function-local callable registered on a JobSpec"
+    rationale = (
+        "ReStore fingerprints a job by the identities of its registered "
+        "classes; a lambda or a class/function defined inside a function "
+        "has no stable module-level identity, so the fingerprinter "
+        "silently bypasses the job (today's behaviour) — and no process "
+        "backend could ship it.  This rule surfaces statically what "
+        "ReStore only discovers as a missing cache hit."
+    )
+    example = (
+        "def build(conf):\n"
+        "    class LocalMapper(Mapper): ...\n"
+        "    conf.set_mapper_class(LocalMapper)"
+    )
+    fix = (
+        "Define the mapper/reducer at module level (parameterize through "
+        "the JobConf, not through closure capture)."
+    )
+
+    def check(self, project: "Project") -> List[Finding]:
+        from repro.analysis.dataflow import iter_own_scope
+
+        dataflow = project.dataflow
+        findings: List[Finding] = []
+        for fn in project.call_graph.functions:
+            summary = dataflow.summary(fn)
+            for node in iter_own_scope(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = (
+                    node.func.attr
+                    if isinstance(node.func, ast.Attribute)
+                    else node.func.id
+                    if isinstance(node.func, ast.Name)
+                    else ""
+                )
+                if callee not in _JOBSPEC_SETTERS:
+                    continue
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    described = self._describe_local(arg, summary)
+                    if described is None:
+                        continue
+                    findings.append(
+                        Finding(
+                            rule=self.id,
+                            path=fn.relpath,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            symbol=fn.qualname,
+                            message=(
+                                f"{described} registered via {callee}() has "
+                                f"no module-level identity; ReStore cannot "
+                                f"fingerprint it (silent bypass) and no "
+                                f"process backend can ship it"
+                            ),
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _describe_local(arg: ast.expr, summary) -> Optional[str]:
+        if isinstance(arg, ast.Lambda):
+            return "a lambda"
+        if isinstance(arg, ast.Name):
+            binding = summary.bindings.get(arg.id)
+            if binding is not None and binding.kind in (
+                "lambda", "local-function", "local-class",
+            ):
+                return f"{binding.kind.replace('-', ' ')} {arg.id!r}"
+        return None
+
+
+_FLOATY_NAME = re.compile(
+    r"(time|seconds|secs|elapsed|duration|cost|weight|charge|total)",
+    re.IGNORECASE,
+)
+_TIME_SOURCES = frozenset({"perf_counter", "monotonic", "time", "process_time"})
+
+
+class FloatAccumulationOrderRule(Rule):
+    """M3R008: order-sensitive float ``+=`` on an async-reachable path."""
+
+    id = "M3R008"
+    summary = "order-sensitive float += into shared state on an async path"
+    rationale = (
+        "Float addition is not associative: when worker threads fold "
+        "`self.total += dt` in arrival order, the low-order bits depend "
+        "on scheduling, breaking byte-identical replay.  The "
+        "TimeBreakdown bug fixed in PR 7 was exactly this; the shipped "
+        "pattern collects addends per category and reduces once with "
+        "math.fsum in a deterministic order."
+    )
+    example = (
+        "def on_task_done(self, dt):  # async-reachable\n"
+        "    self.elapsed_seconds += dt"
+    )
+    fix = (
+        "Append addends to a list and reduce with math.fsum at a "
+        "deterministic point (task finish, plan order), as "
+        "sim.metrics.TimeBreakdown does."
+    )
+
+    def check(self, project: "Project") -> List[Finding]:
+        from repro.analysis.dataflow import iter_own_scope
+
+        graph = project.call_graph
+        reachable = graph.reachable_from(graph.spawn_roots)
+        findings: List[Finding] = []
+        for fn in graph.functions:
+            if fn.name not in reachable and fn.name not in graph.spawn_roots:
+                continue
+            if "fsum" in fn.callees:
+                # Already using the order-insensitive reduction.
+                continue
+            shared_roots = {"self"} | {
+                p for p in fn.params if p not in ("cls",)
+            }
+            for node in iter_own_scope(fn.node):
+                if not isinstance(node, ast.AugAssign):
+                    continue
+                if not isinstance(node.op, ast.Add):
+                    continue
+                target = node.target
+                if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                    continue
+                root = _root_name(target)
+                if root not in shared_roots:
+                    continue
+                if not self._is_floaty(target, node.value):
+                    continue
+                findings.append(
+                    Finding(
+                        rule=self.id,
+                        path=fn.relpath,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        symbol=fn.qualname,
+                        message=(
+                            f"float accumulation "
+                            f"`{ast.unparse(target)} += ...` in "
+                            f"async-reachable {fn.qualname!r} is "
+                            f"arrival-order sensitive; collect addends and "
+                            f"reduce with math.fsum"
+                        ),
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _is_floaty(target: ast.expr, value: ast.expr) -> bool:
+        if isinstance(target, ast.Attribute) and _FLOATY_NAME.search(
+            target.attr
+        ):
+            return True
+        for node in ast.walk(value):
+            if isinstance(node, ast.Constant) and isinstance(
+                node.value, float
+            ):
+                return True
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                return True
+            if isinstance(node, ast.Name) and _FLOATY_NAME.search(node.id):
+                return True
+            if isinstance(node, ast.Attribute) and _FLOATY_NAME.search(
+                node.attr
+            ):
+                return True
+            if isinstance(node, ast.Call):
+                callee = (
+                    node.func.attr
+                    if isinstance(node.func, ast.Attribute)
+                    else node.func.id
+                    if isinstance(node.func, ast.Name)
+                    else ""
+                )
+                if callee in _TIME_SOURCES:
+                    return True
+        return False
+
+
+class AssociativityClaimRule(Rule):
+    """M3R009: an associativity claim whose reduce body belies it."""
+
+    id = "M3R009"
+    summary = "AssociativeReducer/allowlist claim violated by reduce body"
+    rationale = (
+        "The AssociativeReducer marker (and the stock-reducer allowlist) "
+        "licenses in-mapper combining, which re-times and re-groups "
+        "reduce calls.  That is only sound for a stateless associative "
+        "fold: a reduce that mutates its inputs, stores state on self, "
+        "or branches on arrival order produces different bytes once the "
+        "engine starts folding incrementally."
+    )
+    example = (
+        "class BadSum(AssociativeReducer):\n"
+        "    def reduce(self, key, values, out, rep):\n"
+        "        self.seen += 1  # cross-call state"
+    )
+    fix = (
+        "Make reduce a pure fold (local accumulator, fresh output "
+        "object), or drop the marker/allowlist entry so the engine "
+        "buffers and sorts normally."
+    )
+
+    def check(self, project: "Project") -> List[Finding]:
+        findings: List[Finding] = []
+        for relpath, cls in self._claimed_classes(project):
+            for method in cls.body:
+                if (
+                    isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and method.name == "reduce"
+                ):
+                    self._check_reduce(relpath, cls, method, findings)
+        return findings
+
+    # -- claim discovery -------------------------------------------------- #
+
+    @staticmethod
+    def _claimed_classes(project: "Project") -> List[tuple]:
+        classes: List[tuple] = []
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    classes.append((module.relpath, node))
+        # Transitive AssociativeReducer subclasses (marker inheritance).
+        claimed: Set[str] = {"AssociativeReducer"}
+        changed = True
+        while changed:
+            changed = False
+            for _, cls in classes:
+                if cls.name in claimed:
+                    continue
+                for base in cls.bases:
+                    base_name = (
+                        base.id
+                        if isinstance(base, ast.Name)
+                        else base.attr
+                        if isinstance(base, ast.Attribute)
+                        else None
+                    )
+                    if base_name in claimed:
+                        claimed.add(cls.name)
+                        changed = True
+                        break
+        out = [
+            (rp, cls)
+            for rp, cls in classes
+            if cls.name in claimed and cls.name != "AssociativeReducer"
+        ]
+        # Allowlisted qualnames: resolve "pkg.mod.Class" to a ClassDef in
+        # the module whose relpath matches pkg/mod.py.
+        for qualname in AssociativityClaimRule._allowlisted(project):
+            module_path, _, class_name = qualname.rpartition(".")
+            rel_suffix = module_path.replace(".", "/") + ".py"
+            for rp, cls in classes:
+                if (
+                    cls.name == class_name
+                    and rp.replace("\\", "/").endswith(rel_suffix)
+                    and (rp, cls) not in out
+                ):
+                    out.append((rp, cls))
+        return out
+
+    @staticmethod
+    def _allowlisted(project: "Project") -> Set[str]:
+        names: Set[str] = set()
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Assign):
+                    continue
+                is_allowlist = any(
+                    isinstance(t, ast.Name)
+                    and t.id == "ASSOCIATIVE_ALLOWLIST"
+                    for t in node.targets
+                )
+                if not is_allowlist:
+                    continue
+                for child in ast.walk(node.value):
+                    if isinstance(child, ast.Constant) and isinstance(
+                        child.value, str
+                    ):
+                        names.add(child.value)
+        return names
+
+    # -- body checks ------------------------------------------------------ #
+
+    def _check_reduce(self, relpath, cls, method, findings) -> None:
+        params = [a.arg for a in method.args.args]
+        receiver = params[0] if params else "self"
+        inputs = set(params[1:3])  # key, values
+        values_param = params[2] if len(params) > 2 else None
+
+        def emit(node: ast.AST, what: str) -> None:
+            findings.append(  # noqa: M3R001 - lint driver is single-threaded
+                Finding(
+                    rule=self.id,
+                    path=relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    symbol=f"{cls.name}.reduce",
+                    message=(
+                        f"{cls.name!r} claims associativity but its "
+                        f"reduce {what}; in-mapper combining would "
+                        f"change its output"
+                    ),
+                )
+            )
+
+        for node in ast.walk(method):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        root = _root_name(target)
+                        if root == receiver:
+                            emit(target, "keeps cross-call state on self")
+                        elif root in inputs:
+                            emit(target, f"mutates input {root!r}")
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in _MUTATORS:
+                    root = _root_name(node.func.value)
+                    if root in inputs:
+                        emit(
+                            node,
+                            f"mutates input {root!r} "
+                            f"(.{node.func.attr}())",
+                        )
+            if values_param is not None:
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "enumerate"
+                    and any(
+                        isinstance(a, ast.Name) and a.id == values_param
+                        for a in node.args
+                    )
+                ):
+                    emit(node, "branches on arrival order (enumerate)")
+                if (
+                    isinstance(node, ast.Subscript)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == values_param
+                    and isinstance(node.ctx, ast.Load)
+                ):
+                    emit(node, "branches on arrival order (indexing)")
+            if isinstance(node, ast.Global):
+                emit(node, "keeps cross-call global state")
+
+
+#: A whole-string m3r knob key: ``m3r.`` then dotted lower-case segments.
+_KNOB_LITERAL = re.compile(r"m3r\.[a-z0-9][a-z0-9.\-]*")
+
+
+class KnobLiteralRule(Rule):
+    """M3R010: a raw ``m3r.*`` key string outside the KnobRegistry."""
+
+    id = "M3R010"
+    summary = "m3r.* knob string literal outside the KnobRegistry"
+    rationale = (
+        "Knob strings scattered as raw literals cannot be validated: a "
+        "misspelled key silently no-ops (every reader falls back to its "
+        "default).  The KnobRegistry (repro.analysis.knobs) is the "
+        "single source of truth; everything else must use the derived "
+        "constants from repro.api.conf."
+    )
+    example = 'conf.set("m3r.cache.capacty-bytes", n)  # typo: no-op'
+    fix = (
+        "Import the *_KEY constant from repro.api.conf (add a registry "
+        "row first if the knob is genuinely new)."
+    )
+
+    def check(self, project: "Project") -> List[Finding]:
+        known = self._registry_names()
+        findings: List[Finding] = []
+        for module in project.modules:
+            if self._defines_registry(module.tree):
+                continue
+            for node in ast.walk(module.tree):
+                if not (
+                    isinstance(node, ast.Constant)
+                    and isinstance(node.value, str)
+                    and _KNOB_LITERAL.fullmatch(node.value)
+                ):
+                    continue
+                if node.value in known:
+                    detail = (
+                        "the key is registered — use the derived constant "
+                        "from repro.api.conf instead of repeating the string"
+                    )
+                else:
+                    detail = (
+                        "not in the KnobRegistry — misspelled, or missing "
+                        "a registry entry"
+                    )
+                findings.append(
+                    Finding(
+                        rule=self.id,
+                        path=module.relpath,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        symbol=node.value,
+                        message=(
+                            f"m3r knob literal {node.value!r}: {detail}"
+                        ),
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _registry_names() -> Set[str]:
+        from repro.analysis.knobs import REGISTRY
+
+        return set(REGISTRY.names())
+
+    @staticmethod
+    def _defines_registry(tree: ast.Module) -> bool:
+        """The registry module itself is the one legitimate literal site."""
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == "KnobRegistry":
+                return True
+        return False
+
+
 def default_rules() -> List[Rule]:
     """The shipped rule catalog, in id order."""
     return [
@@ -501,4 +1113,19 @@ def default_rules() -> List[Rule]:
         ImmutableOutputWriteRule(),
         SwallowedExceptionRule(),
         ImportSurfaceRule(),
+        UnpicklableCaptureRule(),
+        LocalCallableRegistrationRule(),
+        FloatAccumulationOrderRule(),
+        AssociativityClaimRule(),
+        KnobLiteralRule(),
     ]
+
+
+def rule_by_id(code: str) -> Optional[Rule]:
+    """The catalog rule with the given id (case-insensitive), if any —
+    backs ``analyze --explain``."""
+    wanted = code.strip().upper()
+    for rule in default_rules():
+        if rule.id == wanted:
+            return rule
+    return None

@@ -15,7 +15,19 @@ from __future__ import annotations
 
 import copy
 import os
+import warnings
 from typing import Any, Dict, List, Optional
+
+from repro.analysis.knobs import KNOB_PREFIX, REGISTRY
+
+
+class UnknownKnobWarning(UserWarning):
+    """An ``m3r.*`` key outside the KnobRegistry was set (default mode)."""
+
+
+class UnknownKnobError(KeyError):
+    """An ``m3r.*`` key outside the KnobRegistry was set under
+    ``m3r.conf.strict`` / ``M3R_CONF_STRICT``."""
 
 
 class Configuration:
@@ -27,7 +39,33 @@ class Configuration:
     # -- raw access ------------------------------------------------------- #
 
     def set(self, key: str, value: Any) -> None:
+        if key.startswith(KNOB_PREFIX) and key not in REGISTRY:
+            self._unknown_knob(key)
         self._props[key] = value
+
+    def _unknown_knob(self, key: str) -> None:
+        # Misspelled m3r.* knobs otherwise silently no-op: every reader
+        # falls back to its default and the job runs unconfigured.  Warn
+        # by default; raise when this conf (or the environment) asks for
+        # strict validation.  Resolution order matches conf_bool — but is
+        # inlined here on raw _props so a conf that *only* sets the strict
+        # knob itself never recurses through set().
+        message = (
+            f"unknown configuration knob {key!r}: not in the KnobRegistry "
+            f"(repro.analysis.knobs) — misspelled, or missing a registry entry"
+        )
+        strict_raw = self._props.get(CONF_STRICT_KEY)
+        if strict_raw is not None:
+            strict = self.get_boolean(CONF_STRICT_KEY)
+        else:
+            env_raw = os.environ.get(CONF_STRICT_ENV)
+            strict = (
+                env_raw is not None
+                and env_raw.strip().lower() in _TRUTHY
+            )
+        if strict:
+            raise UnknownKnobError(message)
+        warnings.warn(message, UnknownKnobWarning, stacklevel=3)
 
     def get(self, key: str, default: Any = None) -> Any:
         return self._props.get(key, default)
@@ -48,7 +86,7 @@ class Configuration:
         return default if value is None else int(value)
 
     def set_int(self, key: str, value: int) -> None:
-        self._props[key] = int(value)
+        self.set(key, int(value))
 
     def get_long(self, key: str, default: int = 0) -> int:
         return self.get_int(key, default)
@@ -58,7 +96,7 @@ class Configuration:
         return default if value is None else float(value)
 
     def set_float(self, key: str, value: float) -> None:
-        self._props[key] = float(value)
+        self.set(key, float(value))
 
     def get_boolean(self, key: str, default: bool = False) -> bool:
         value = self._props.get(key)
@@ -69,7 +107,7 @@ class Configuration:
         return str(value).strip().lower() in ("true", "1", "yes")
 
     def set_boolean(self, key: str, value: bool) -> None:
-        self._props[key] = bool(value)
+        self.set(key, bool(value))
 
     def get_strings(self, key: str, default: Optional[List[str]] = None) -> List[str]:
         value = self._props.get(key)
@@ -80,7 +118,7 @@ class Configuration:
         return list(value)
 
     def set_strings(self, key: str, values: List[str]) -> None:
-        self._props[key] = ",".join(values)
+        self.set(key, ",".join(values))
 
     def get_class(self, key: str, default: Optional[type] = None) -> Optional[type]:
         value = self._props.get(key)
@@ -93,7 +131,7 @@ class Configuration:
     def set_class(self, key: str, cls: type) -> None:
         if not isinstance(cls, type):
             raise TypeError(f"{cls!r} is not a class")
-        self._props[key] = cls
+        self.set(key, cls)
 
     def copy(self) -> "Configuration":
         return type(self)(self)
@@ -126,100 +164,80 @@ USE_NEW_API_KEY = "mapred.mapper.new-api"
 JOB_END_NOTIFICATION_URL_KEY = "job.end.notification.url"
 JOB_QUEUE_NAME_KEY = "mapred.job.queue.name"
 
-# M3R engine knob (rides on the paper's custom-JobConf-settings convention,
-# Section 4.2.3): run map/reduce tasks on real worker threads (default) or
-# fall back to the serial debugging path.  Both engines honour it so
-# equivalence runs compare like for like.
-REAL_THREADS_KEY = "m3r.engine.real-threads"
+# Every m3r.* key below is *derived* from the KnobRegistry
+# (repro.analysis.knobs) — the single place the key strings, defaults and
+# env aliases are written down (rule M3R010 enforces that no literal
+# escapes it).  The per-subsystem semantics live with the registry rows;
+# the short map:
+#
+# * engine/shuffle — real worker threads and pre-sorted shuffle runs,
+#   switchable per job with identical simulated results;
+# * cache — per-place memory governance (budget, watermarks, policy,
+#   spill, pinned paths); the Hadoop engine ignores them entirely;
+# * sanitize — per-job overrides for the runtime mutation / lock-order
+#   observers (process default from the environment);
+# * trace — lifecycle JSONL sink and event-ring sizing (pure observer);
+# * restore — cross-job result reuse (admission-time fingerprint lookup);
+# * service — multi-tenant defaults read by JobService;
+# * batch / imc — the batched record path and licensed in-mapper
+#   combining (byte-identical to the per-record path);
+# * temp — the paper's §4.2.3 temporary-output convention;
+# * conf — validation of this very namespace (strict unknown-key mode).
+_KNOB_KEYS = REGISTRY.constants()
 
-# Memory-governance knobs (repro.memory): per-place cache budget, watermark
-# hysteresis, replacement strategy, spill-to-filesystem demotion, and
-# eviction-exempt path prefixes.  All ride on the same custom-settings
-# convention; the Hadoop engine ignores them entirely.
-CACHE_CAPACITY_KEY = "m3r.cache.capacity-bytes"
-CACHE_HIGH_WATERMARK_KEY = "m3r.cache.high-watermark"
-CACHE_LOW_WATERMARK_KEY = "m3r.cache.low-watermark"
-CACHE_EVICTION_POLICY_KEY = "m3r.cache.eviction-policy"
-CACHE_SPILL_KEY = "m3r.cache.spill"
-CACHE_PINNED_PATHS_KEY = "m3r.cache.pinned-paths"
+REAL_THREADS_KEY = _KNOB_KEYS["REAL_THREADS_KEY"]
 
-# Shuffle knobs (repro.shuffle): run the place-to-place shuffle messages on
-# real worker threads (default, mirroring m3r.engine.real-threads), and ship
-# map output as per-mapper pre-sorted runs so reducers k-way merge instead
-# of re-sorting the concatenation.  Both default on; either can be switched
-# off per job for debugging or A/B runs — simulated results are identical.
-SHUFFLE_REAL_THREADS_KEY = "m3r.shuffle.real-threads"
-SHUFFLE_SORTED_RUNS_KEY = "m3r.shuffle.sorted-runs"
+CACHE_CAPACITY_KEY = _KNOB_KEYS["CACHE_CAPACITY_KEY"]
+CACHE_HIGH_WATERMARK_KEY = _KNOB_KEYS["CACHE_HIGH_WATERMARK_KEY"]
+CACHE_LOW_WATERMARK_KEY = _KNOB_KEYS["CACHE_LOW_WATERMARK_KEY"]
+CACHE_EVICTION_POLICY_KEY = _KNOB_KEYS["CACHE_EVICTION_POLICY_KEY"]
+CACHE_SPILL_KEY = _KNOB_KEYS["CACHE_SPILL_KEY"]
+CACHE_PINNED_PATHS_KEY = _KNOB_KEYS["CACHE_PINNED_PATHS_KEY"]
 
-# Sanitizer knobs (repro.analysis.sanitizers): per-job overrides for the
-# ImmutableOutput mutation detector and the lock-order cycle detector.
-# Unset keys inherit the process default (the M3R_SANITIZE_MUTATION /
-# M3R_SANITIZE_LOCK_ORDER environment variables); both observers are
-# read-only with respect to the simulation, so flipping them never changes
-# a job's outputs or accounting.
-SANITIZE_MUTATION_KEY = "m3r.sanitize.mutation"
-SANITIZE_LOCK_ORDER_KEY = "m3r.sanitize.lock-order"
+SHUFFLE_REAL_THREADS_KEY = _KNOB_KEYS["SHUFFLE_REAL_THREADS_KEY"]
+SHUFFLE_SORTED_RUNS_KEY = _KNOB_KEYS["SHUFFLE_SORTED_RUNS_KEY"]
 
-# Lifecycle-trace knobs (repro.lifecycle): when ``m3r.trace.path`` is set
-# (or the ``M3R_TRACE_PATH`` environment variable, which is what the CI
-# trace row uses), every job appends its LifecycleEvent stream to that file
-# as JSON lines; ``m3r.trace.ring-size`` bounds the engine's in-memory
-# event ring buffer.  Tracing is an observer — it never changes a job's
-# outputs, counters or simulated seconds.
-TRACE_PATH_KEY = "m3r.trace.path"
-TRACE_PATH_ENV = "M3R_TRACE_PATH"
-TRACE_RING_KEY = "m3r.trace.ring-size"
+SANITIZE_MUTATION_KEY = _KNOB_KEYS["SANITIZE_MUTATION_KEY"]
+SANITIZE_LOCK_ORDER_KEY = _KNOB_KEYS["SANITIZE_LOCK_ORDER_KEY"]
 
-# Cross-job result-reuse knobs (repro.restore): when ``m3r.restore.enabled``
-# is set (or the ``M3R_RESTORE`` environment variable, which is what the CI
-# restore row uses), each committed job's plan fingerprint is recorded in the
-# engine's ResultStore and consulted at admission — an exact rerun serves the
-# stored output with zero map/reduce tasks executed.  ``max-entries`` bounds
-# the store (LRU).  Reuse never changes a byte of output: a hit replays the
-# recorded result, anything else is a miss that runs the job normally.
-RESTORE_ENABLED_KEY = "m3r.restore.enabled"
-RESTORE_ENV = "M3R_RESTORE"
-RESTORE_MAX_ENTRIES_KEY = "m3r.restore.max-entries"
+TRACE_PATH_KEY = _KNOB_KEYS["TRACE_PATH_KEY"]
+TRACE_PATH_ENV = REGISTRY.get(TRACE_PATH_KEY).env
+TRACE_RING_KEY = _KNOB_KEYS["TRACE_RING_KEY"]
 
-# Multi-tenant job-service knobs (repro.service): defaults for the
-# always-on server wrapping one long-lived engine.  ``queue-depth`` bounds
-# the total number of queued submissions across all tenants (admission
-# rejects beyond it — backpressure); ``in-flight-limit`` bounds one
-# tenant's queued+running submissions; ``tenant-weight`` is the default
-# fair-share weight of a newly registered tenant; ``tenant-budget-bytes``
-# is the default per-tenant cache residency budget (0 = unbounded); and
-# ``shared-restore`` makes new tenants publish/consume the service-wide
-# shared ReStore namespace instead of a private per-tenant store.  All are
-# read from the Configuration handed to ``JobService`` — per-tenant
-# ``register_tenant`` arguments override them.
-SERVICE_QUEUE_DEPTH_KEY = "m3r.service.queue-depth"
-SERVICE_IN_FLIGHT_KEY = "m3r.service.in-flight-limit"
-SERVICE_TENANT_WEIGHT_KEY = "m3r.service.tenant-weight"
-SERVICE_TENANT_BUDGET_KEY = "m3r.service.tenant-budget-bytes"
-SERVICE_SHARED_RESTORE_KEY = "m3r.service.shared-restore"
+RESTORE_ENABLED_KEY = _KNOB_KEYS["RESTORE_ENABLED_KEY"]
+RESTORE_ENV = REGISTRY.get(RESTORE_ENABLED_KEY).env
+RESTORE_MAX_ENTRIES_KEY = _KNOB_KEYS["RESTORE_MAX_ENTRIES_KEY"]
 
-# Batched record-path knobs (repro.engine_common, DESIGN.md §14): when
-# ``m3r.batch.enabled`` is set (or the ``M3R_BATCH`` environment variable,
-# which is what the CI batched row uses), map tasks pull records from their
-# splits in ``m3r.batch.size``-record batches and the collectors publish
-# system counters once per task instead of once per record — same totals,
-# far less per-record dispatch.  ``m3r.imc.enabled`` (env ``M3R_IMC``)
-# additionally layers automatic in-mapper combining over the batched path
-# for jobs whose combiner is a known-associative reducer (the
-# ``AssociativeReducer`` marker or the conservative allowlist in
-# ``repro.api.vectorized``): the map side folds duplicate keys into a
-# bounded hash aggregate (``m3r.imc.max-entries`` live keys, spill-to-emit
-# on overflow) so shuffle volume shrinks *before* serialization
-# measurement and transport.  Both paths are byte-identical to the
-# per-record path — same outputs, counters and simulated seconds.
-BATCH_ENABLED_KEY = "m3r.batch.enabled"
-BATCH_ENV = "M3R_BATCH"
-BATCH_SIZE_KEY = "m3r.batch.size"
-DEFAULT_BATCH_SIZE = 256
-IMC_ENABLED_KEY = "m3r.imc.enabled"
-IMC_ENV = "M3R_IMC"
-IMC_MAX_ENTRIES_KEY = "m3r.imc.max-entries"
-DEFAULT_IMC_MAX_ENTRIES = 4096
+SERVICE_QUEUE_DEPTH_KEY = _KNOB_KEYS["SERVICE_QUEUE_DEPTH_KEY"]
+SERVICE_IN_FLIGHT_KEY = _KNOB_KEYS["SERVICE_IN_FLIGHT_KEY"]
+SERVICE_TENANT_WEIGHT_KEY = _KNOB_KEYS["SERVICE_TENANT_WEIGHT_KEY"]
+SERVICE_TENANT_BUDGET_KEY = _KNOB_KEYS["SERVICE_TENANT_BUDGET_KEY"]
+SERVICE_SHARED_RESTORE_KEY = _KNOB_KEYS["SERVICE_SHARED_RESTORE_KEY"]
+
+BATCH_ENABLED_KEY = _KNOB_KEYS["BATCH_ENABLED_KEY"]
+BATCH_ENV = REGISTRY.get(BATCH_ENABLED_KEY).env
+BATCH_SIZE_KEY = _KNOB_KEYS["BATCH_SIZE_KEY"]
+DEFAULT_BATCH_SIZE = REGISTRY.get(BATCH_SIZE_KEY).default
+IMC_ENABLED_KEY = _KNOB_KEYS["IMC_ENABLED_KEY"]
+IMC_ENV = REGISTRY.get(IMC_ENABLED_KEY).env
+IMC_MAX_ENTRIES_KEY = _KNOB_KEYS["IMC_MAX_ENTRIES_KEY"]
+DEFAULT_IMC_MAX_ENTRIES = REGISTRY.get(IMC_MAX_ENTRIES_KEY).default
+
+# Unknown-knob validation for the m3r.* namespace itself: Configuration.set
+# warns on keys the registry does not know, and raises when this knob (or
+# its M3R_CONF_STRICT environment alias) asks for strict mode.
+CONF_STRICT_KEY = _KNOB_KEYS["CONF_STRICT_KEY"]
+CONF_STRICT_ENV = REGISTRY.get(CONF_STRICT_KEY).env
+
+# Re-exports for the API modules that declare their knobs here rather than
+# carry their own literals (extensions, multiple_io).
+TEMP_OUTPUT_PREFIX_KEY = _KNOB_KEYS["TEMP_OUTPUT_PREFIX_KEY"]
+DEFAULT_TEMP_OUTPUT_PREFIX = REGISTRY.get(TEMP_OUTPUT_PREFIX_KEY).default
+TEMP_OUTPUT_PATHS_KEY = _KNOB_KEYS["TEMP_OUTPUT_PATHS_KEY"]
+FORCE_HADOOP_ENGINE_KEY = _KNOB_KEYS["FORCE_HADOOP_ENGINE_KEY"]
+TASK_FS_KEY = _KNOB_KEYS["TASK_FS_KEY"]
+TASK_PARTITION_KEY = _KNOB_KEYS["TASK_PARTITION_KEY"]
+ACTUAL_MAPPER_KEY = _KNOB_KEYS["ACTUAL_MAPPER_KEY"]
 
 #: String literals accepted as "true" by :func:`conf_bool` env parsing
 #: (mirrors ``repro.analysis.sanitizers._env_flag``, which cannot import

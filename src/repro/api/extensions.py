@@ -26,6 +26,16 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Optional, Tuple
 
+# The temporary-output (Section 4.2.3) and engine-bypass (Section 5.3)
+# keys are registered knobs: their strings, defaults and docs live in the
+# KnobRegistry and reach this module through repro.api.conf.
+from repro.api.conf import (
+    DEFAULT_TEMP_OUTPUT_PREFIX,
+    FORCE_HADOOP_ENGINE_KEY,
+    TEMP_OUTPUT_PATHS_KEY,
+    TEMP_OUTPUT_PREFIX_KEY,
+)
+
 
 class ImmutableOutput:
     """Marker: the implementing mapper/reducer/map-runner never mutates
@@ -92,18 +102,8 @@ class CacheFS:
         raise NotImplementedError
 
 
-#: Configuration key customizing the temporary-output prefix (Section 4.2.3).
-TEMP_OUTPUT_PREFIX_KEY = "m3r.temp.output.prefix"
-
-#: Default: output paths whose basename starts with this are not flushed.
-DEFAULT_TEMP_OUTPUT_PREFIX = "temp"
-
-#: Configuration key listing explicit temporary paths (comma separated).
-TEMP_OUTPUT_PATHS_KEY = "m3r.temp.output.paths"
-
-#: Configuration key: set truthy to force a job to bypass M3R and run on
-#: the Hadoop engine even in integrated mode (paper Section 5.3).
-FORCE_HADOOP_ENGINE_KEY = "m3r.force.hadoop.engine"
+# (Temporary-output and engine-bypass knob keys are imported at the top of
+# the module from repro.api.conf, which derives them from the KnobRegistry.)
 
 
 def is_temporary_output(path: str, conf: Any) -> bool:

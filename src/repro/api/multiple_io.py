@@ -18,7 +18,12 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple, Type
 
-from repro.api.conf import JobConf
+from repro.api.conf import (
+    ACTUAL_MAPPER_KEY as _ACTUAL_MAPPER_KEY,
+    JobConf,
+    TASK_FS_KEY,
+    TASK_PARTITION_KEY,
+)
 from repro.api.extensions import DelegatingSplit
 from repro.api.formats import (
     FileOutputFormat,
@@ -37,10 +42,10 @@ MULTIPLE_INPUTS_KEY = "mapreduce.input.multipleinputs.dir.registrations"
 #: Conf key holding {name: (OutputFormat class, key cls, value cls)}.
 MULTIPLE_OUTPUTS_KEY = "mapreduce.multipleoutputs.named"
 
-#: Private engine-to-task keys: the running engine injects the task's
-#: filesystem and partition so MultipleOutputs can create writers.
-TASK_FS_KEY = "m3r.task.filesystem"
-TASK_PARTITION_KEY = "m3r.task.partition"
+# Private engine-to-task keys (TASK_FS_KEY / TASK_PARTITION_KEY, imported
+# above): the running engine injects the task's filesystem and partition so
+# MultipleOutputs can create writers.  Registered as internal knobs in the
+# KnobRegistry, so they validate like every other m3r.* key.
 
 
 class TaggedInputSplit(InputSplit, DelegatingSplit):
@@ -141,7 +146,7 @@ class DelegatingMapper(Mapper):
     ``TaggedInputSplit`` + conf plumbing).
     """
 
-    ACTUAL_MAPPER_KEY = "m3r.delegating.actual.mapper"
+    ACTUAL_MAPPER_KEY = _ACTUAL_MAPPER_KEY
 
     def __init__(self) -> None:
         self._actual: Optional[Mapper] = None

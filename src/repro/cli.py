@@ -786,6 +786,64 @@ def cmd_service_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _explain_rule(code: str) -> int:
+    from repro.analysis import default_rules, rule_by_id
+
+    rule = rule_by_id(code)
+    if rule is None:
+        known = ", ".join(r.id for r in default_rules())
+        print(
+            f"unknown rule id {code!r}; known rules: {known}",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"{rule.id} — {rule.summary}")
+    print()
+    print(f"rationale: {rule.rationale}")
+    print()
+    print("example:")
+    for line in rule.example.splitlines():
+        print(f"  {line}")
+    print()
+    print(f"fix: {rule.fix}")
+    return 0
+
+
+#: Markers bounding the generated knob table in README.md.
+KNOB_TABLE_BEGIN = "<!-- knob-table:begin -->"
+KNOB_TABLE_END = "<!-- knob-table:end -->"
+
+
+def _check_docs(readme_path) -> int:
+    from repro.analysis import render_markdown_table
+
+    if not readme_path.exists():
+        print(f"FAIL: {readme_path} not found", file=sys.stderr)
+        return 1
+    text = readme_path.read_text(encoding="utf-8")
+    try:
+        head, rest = text.split(KNOB_TABLE_BEGIN, 1)
+        block, _ = rest.split(KNOB_TABLE_END, 1)
+    except ValueError:
+        print(
+            f"FAIL: {readme_path} is missing the "
+            f"{KNOB_TABLE_BEGIN}/{KNOB_TABLE_END} markers",
+            file=sys.stderr,
+        )
+        return 1
+    expected = render_markdown_table()
+    if block.strip() != expected.strip():
+        print(
+            "FAIL: README knob table has drifted from the KnobRegistry — "
+            "regenerate the block between the knob-table markers from "
+            "repro.analysis.knobs.render_markdown_table()",
+            file=sys.stderr,
+        )
+        return 1
+    print("README knob table matches the KnobRegistry")
+    return 0
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -794,18 +852,32 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         Analyzer,
         diff_baseline,
         load_baseline,
+        load_project,
         new_findings,
         orphaned_fingerprints,
+        portability_inventory,
         render_json,
         render_text,
         write_baseline,
     )
+
+    if args.explain:
+        return _explain_rule(args.explain)
+    if args.check_docs:
+        return _check_docs(Path("README.md"))
 
     roots = (
         [Path(p) for p in args.paths]
         if args.paths
         else [Path(repro.__file__).parent]
     )
+
+    if args.report == "portability":
+        project = load_project(roots)
+        document = portability_inventory(project)
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+
     findings = Analyzer().run(roots)
     baseline_path = Path(args.baseline_file)
 
@@ -1025,7 +1097,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "analyze",
         help="static lint: check the source tree against the M3R "
-             "concurrency/immutability/determinism rules (M3R001..M3R005)",
+             "concurrency/immutability/determinism/portability rules "
+             "(M3R001..M3R010)",
+        description="Static analysis over the source tree.  Exit codes: "
+                    "0 = clean (no unsuppressed, non-baselined findings), "
+                    "1 = findings or doc drift, 2 = usage error (unknown "
+                    "rule id, bad flag).",
     )
     p.add_argument("paths", nargs="*",
                    help="files/directories to analyze (default: the "
@@ -1035,6 +1112,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write/refresh the baseline file instead of gating")
     p.add_argument("--baseline-file", default="analysis/baseline.json",
                    help="baseline location (default analysis/baseline.json)")
+    p.add_argument("--explain", metavar="M3R00x",
+                   help="print one rule's rationale, example and fix, "
+                        "then exit")
+    p.add_argument("--report", choices=("findings", "portability"),
+                   default="findings",
+                   help="'findings' (default) gates on the rule catalog; "
+                        "'portability' emits the machine-readable "
+                        "unpicklable-capture inventory per stage-provider "
+                        "task body")
+    p.add_argument("--check-docs", action="store_true",
+                   help="verify the README knob table matches the "
+                        "KnobRegistry (exit 1 on drift)")
     p.set_defaults(func=cmd_analyze)
     return parser
 

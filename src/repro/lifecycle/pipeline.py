@@ -63,7 +63,7 @@ class JobContext:
 
     def advance(self, seconds: float) -> None:
         """Advance the job clock (driver thread only)."""
-        self.clock += seconds
+        self.clock += seconds  # noqa: M3R008 - driver-thread job clock, single writer
 
     def emit(self, event: Any) -> None:
         self.bus.emit(event)

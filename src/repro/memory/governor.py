@@ -150,7 +150,7 @@ class MemoryGovernor:
         """Attribute simulated time for a spill/rehydrate I/O event."""
         self.lifetime.time.charge(category, seconds)
         with self._lock:
-            self._pending_seconds += seconds
+            self._pending_seconds += seconds  # noqa: M3R008 - spill/rehydrate charges replay in plan order
             job = self._job_metrics
         if job is not None:
             job.time.charge(category, seconds)

@@ -44,7 +44,7 @@ class SimClock:
         if seconds < 0:
             raise ValueError(f"cannot advance clock by negative time: {seconds}")
         with self._lock:
-            self._now += seconds
+            self._now += seconds  # noqa: M3R008 - advances replay in deterministic plan order
             return self._now
 
     def advance_to(self, t: float) -> float:
@@ -92,7 +92,7 @@ class PhaseTimer:
         if seconds < 0:
             raise ValueError(f"cannot charge negative time: {seconds}")
         with self._lock:
-            self._elapsed[participant] += seconds
+            self._elapsed[participant] += seconds  # noqa: M3R008 - per-lane accumulator; one participant's charges are serial
 
     def elapsed(self, participant: int) -> float:
         """Seconds charged so far to ``participant``."""

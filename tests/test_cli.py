@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -196,6 +197,102 @@ class TestCommands:
                      "--baseline-file", str(baseline)]) == 0
         out = capsys.readouterr().out
         assert "baseline written" in out
+
+    def test_analyze_json_has_schema_version(self, tmp_path, capsys):
+        from repro.analysis.report import REPORT_SCHEMA_VERSION
+
+        src = tmp_path / "clean.py"
+        src.write_text("VALUE = 1\n")
+        assert main(["analyze", str(src), "--format", "json",
+                     "--baseline-file", str(tmp_path / "baseline.json")]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == REPORT_SCHEMA_VERSION == 2
+
+    def test_analyze_exit_codes_documented_triple(self, tmp_path, capsys):
+        """0 = clean, 1 = findings, 2 = usage error."""
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n")
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["analyze", str(clean),
+                     "--baseline-file", baseline]) == 0
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "def body(shared, i):\n"
+            "    shared[i] = 1\n\n"
+            "def driver(scope):\n"
+            "    scope.submit(body)\n"
+        )
+        assert main(["analyze", str(dirty),
+                     "--baseline-file", baseline]) == 1
+        capsys.readouterr()
+
+        # Unknown rule id: usage error.
+        assert main(["analyze", "--explain", "M3R999"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule id" in err and "M3R001" in err
+
+        # argparse itself exits 2 on a bad flag.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", "--report", "nonsense"])
+        assert excinfo.value.code == 2
+
+    def test_analyze_explain_prints_rule_card(self, capsys):
+        assert main(["analyze", "--explain", "M3R008"]) == 0
+        out = capsys.readouterr().out
+        assert "M3R008" in out
+        assert "rationale:" in out
+        assert "example:" in out
+        assert "fix:" in out
+        assert "fsum" in out
+
+    def test_analyze_explain_covers_every_rule(self, capsys):
+        from repro.analysis import default_rules
+
+        for rule in default_rules():
+            assert main(["analyze", "--explain", rule.id]) == 0
+            out = capsys.readouterr().out
+            assert rule.id in out and "rationale:" in out
+
+    def test_analyze_portability_report_round_trip(self, capsys):
+        from repro.analysis.portability import PORTABILITY_SCHEMA_VERSION
+
+        assert main(["analyze", "--report", "portability"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == PORTABILITY_SCHEMA_VERSION
+        assert doc["report"] == "portability"
+        assert doc["fatal_captures"] == 0  # the shipped tree is portable
+        assert doc["providers"]
+        for provider in doc["providers"]:
+            for method in provider["methods"]:
+                for body in method["task_bodies"]:
+                    for capture in body["captures"]:
+                        assert set(capture) == {
+                            "name", "kind", "portable", "advisory",
+                        }
+
+    def test_analyze_check_docs_passes_on_shipped_readme(self, capsys, monkeypatch):
+        import repro
+
+        repo_root = Path(repro.__file__).parent.parent.parent
+        monkeypatch.chdir(repo_root)
+        assert main(["analyze", "--check-docs"]) == 0
+        assert "matches" in capsys.readouterr().out
+
+    def test_analyze_check_docs_fails_on_drift(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "README.md").write_text(
+            "# stub\n<!-- knob-table:begin -->\n| stale |\n"
+            "<!-- knob-table:end -->\n"
+        )
+        assert main(["analyze", "--check-docs"]) == 1
+        assert "drifted" in capsys.readouterr().err
+
+    def test_analyze_check_docs_fails_without_markers(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "README.md").write_text("# no markers here\n")
+        assert main(["analyze", "--check-docs"]) == 1
+        assert "markers" in capsys.readouterr().err
 
     def test_pig_script(self, tmp_path, capsys):
         script = tmp_path / "s.pig"

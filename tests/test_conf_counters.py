@@ -4,7 +4,15 @@ from __future__ import annotations
 
 import pytest
 
-from repro.api.conf import Configuration, JobConf, conf_bool
+from repro.api.conf import (
+    CONF_STRICT_ENV,
+    CONF_STRICT_KEY,
+    Configuration,
+    JobConf,
+    UnknownKnobError,
+    UnknownKnobWarning,
+    conf_bool,
+)
 from repro.api.counters import Counters, FileSystemCounter, JobCounter, TaskCounter
 from repro.api.mapred import IdentityMapper, IdentityReducer
 from repro.api.partitioner import HashPartitioner
@@ -72,7 +80,7 @@ class TestConfiguration:
 class TestConfBool:
     """The one canonical boolean-knob resolver: JobConf > env > default."""
 
-    KEY = "m3r.test.knob"
+    KEY = "m3r.test.knob"  # noqa: M3R010 - throwaway key for resolver tests, deliberately unregistered
     ENV = "M3R_TEST_KNOB"
 
     def test_default_when_nothing_set(self, monkeypatch):
@@ -93,10 +101,14 @@ class TestConfBool:
     def test_conf_beats_env(self, monkeypatch):
         monkeypatch.setenv(self.ENV, "true")
         conf = JobConf()
-        conf.set_boolean(self.KEY, False)
+        # The throwaway key is not in the KnobRegistry, so setting it
+        # warns — that's the runtime knob validation working as intended.
+        with pytest.warns(UnknownKnobWarning):
+            conf.set_boolean(self.KEY, False)
         assert conf_bool(conf, self.KEY, self.ENV, default=True) is False
         monkeypatch.setenv(self.ENV, "false")
-        conf.set_boolean(self.KEY, True)
+        with pytest.warns(UnknownKnobWarning):
+            conf.set_boolean(self.KEY, True)
         assert conf_bool(conf, self.KEY, self.ENV, default=False) is True
 
     def test_blank_env_is_ignored(self, monkeypatch):
@@ -107,6 +119,80 @@ class TestConfBool:
     def test_no_env_name_means_no_env_lookup(self, monkeypatch):
         monkeypatch.setenv(self.ENV, "true")
         assert conf_bool(JobConf(), self.KEY, env=None, default=False) is False
+
+
+class TestKnobValidation:
+    """Runtime validation of ``m3r.*`` keys against the KnobRegistry:
+    unknown keys warn; under strict mode (JobConf > env > default) they
+    raise.  Non-``m3r.*`` keys are never validated."""
+
+    BAD = "m3r.cache.capacity-byte"  # noqa: M3R010 - deliberate misspelling of a registered key
+
+    def test_registered_key_is_silent(self, recwarn, monkeypatch):
+        monkeypatch.delenv(CONF_STRICT_ENV, raising=False)
+        from repro.api.conf import CACHE_CAPACITY_KEY
+
+        conf = Configuration()
+        conf.set_int(CACHE_CAPACITY_KEY, 1 << 20)
+        assert not [w for w in recwarn.list if issubclass(w.category, UnknownKnobWarning)]
+
+    def test_non_m3r_key_is_never_validated(self, recwarn, monkeypatch):
+        monkeypatch.delenv(CONF_STRICT_ENV, raising=False)
+        conf = Configuration()
+        conf.set("mapred.reduce.tasks", 4)
+        conf.set("whatever.else", "x")
+        assert not [w for w in recwarn.list if issubclass(w.category, UnknownKnobWarning)]
+
+    def test_unknown_key_warns_by_default(self, monkeypatch):
+        monkeypatch.delenv(CONF_STRICT_ENV, raising=False)
+        conf = Configuration()
+        with pytest.warns(UnknownKnobWarning, match="capacity-byte"):
+            conf.set(self.BAD, 1)
+        assert conf.get(self.BAD) == 1  # the set still lands
+
+    def test_typed_setters_validate_too(self, monkeypatch):
+        monkeypatch.delenv(CONF_STRICT_ENV, raising=False)
+        conf = Configuration()
+        with pytest.warns(UnknownKnobWarning):
+            conf.set_int(self.BAD, 1)
+        with pytest.warns(UnknownKnobWarning):
+            conf.set_boolean(self.BAD, True)
+
+    def test_env_turns_on_strict(self, monkeypatch):
+        monkeypatch.setenv(CONF_STRICT_ENV, "1")
+        conf = Configuration()
+        with pytest.raises(UnknownKnobError, match="capacity-byte"):
+            conf.set(self.BAD, 1)
+        assert self.BAD not in conf  # a strict rejection does not land
+
+    def test_conf_key_turns_on_strict(self, monkeypatch):
+        monkeypatch.delenv(CONF_STRICT_ENV, raising=False)
+        conf = Configuration()
+        conf.set_boolean(CONF_STRICT_KEY, True)
+        with pytest.raises(UnknownKnobError):
+            conf.set(self.BAD, 1)
+
+    def test_conf_key_beats_env(self, monkeypatch):
+        # JobConf says lenient, env says strict: JobConf wins (same
+        # precedence order as conf_bool).
+        monkeypatch.setenv(CONF_STRICT_ENV, "1")
+        conf = Configuration()
+        conf.set_boolean(CONF_STRICT_KEY, False)
+        with pytest.warns(UnknownKnobWarning):
+            conf.set(self.BAD, 1)
+
+    def test_blank_env_is_lenient(self, monkeypatch):
+        monkeypatch.setenv(CONF_STRICT_ENV, "   ")
+        conf = Configuration()
+        with pytest.warns(UnknownKnobWarning):
+            conf.set(self.BAD, 1)
+
+    def test_error_is_a_keyerror_and_names_the_key(self, monkeypatch):
+        monkeypatch.setenv(CONF_STRICT_ENV, "true")
+        conf = Configuration()
+        with pytest.raises(KeyError) as excinfo:
+            conf.set(self.BAD, 1)
+        assert self.BAD in str(excinfo.value)
 
 
 class TestJobConf:

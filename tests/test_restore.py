@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api.conf import RESTORE_ENABLED_KEY, UnknownKnobWarning
 from repro.api.counters import JobCounter
 from repro.api.job import JobSpec
 from repro.api.mapred import Mapper
@@ -173,7 +174,10 @@ class TestInvalidation:
         try:
             conf = self._job(engine, "/out-b")
             conf.set_job_name("renamed-job")
-            conf.set("m3r.trace.note", "different-trace-knob")
+            # An unregistered m3r.* key warns (knob validation) but must
+            # still be excluded from the fingerprint like any m3r.* knob.
+            with pytest.warns(UnknownKnobWarning):
+                conf.set("m3r.trace.note", "different-trace-knob")  # noqa: M3R010 - deliberately unregistered key
             second = engine.run_job(conf)
             assert second.succeeded, second.error
             assert second.metrics.get("restore_hits") == 1
@@ -252,8 +256,9 @@ class TestFingerprint:
         engine = self._engine_with_data()
         a = self._fingerprint(engine, histogram_job("/in", "/out", 4))
         noisy = histogram_job("/in", "/out", 4)
-        noisy.set("m3r.trace.note", "xyz")
-        noisy.set_boolean("m3r.restore.enabled", True)
+        with pytest.warns(UnknownKnobWarning):
+            noisy.set("m3r.trace.note", "xyz")  # noqa: M3R010 - deliberately unregistered key
+        noisy.set_boolean(RESTORE_ENABLED_KEY, True)
         assert a == self._fingerprint(engine, noisy)
 
     def test_reducer_count_included(self):
