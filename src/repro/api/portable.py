@@ -1,0 +1,72 @@
+"""Process-portability licensing for user classes (DESIGN.md §16).
+
+The process place backend ships task *kernels* — the pure user-code part
+of a map or reduce task — to persistent per-place worker processes.  A
+kernel is only safe to ship when its user classes are self-contained:
+importable by qualified name (module-level classes, picklable by
+reference), free of filesystem and engine side effects, and dependent on
+nothing but the records they are handed plus the job conf.  Most stock
+classes qualify; arbitrary user classes may not (closures over driver
+state, module-level caches mutated per call, direct filesystem access).
+
+So process execution of a kernel is *opt-in*, exactly like the
+:class:`~repro.api.vectorized.AssociativeReducer` license for in-mapper
+combining:
+
+* :class:`ProcessPortable` — inheritable marker.  A class that carries it
+  asserts its ``map``/``reduce``/``compare`` code is pure record-in,
+  record-out compute (counter updates and ``charge_compute`` are fine —
+  they travel back in the kernel outcome).  Unlike the associativity
+  marker this one *is* inherited: purity is not invalidated by
+  overriding, and a subclass that adds driver-state dependencies is
+  broken under the thread backend's contract too.
+* :data:`PROCESS_PORTABLE_ALLOWLIST` — exact qualified names for the
+  stock classes that predate the marker.
+
+An unlicensed class never fails a job: the driver just runs that kernel
+locally (the thread-backend path), so results are identical either way —
+licensing only decides *where* the kernel executes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "PROCESS_PORTABLE_ALLOWLIST",
+    "ProcessPortable",
+    "is_process_portable",
+]
+
+
+class ProcessPortable:
+    """Opt-in marker: instances of this class may run inside a place's
+    worker process (contract in the module docstring)."""
+
+
+#: Stock classes known to satisfy the ProcessPortable contract.  Exact
+#: qualified names; framework identities (IdentityMapper and friends) are
+#: licensed here rather than marked so user subclasses stay unlicensed by
+#: default.
+PROCESS_PORTABLE_ALLOWLIST = frozenset({
+    "repro.api.mapred.IdentityMapper",
+    "repro.api.mapred.IdentityReducer",
+    "repro.api.partitioner.HashPartitioner",
+    "repro.apps.wordcount.WordCountMapperReuse",
+    "repro.apps.wordcount.WordCountMapperImmutable",
+    "repro.apps.wordcount.SumReducer",
+    "repro.apps.wordcount.SumReducerReuse",
+    "repro.apps.grep.GrepMapper",
+    "repro.apps.grep.LongSumReducer",
+    "repro.apps.grep.InvertMapper",
+    "repro.apps.grep.IdentitySortReducer",
+})
+
+
+def is_process_portable(cls: Any) -> bool:
+    """May kernels driving this class execute in a worker process?"""
+    if not isinstance(cls, type):
+        return False
+    if issubclass(cls, ProcessPortable):
+        return True
+    return f"{cls.__module__}.{cls.__qualname__}" in PROCESS_PORTABLE_ALLOWLIST

@@ -876,6 +876,20 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         project = load_project(roots)
         document = portability_inventory(project)
         print(json.dumps(document, indent=2, sort_keys=True))
+        if args.gate:
+            captures = (
+                document["fatal_captures"] + document["advisory_captures"]
+            )
+            if captures:
+                print(
+                    f"FAIL: {captures} task-body capture(s) "
+                    f"({document['fatal_captures']} fatal, "
+                    f"{document['advisory_captures']} advisory) — task "
+                    "bodies must stay self-contained envelopes "
+                    "(DESIGN.md §16)",
+                    file=sys.stderr,
+                )
+                return 1
         return 0
 
     findings = Analyzer().run(roots)
@@ -1121,6 +1135,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "'portability' emits the machine-readable "
                         "unpicklable-capture inventory per stage-provider "
                         "task body")
+    p.add_argument("--gate", action="store_true",
+                   help="with --report portability: exit 1 if any task "
+                        "body captures anything (fatal OR advisory) — the "
+                        "CI regression gate for the envelope refactor")
     p.add_argument("--check-docs", action="store_true",
                    help="verify the README knob table matches the "
                         "KnobRegistry (exit 1 on drift)")

@@ -1,0 +1,154 @@
+"""Process-shared views over kvstore data (DESIGN.md §16).
+
+The process place backend ships task envelopes to per-place worker
+processes; when an envelope's records carry large kvstore values (blocked
+matrices, packed arrays), re-pickling megabytes of numeric payload per
+task would drown the win.  A :class:`SharedStoreView` snapshots a set of
+store paths with every large contiguous array exported into a POSIX
+shared-memory block: the view pickles small (names and references, not
+payloads), and a worker attaching it maps the blocks instead of copying
+them.
+
+Consistency comes for free from the store's existing semantics: the
+snapshot reads each path through :meth:`KeyValueStore.create_reader`,
+which holds that path's :class:`~repro.kvstore.locks.LockTable` entry for
+the duration of the read — exactly the lock every writer takes.  The view
+is then immutable; workers never write through it (task output returns in
+the kernel outcome and is committed driver-side).
+
+The driver owns block lifecycle: blocks stay linked until
+:meth:`SharedStoreView.release`, and attaching sides unregister from
+their ``resource_tracker`` so only the owner unlinks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.api.conf import DEFAULT_PLACES_SHM_THRESHOLD
+from repro.x10.backends import SharedValueArena, _untrack_shm, shm_exportable
+
+try:
+    import numpy as _numpy
+except Exception:  # noqa: M3R004 - import guard: any failure means "no numpy"
+    _numpy = None
+
+__all__ = ["SharedArrayRef", "SharedStoreView"]
+
+
+class SharedArrayRef:
+    """A picklable reference to one exported array: shared-memory block
+    name plus dtype/shape to rebuild the ndarray over the mapped buffer."""
+
+    __slots__ = ("name", "dtype", "shape")
+
+    def __init__(self, name: str, dtype: str, shape: Tuple[int, ...]):
+        self.name = name
+        self.dtype = dtype
+        self.shape = shape
+
+    def __getstate__(self) -> Tuple[str, str, Tuple[int, ...]]:
+        return (self.name, self.dtype, self.shape)
+
+    def __setstate__(self, state: Tuple[str, str, Tuple[int, ...]]) -> None:
+        self.name, self.dtype, self.shape = state
+
+    def attach(self, keep: List[Any]) -> Any:
+        """Map the block and rebuild the array view; the segment handle is
+        appended to ``keep`` so the caller controls when it closes."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=self.name)
+        _untrack_shm(shm)
+        keep.append(shm)
+        return _numpy.ndarray(
+            self.shape, dtype=_numpy.dtype(self.dtype), buffer=shm.buf
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SharedArrayRef({self.name!r}, {self.dtype}, {self.shape})"
+
+
+class SharedStoreView:
+    """An immutable snapshot of selected store paths, large array values
+    diverted into shared memory.  Build with :meth:`from_store` on the
+    driver; ``pairs(path)`` works on either side of a process boundary."""
+
+    def __init__(
+        self,
+        pairs_by_path: Dict[str, List[Tuple[Any, Any]]],
+        arena: Optional[SharedValueArena],
+    ):
+        self._pairs_by_path = pairs_by_path
+        self._arena = arena  # driver side only; None after a pickle hop
+        self._attached: List[Any] = []
+
+    @classmethod
+    def from_store(
+        cls,
+        store: Any,
+        paths: Iterable[str],
+        threshold_bytes: Optional[int] = None,
+    ) -> "SharedStoreView":
+        threshold = (
+            int(DEFAULT_PLACES_SHM_THRESHOLD)
+            if threshold_bytes is None
+            else threshold_bytes
+        )
+        arena = SharedValueArena()
+        pairs_by_path: Dict[str, List[Tuple[Any, Any]]] = {}
+        for path in paths:
+            # create_reader holds the path's LockTable entry while the
+            # blocks are collected — the same exclusion every writer takes.
+            snapshot: List[Tuple[Any, Any]] = []
+            for key, value in store.create_reader(path):
+                if shm_exportable(value, threshold):
+                    snapshot.append((key, SharedArrayRef(*arena.export_array(value))))
+                else:
+                    snapshot.append((key, value))
+            pairs_by_path[path] = snapshot
+        return cls(pairs_by_path, arena)
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # The arena (live SharedMemory handles) never crosses the wire;
+        # the refs carry everything an attaching side needs.
+        return {"pairs_by_path": self._pairs_by_path}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self._pairs_by_path = state["pairs_by_path"]
+        self._arena = None
+        self._attached = []
+
+    def paths(self) -> List[str]:
+        return list(self._pairs_by_path)
+
+    def exported_blocks(self) -> int:
+        return len(self._arena) if self._arena is not None else 0
+
+    def pairs(self, path: str) -> List[Tuple[Any, Any]]:
+        """The snapshot of ``path``, shared arrays materialized as views
+        over the mapped blocks (zero-copy on the attaching side)."""
+        resolved: List[Tuple[Any, Any]] = []
+        for key, value in self._pairs_by_path[path]:
+            if isinstance(value, SharedArrayRef):
+                value = value.attach(self._attached)
+            resolved.append((key, value))
+        return resolved
+
+    def release(self) -> None:
+        """Close this side's mappings; on the owning driver also unlink
+        every exported block.  Idempotent."""
+        for shm in self._attached:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - live array view
+                pass
+        self._attached = []
+        if self._arena is not None:
+            self._arena.release()
+
+    def __enter__(self) -> "SharedStoreView":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()

@@ -15,10 +15,20 @@ eliminates.
 Clock discipline matches the M3R provider: each ``ctx.advance`` is one
 ``clock +=`` of the original ``_execute``, same expressions, same order,
 so simulated seconds are byte-identical to the pre-lifecycle engine.
+
+Task bodies are module-level functions over an explicit
+:class:`~repro.lifecycle.envelopes.TaskContext` — the same portability
+shape as the M3R provider (zero captures in ``analyze --report
+portability``).  This engine never offloads its kernels to place
+workers, though: the stock engine's task bodies interleave user code
+with streaming filesystem reads and record writers (both driver-side
+objects), and its place-backend setting is API parity only
+(DESIGN.md §16).
 """
 
 from __future__ import annotations
 
+import functools
 import heapq
 import math
 from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
@@ -51,6 +61,7 @@ from repro.engine_common import (
 )
 from repro.fs.instrumented import FsTally, InstrumentedFileSystem
 from repro.hadoop_engine.scheduler import SlotLanes, place_map_tasks, reduce_node_for
+from repro.lifecycle.envelopes import TaskContext
 from repro.lifecycle.pipeline import JobContext, StageFn, StageProvider
 from repro.lifecycle.subscriptions import SanitizerSubscription
 from repro.restore import admission as restore
@@ -60,6 +71,8 @@ __all__ = [
     "SORT_BUFFER_KEY",
     "DEFAULT_SORT_BUFFER",
     "FAILURE_DETECT_FACTOR",
+    "run_hadoop_map_task",
+    "run_hadoop_reduce_task",
 ]
 
 #: Map-side sort buffer (Hadoop's io.sort.mb, in bytes).
@@ -90,23 +103,29 @@ class HadoopStageProvider(StageProvider):
         return (SanitizerSubscription(ctx),)
 
     def stages(self, ctx: JobContext) -> Iterable[Tuple[str, StageFn]]:
+        # Partials, not lambdas: stage thunks must not be closures over
+        # this method (the portability inventory counts every capture).
         st: Dict[str, Any] = {}
         reuse = restore.restore_enabled(ctx.conf)
         if reuse:
             # Same shape as the M3R provider: the generator resumes after
             # admission ran, so a hit swaps the stage list for one serve.
-            yield "admission", lambda: restore.admit(ctx, self.engine, st)
+            yield "admission", functools.partial(restore.admit, ctx, self.engine, st)
             if st.get(restore.HIT_KEY) is not None:
-                yield "serve", lambda: restore.serve_hadoop(ctx, self.engine, st)
+                yield "serve", functools.partial(
+                    restore.serve_hadoop, ctx, self.engine, st
+                )
                 return
-        yield "setup", lambda: self._setup(ctx, st)
-        yield "plan_splits", lambda: self._plan_splits(ctx, st)
-        yield "map", lambda: self._map_stage(ctx, st)
+        yield "setup", functools.partial(self._setup, ctx, st)
+        yield "plan_splits", functools.partial(self._plan_splits, ctx, st)
+        yield "map", functools.partial(self._map_stage, ctx, st)
         if not ctx.spec.is_map_only:
-            yield "reduce", lambda: self._reduce_stage(ctx, st)
-        yield "commit", lambda: self._commit(ctx, st)
+            yield "reduce", functools.partial(self._reduce_stage, ctx, st)
+        yield "commit", functools.partial(self._commit, ctx, st)
         if reuse:
-            yield "restore-record", lambda: restore.record(ctx, self.engine, st)
+            yield "restore-record", functools.partial(
+                restore.record, ctx, self.engine, st
+            )
 
     # ------------------------------------------------------------------ #
     # stages
@@ -144,16 +163,12 @@ class HadoopStageProvider(StageProvider):
 
     def _map_stage(self, ctx: JobContext, st: Dict[str, Any]) -> Dict[int, float]:
         engine = self.engine
-        splits: List[InputSplit] = st["splits"]
         placements: List[int] = st["placements"]
 
-        def map_task(index: int) -> Tuple[float, List[PartitionBuffer]]:
-            return self._run_map_task(
-                ctx, splits[index], index, placements[index]
-            )
-
+        tctx = TaskContext(ctx, engine, st)
         map_results = self._run_phase(
-            ctx.conf, placements, engine.map_slots, map_task
+            ctx.conf, placements, engine.map_slots,
+            functools.partial(run_hadoop_map_task, tctx),
         )
         # Slot-lane accounting stays on the driver thread, in task-index
         # order, so the simulated makespan matches the serial path exactly.
@@ -177,10 +192,7 @@ class HadoopStageProvider(StageProvider):
 
     def _reduce_stage(self, ctx: JobContext, st: Dict[str, Any]) -> Dict[int, float]:
         engine = self.engine
-        model = engine.cost_model
         spec = ctx.spec
-        map_outputs: List[List[PartitionBuffer]] = st["map_outputs"]
-        map_nodes: List[int] = st["map_nodes"]
 
         ctx.counters.increment(JobCounter.TOTAL_LAUNCHED_REDUCES, spec.num_reducers)
         reduce_nodes: List[int] = []
@@ -192,18 +204,13 @@ class HadoopStageProvider(StageProvider):
             node, failover = engine._healthy_node(node)
             reduce_nodes.append(node)
             failovers.append(failover)
+        st["reduce_nodes"] = reduce_nodes  # noqa: M3R001 - driver-thread stage scratch
+        st["failovers"] = failovers  # noqa: M3R001 - driver-thread stage scratch
 
-        def reduce_task(partition: int) -> float:
-            duration = self._run_reduce_task(
-                ctx, partition, reduce_nodes[partition], map_outputs, map_nodes
-            )
-            if failovers[partition]:
-                duration += model.task_scheduling * FAILURE_DETECT_FACTOR
-                ctx.metrics.incr("reduce_task_failovers")
-            return duration
-
+        tctx = TaskContext(ctx, engine, st)
         durations = self._run_phase(
-            ctx.conf, reduce_nodes, engine.reduce_slots, reduce_task
+            ctx.conf, reduce_nodes, engine.reduce_slots,
+            functools.partial(run_hadoop_reduce_task, tctx),
         )
         reduce_lanes = SlotLanes(engine.cluster.num_nodes, engine.reduce_slots)
         for partition, duration in enumerate(durations):
@@ -242,303 +249,300 @@ class HadoopStageProvider(StageProvider):
             nodes, slots, task_fn, thread_name_prefix="hadoop-task"
         )
 
-    # ------------------------------------------------------------------ #
-    # map tasks
-    # ------------------------------------------------------------------ #
 
-    def _task_fixed_overhead(self, ctx: JobContext) -> float:
-        model = self.engine.cost_model
-        ctx.metrics.time.charge("scheduling", model.task_scheduling)
-        ctx.metrics.time.charge("jvm_startup", model.jvm_startup)
-        return model.task_scheduling + model.jvm_startup
+# ---------------------------------------------------------------------- #
+# task bodies
+# ---------------------------------------------------------------------- #
 
-    def _run_map_task(
-        self,
-        ctx: JobContext,
-        split: InputSplit,
-        task_index: int,
-        node: int,
-    ) -> Tuple[float, List[PartitionBuffer]]:
-        """Execute one map task; returns (simulated duration, partition buffers)."""
-        engine = self.engine
-        model = engine.cost_model
-        spec, conf = ctx.spec, ctx.conf
-        counters, metrics = ctx.counters, ctx.metrics
-        duration = self._task_fixed_overhead(ctx)
 
-        tally = FsTally()
-        task_fs = InstrumentedFileSystem(engine.filesystem, tally, at_node=node)
-        task_conf = JobConf(conf)
-        task_conf.set(TASK_FS_KEY, task_fs)
-        task_conf.set(TASK_PARTITION_KEY, task_index)
-        reporter = Reporter(counters)
+def _hadoop_task_fixed_overhead(ctx: JobContext, model: Any) -> float:
+    ctx.metrics.time.charge("scheduling", model.task_scheduling)
+    ctx.metrics.time.charge("jvm_startup", model.jvm_startup)
+    return model.task_scheduling + model.jvm_startup
 
-        batch_size = batch_size_for(conf)
-        use_batched = batch_size > 0 and spec.supports_batched_map(split)
-        use_imc = use_batched and imc_armed(spec, conf)
 
-        raw_reader = spec.input_format.get_record_reader(
-            task_fs, split, task_conf, reporter
-        )
-        reader: Any = (
-            BatchingReader(raw_reader, counters, batch_size)
-            if use_batched
-            else CountingReader(raw_reader, counters)
-        )
+def run_hadoop_map_task(
+    tctx: TaskContext, task_index: int
+) -> Tuple[float, List[PartitionBuffer]]:
+    """Execute one map task; returns (simulated duration, partition buffers)."""
+    ctx, engine, st = tctx.ctx, tctx.engine, tctx.st
+    split: InputSplit = st["splits"][task_index]
+    node: int = st["placements"][task_index]
+    model = engine.cost_model
+    spec, conf = ctx.spec, ctx.conf
+    counters, metrics = ctx.counters, ctx.metrics
+    duration = _hadoop_task_fixed_overhead(ctx, model)
 
-        def run_user_code(sink: Any) -> None:
-            if use_batched:
-                spec.run_map_task_batched(split, reader, sink, reporter, task_conf)
-                metrics.incr("batch_batches", reader.batches)
-                metrics.incr("batch_records", reader.records)
-            else:
-                spec.run_map_task(split, reader, sink, reporter, task_conf)
+    tally = FsTally()
+    task_fs = InstrumentedFileSystem(engine.filesystem, tally, at_node=node)
+    task_conf = JobConf(conf)
+    task_conf.set(TASK_FS_KEY, task_fs)
+    task_conf.set(TASK_PARTITION_KEY, task_index)
+    reporter = Reporter(counters)
 
-        collector: Any = None
-        if spec.is_map_only:
-            writer = spec.output_format.get_record_writer(
-                task_fs, task_conf, FileOutputFormat.part_name(task_index), reporter
-            )
-            sink = WriterCollector(
-                writer, counters, record_policy="serialize",
-                deferred_counters=use_batched,
-            )
-            run_user_code(sink)
-            if use_batched:
-                sink.flush_counters()
-            writer.close()
-            buffers: List[PartitionBuffer] = []
-            out_bytes, out_records = sink.bytes, sink.records
-        elif use_imc:
-            collector = InMapperCombineSink(
-                spec,
-                num_partitions=spec.num_reducers,
-                counters=counters,
-                record_policy="serialize",
-                max_entries=imc_max_entries_for(conf),
-                task_conf=task_conf,
-            )
-            run_user_code(collector)
-            buffers = []  # produced by collector.finish() after the charges
-            out_bytes, out_records = collector.bytes, collector.records
+    batch_size = batch_size_for(conf)
+    use_batched = batch_size > 0 and spec.supports_batched_map(split)
+    use_imc = use_batched and imc_armed(spec, conf)
+
+    raw_reader = spec.input_format.get_record_reader(
+        task_fs, split, task_conf, reporter
+    )
+    reader: Any = (
+        BatchingReader(raw_reader, counters, batch_size)
+        if use_batched
+        else CountingReader(raw_reader, counters)
+    )
+
+    def run_user_code(sink: Any) -> None:
+        if use_batched:
+            spec.run_map_task_batched(split, reader, sink, reporter, task_conf)
+            metrics.incr("batch_batches", reader.batches)
+            metrics.incr("batch_records", reader.records)
         else:
-            collector = CollectorSink(
-                num_partitions=spec.num_reducers,
-                partitioner=spec.partitioner,
-                counters=counters,
-                record_policy="serialize",
-                deferred_counters=use_batched,
-            )
-            run_user_code(collector)
-            if use_batched:
-                collector.flush_counters()
-            buffers = collector.partitions
-            out_bytes, out_records = collector.bytes, collector.records
+            spec.run_map_task(split, reader, sink, reporter, task_conf)
 
-        # --- input-side costs -------------------------------------------- #
-        local = engine._is_local_read(split, node)
-        read_time = model.disk_read_time(tally.bytes_read, seeks=max(1, tally.read_ops))
-        metrics.time.charge("disk_read", read_time)
-        duration += read_time
-        if not local and tally.bytes_read:
-            net = model.net_transfer_time(tally.bytes_read)
-            metrics.time.charge("network", net)
-            duration += net
-            metrics.incr("remote_map_reads")
-        deser = model.deserialize_time(tally.bytes_read, reader.records)
-        metrics.time.charge("deserialize", deser)
-        duration += deser
-        nn = model.namenode_op * max(1, tally.metadata_ops)
-        metrics.time.charge("namenode", nn)
-        duration += nn
+    collector: Any = None
+    if spec.is_map_only:
+        writer = spec.output_format.get_record_writer(
+            task_fs, task_conf, FileOutputFormat.part_name(task_index), reporter
+        )
+        sink = WriterCollector(
+            writer, counters, record_policy="serialize",
+            deferred_counters=use_batched,
+        )
+        run_user_code(sink)
+        if use_batched:
+            sink.flush_counters()
+        writer.close()
+        buffers: List[PartitionBuffer] = []
+        out_bytes, out_records = sink.bytes, sink.records
+    elif use_imc:
+        collector = InMapperCombineSink(
+            spec,
+            num_partitions=spec.num_reducers,
+            counters=counters,
+            record_policy="serialize",
+            max_entries=imc_max_entries_for(conf),
+            task_conf=task_conf,
+        )
+        run_user_code(collector)
+        buffers = []  # produced by collector.finish() after the charges
+        out_bytes, out_records = collector.bytes, collector.records
+    else:
+        collector = CollectorSink(
+            num_partitions=spec.num_reducers,
+            partitioner=spec.partitioner,
+            counters=counters,
+            record_policy="serialize",
+            deferred_counters=use_batched,
+        )
+        run_user_code(collector)
+        if use_batched:
+            collector.flush_counters()
+        buffers = collector.partitions
+        out_bytes, out_records = collector.bytes, collector.records
 
-        # --- user code + framework ------------------------------------------ #
+    # --- input-side costs -------------------------------------------- #
+    local = engine._is_local_read(split, node)
+    read_time = model.disk_read_time(tally.bytes_read, seeks=max(1, tally.read_ops))
+    metrics.time.charge("disk_read", read_time)
+    duration += read_time
+    if not local and tally.bytes_read:
+        net = model.net_transfer_time(tally.bytes_read)
+        metrics.time.charge("network", net)
+        duration += net
+        metrics.incr("remote_map_reads")
+    deser = model.deserialize_time(tally.bytes_read, reader.records)
+    metrics.time.charge("deserialize", deser)
+    duration += deser
+    nn = model.namenode_op * max(1, tally.metadata_ops)
+    metrics.time.charge("namenode", nn)
+    duration += nn
+
+    # --- user code + framework ------------------------------------------ #
+    compute = reporter.consume_compute_seconds()
+    metrics.time.charge("map_compute", compute)
+    duration += compute
+    framework = model.map_framework_time(reader.records)
+    metrics.time.charge("framework", framework)
+    duration += framework
+    if is_immutable_output(spec.resolve_mapper_class(split)):
+        # The ImmutableOutput style allocates a fresh object per emit
+        # (paper Figure 4 right); the stock engine pays that GC churn.
+        alloc = model.alloc_time(out_records) + model.gc_churn_time(out_records)
+        metrics.time.charge("alloc", alloc)
+        duration += alloc
+
+    # --- output-side costs ----------------------------------------------- #
+    ser = model.serialize_time(out_bytes, out_records)
+    metrics.time.charge("serialize", ser)
+    duration += ser
+
+    if spec.is_map_only:
+        write_time = engine._charge_fs_write(tally.bytes_written, metrics)
+        duration += write_time
+        return duration, buffers
+
+    # Combiner runs over the sorted in-memory buffer, per spill set.
+    if use_imc:
+        # Same charge the buffer-sort-combine path pays, from the same
+        # pre-combine totals; only the wall-clock mechanism differs
+        # (DESIGN.md §14).
+        sort_time = model.sort_time(collector.records, collector.bytes)
+        metrics.time.charge("sort", sort_time)
+        duration += sort_time
+        buffers = collector.finish()
         compute = reporter.consume_compute_seconds()
         metrics.time.charge("map_compute", compute)
         duration += compute
-        framework = model.map_framework_time(reader.records)
-        metrics.time.charge("framework", framework)
-        duration += framework
-        if is_immutable_output(spec.resolve_mapper_class(split)):
-            # The ImmutableOutput style allocates a fresh object per emit
-            # (paper Figure 4 right); the stock engine pays that GC churn.
-            alloc = model.alloc_time(out_records) + model.gc_churn_time(out_records)
-            metrics.time.charge("alloc", alloc)
-            duration += alloc
+        metrics.incr("imc_input_records", collector.records)
+        metrics.incr("imc_output_records", collector.output_records)
+        metrics.incr("imc_folded_records", collector.imc_folds)
+        metrics.incr("imc_spills", collector.imc_spills)
+    elif spec.combiner_class is not None:
+        pre_records = sum(len(b.pairs) for b in buffers)
+        pre_bytes = sum(b.bytes for b in buffers)
+        sort_time = model.sort_time(pre_records, pre_bytes)
+        metrics.time.charge("sort", sort_time)
+        duration += sort_time
+        combined: List[PartitionBuffer] = []
+        for buffer in buffers:
+            combined.append(
+                run_combiner_if_any(spec, buffer, counters, reporter, "serialize")
+            )
+        buffers = combined
+        compute = reporter.consume_compute_seconds()
+        metrics.time.charge("map_compute", compute)
+        duration += compute
 
-        # --- output-side costs ----------------------------------------------- #
-        ser = model.serialize_time(out_bytes, out_records)
-        metrics.time.charge("serialize", ser)
-        duration += ser
+    spill_bytes = sum(b.bytes for b in buffers)
+    spill_records = sum(len(b.pairs) for b in buffers)
+    counters.increment(TaskCounter.SPILLED_RECORDS, spill_records)
+    if spec.combiner_class is None:
+        sort_time = model.sort_time(spill_records, spill_bytes)
+        metrics.time.charge("sort", sort_time)
+        duration += sort_time
+    spill_write = model.disk_write_time(spill_bytes, seeks=1)
+    metrics.time.charge("disk_write", spill_write)
+    duration += spill_write
+    metrics.incr("map_spill_bytes", spill_bytes)
 
-        if spec.is_map_only:
-            write_time = engine._charge_fs_write(tally.bytes_written, metrics)
-            duration += write_time
-            return duration, buffers
-
-        # Combiner runs over the sorted in-memory buffer, per spill set.
-        if use_imc:
-            # Same charge the buffer-sort-combine path pays, from the same
-            # pre-combine totals; only the wall-clock mechanism differs
-            # (DESIGN.md §14).
-            sort_time = model.sort_time(collector.records, collector.bytes)
-            metrics.time.charge("sort", sort_time)
-            duration += sort_time
-            buffers = collector.finish()
-            compute = reporter.consume_compute_seconds()
-            metrics.time.charge("map_compute", compute)
-            duration += compute
-            metrics.incr("imc_input_records", collector.records)
-            metrics.incr("imc_output_records", collector.output_records)
-            metrics.incr("imc_folded_records", collector.imc_folds)
-            metrics.incr("imc_spills", collector.imc_spills)
-        elif spec.combiner_class is not None:
-            pre_records = sum(len(b.pairs) for b in buffers)
-            pre_bytes = sum(b.bytes for b in buffers)
-            sort_time = model.sort_time(pre_records, pre_bytes)
-            metrics.time.charge("sort", sort_time)
-            duration += sort_time
-            combined: List[PartitionBuffer] = []
-            for buffer in buffers:
-                combined.append(
-                    run_combiner_if_any(spec, buffer, counters, reporter, "serialize")
-                )
-            buffers = combined
-            compute = reporter.consume_compute_seconds()
-            metrics.time.charge("map_compute", compute)
-            duration += compute
-
-        spill_bytes = sum(b.bytes for b in buffers)
-        spill_records = sum(len(b.pairs) for b in buffers)
-        counters.increment(TaskCounter.SPILLED_RECORDS, spill_records)
-        if spec.combiner_class is None:
-            sort_time = model.sort_time(spill_records, spill_bytes)
-            metrics.time.charge("sort", sort_time)
-            duration += sort_time
-        spill_write = model.disk_write_time(spill_bytes, seeks=1)
-        metrics.time.charge("disk_write", spill_write)
-        duration += spill_write
-        metrics.incr("map_spill_bytes", spill_bytes)
-
-        sort_buffer = conf.get_int(SORT_BUFFER_KEY, DEFAULT_SORT_BUFFER)
-        spills = max(1, math.ceil(spill_bytes / max(1, sort_buffer)))
-        if spills > 1:
-            merge = model.external_merge_time(spill_records, spill_bytes, spills)
-            metrics.time.charge("merge", merge)
-            duration += merge
-
-        return duration, buffers
-
-    # ------------------------------------------------------------------ #
-    # reduce tasks
-    # ------------------------------------------------------------------ #
-
-    def _run_reduce_task(
-        self,
-        ctx: JobContext,
-        partition: int,
-        node: int,
-        map_outputs: List[List[PartitionBuffer]],
-        map_nodes: List[int],
-    ) -> float:
-        engine = self.engine
-        model = engine.cost_model
-        spec, conf = ctx.spec, ctx.conf
-        counters, metrics = ctx.counters, ctx.metrics
-        duration = self._task_fixed_overhead(ctx)
-
-        # --- shuffle fetch: disk at source, wire, disk at sink ----------- #
-        run_lists: List[List[Tuple[Any, Any]]] = []
-        total_bytes = 0
-        total_records = 0
-        disk_read_time = model.disk_read_time
-        disk_write_time = model.disk_write_time
-        net_transfer_time = model.net_transfer_time
-        incr = metrics.incr
-        charge = metrics.time.charge
-        for map_index, buffers in enumerate(map_outputs):
-            buffer = buffers[partition]
-            if not buffer.pairs:
-                continue
-            run_lists.append(buffer.pairs)
-            total_bytes += buffer.bytes
-            total_records += len(buffer.pairs)
-            fetch = disk_read_time(buffer.bytes, seeks=1)
-            if map_nodes[map_index] != node:
-                fetch += net_transfer_time(buffer.bytes)
-                incr("shuffle_remote_bytes", buffer.bytes)
-            else:
-                incr("shuffle_local_bytes", buffer.bytes)
-            fetch += disk_write_time(buffer.bytes, seeks=1)
-            charge("network", fetch)
-            duration += fetch
-        counters.increment(TaskCounter.REDUCE_SHUFFLE_BYTES, total_bytes)
-
-        # --- out-of-core merge sort ---------------------------------------- #
-        runs = len(run_lists)
-        merge = model.external_merge_time(total_records, total_bytes, max(1, runs))
+    sort_buffer = conf.get_int(SORT_BUFFER_KEY, DEFAULT_SORT_BUFFER)
+    spills = max(1, math.ceil(spill_bytes / max(1, sort_buffer)))
+    if spills > 1:
+        merge = model.external_merge_time(spill_records, spill_bytes, spills)
         metrics.time.charge("merge", merge)
         duration += merge
-        deser = model.deserialize_time(total_bytes, total_records)
-        metrics.time.charge("deserialize", deser)
-        duration += deser
 
-        sort_key = spec.sort_key()
-        if conf_bool(conf, SHUFFLE_SORTED_RUNS_KEY, default=True):
-            # Real Hadoop ships map output as sorted spill runs and the
-            # reducer merges; do the same so record order (stable-merge of
-            # stable-sorted runs, in map-index order) matches M3R's
-            # sorted-runs shuffle record for record.  The charge is already
-            # the external merge above — this changes the mechanism, not
-            # the modeled cost.
-            pairs = list(
-                heapq.merge(
-                    *[sorted(run, key=sort_key) for run in run_lists],
-                    key=sort_key,
-                )
-            )
+    return duration, buffers
+
+
+def run_hadoop_reduce_task(tctx: TaskContext, partition: int) -> float:
+    ctx, engine, st = tctx.ctx, tctx.engine, tctx.st
+    node: int = st["reduce_nodes"][partition]
+    map_outputs: List[List[PartitionBuffer]] = st["map_outputs"]
+    map_nodes: List[int] = st["map_nodes"]
+    model = engine.cost_model
+    spec, conf = ctx.spec, ctx.conf
+    counters, metrics = ctx.counters, ctx.metrics
+    duration = _hadoop_task_fixed_overhead(ctx, model)
+
+    # --- shuffle fetch: disk at source, wire, disk at sink ----------- #
+    run_lists: List[List[Tuple[Any, Any]]] = []
+    total_bytes = 0
+    total_records = 0
+    disk_read_time = model.disk_read_time
+    disk_write_time = model.disk_write_time
+    net_transfer_time = model.net_transfer_time
+    incr = metrics.incr
+    charge = metrics.time.charge
+    for map_index, buffers in enumerate(map_outputs):
+        buffer = buffers[partition]
+        if not buffer.pairs:
+            continue
+        run_lists.append(buffer.pairs)
+        total_bytes += buffer.bytes
+        total_records += len(buffer.pairs)
+        fetch = disk_read_time(buffer.bytes, seeks=1)
+        if map_nodes[map_index] != node:
+            fetch += net_transfer_time(buffer.bytes)
+            incr("shuffle_remote_bytes", buffer.bytes)
         else:
-            pairs = [pair for run in run_lists for pair in run]
-            pairs.sort(key=sort_key)
-        groups = list(spec.group_sorted_pairs(pairs))
-        counters.increment(TaskCounter.REDUCE_INPUT_GROUPS, len(groups))
-        counters.increment(TaskCounter.REDUCE_INPUT_RECORDS, len(pairs))
+            incr("shuffle_local_bytes", buffer.bytes)
+        fetch += disk_write_time(buffer.bytes, seeks=1)
+        charge("network", fetch)
+        duration += fetch
+    counters.increment(TaskCounter.REDUCE_SHUFFLE_BYTES, total_bytes)
 
-        # --- reduce user code ------------------------------------------------- #
-        tally = FsTally()
-        task_fs = InstrumentedFileSystem(engine.filesystem, tally, at_node=node)
-        task_conf = JobConf(conf)
-        task_conf.set(TASK_FS_KEY, task_fs)
-        task_conf.set(TASK_PARTITION_KEY, partition)
-        reporter = Reporter(counters)
-        writer = spec.output_format.get_record_writer(
-            task_fs, task_conf, FileOutputFormat.part_name(partition), reporter
+    # --- out-of-core merge sort ---------------------------------------- #
+    runs = len(run_lists)
+    merge = model.external_merge_time(total_records, total_bytes, max(1, runs))
+    metrics.time.charge("merge", merge)
+    duration += merge
+    deser = model.deserialize_time(total_bytes, total_records)
+    metrics.time.charge("deserialize", deser)
+    duration += deser
+
+    sort_key = spec.sort_key()
+    if conf_bool(conf, SHUFFLE_SORTED_RUNS_KEY, default=True):
+        # Real Hadoop ships map output as sorted spill runs and the
+        # reducer merges; do the same so record order (stable-merge of
+        # stable-sorted runs, in map-index order) matches M3R's
+        # sorted-runs shuffle record for record.  The charge is already
+        # the external merge above — this changes the mechanism, not
+        # the modeled cost.
+        pairs = list(
+            heapq.merge(
+                *[sorted(run, key=sort_key) for run in run_lists],
+                key=sort_key,
+            )
         )
-        deferred = batch_size_for(conf) > 0
-        sink = WriterCollector(
-            writer, counters, record_policy="serialize", deferred_counters=deferred
-        )
-        spec.run_reduce_task(groups, sink, reporter, task_conf)
-        if deferred:
-            sink.flush_counters()
-        writer.close()
+    else:
+        pairs = [pair for run in run_lists for pair in run]
+        pairs.sort(key=sort_key)
+    groups = list(spec.group_sorted_pairs(pairs))
+    counters.increment(TaskCounter.REDUCE_INPUT_GROUPS, len(groups))
+    counters.increment(TaskCounter.REDUCE_INPUT_RECORDS, len(pairs))
 
-        compute = reporter.consume_compute_seconds()
-        metrics.time.charge("reduce_compute", compute)
-        duration += compute
-        framework = model.reduce_framework_time(len(pairs))
-        metrics.time.charge("framework", framework)
-        duration += framework
-        if spec.reduce_output_immutable():
-            alloc = model.alloc_time(sink.records) + model.gc_churn_time(sink.records)
-            metrics.time.charge("alloc", alloc)
-            duration += alloc
-        ser = model.serialize_time(sink.bytes, sink.records)
-        metrics.time.charge("serialize", ser)
-        duration += ser
+    # --- reduce user code ------------------------------------------------- #
+    tally = FsTally()
+    task_fs = InstrumentedFileSystem(engine.filesystem, tally, at_node=node)
+    task_conf = JobConf(conf)
+    task_conf.set(TASK_FS_KEY, task_fs)
+    task_conf.set(TASK_PARTITION_KEY, partition)
+    reporter = Reporter(counters)
+    writer = spec.output_format.get_record_writer(
+        task_fs, task_conf, FileOutputFormat.part_name(partition), reporter
+    )
+    deferred = batch_size_for(conf) > 0
+    sink = WriterCollector(
+        writer, counters, record_policy="serialize", deferred_counters=deferred
+    )
+    spec.run_reduce_task(groups, sink, reporter, task_conf)
+    if deferred:
+        sink.flush_counters()
+    writer.close()
 
-        duration += engine._charge_fs_write(tally.bytes_written, metrics)
-        nn = model.namenode_op * max(1, tally.metadata_ops)
-        metrics.time.charge("namenode", nn)
-        duration += nn
-        return duration
+    compute = reporter.consume_compute_seconds()
+    metrics.time.charge("reduce_compute", compute)
+    duration += compute
+    framework = model.reduce_framework_time(len(pairs))
+    metrics.time.charge("framework", framework)
+    duration += framework
+    if spec.reduce_output_immutable():
+        alloc = model.alloc_time(sink.records) + model.gc_churn_time(sink.records)
+        metrics.time.charge("alloc", alloc)
+        duration += alloc
+    ser = model.serialize_time(sink.bytes, sink.records)
+    metrics.time.charge("serialize", ser)
+    duration += ser
+
+    duration += engine._charge_fs_write(tally.bytes_written, metrics)
+    nn = model.namenode_op * max(1, tally.metadata_ops)
+    metrics.time.charge("namenode", nn)
+    duration += nn
+
+    if st["failovers"][partition]:
+        duration += model.task_scheduling * FAILURE_DETECT_FACTOR
+        ctx.metrics.incr("reduce_task_failovers")
+    return duration

@@ -17,11 +17,29 @@ Every ``ctx.advance`` below reproduces one ``clock +=`` of the original
 order-sensitive and the refactor's invariant is byte-identical simulated
 seconds.  The memory governor and sanitizers are NOT wired here: they
 ride the event bus (see :mod:`repro.lifecycle.subscriptions`).
+
+Task bodies are **module-level functions over an explicit**
+:class:`~repro.lifecycle.envelopes.TaskContext` — not closures over
+provider methods.  That is the place-portability refactor (DESIGN.md
+§16): ``analyze --report portability`` counts every capture a provider
+method's closures would have to ship to another process, and this module
+keeps that inventory at zero by construction.  Each task body splits as
+
+    driver prologue  (cache/filesystem/placement — needs the engine)
+    → kernel         (pure user code; offloadable to a place worker)
+    → driver epilogue (cost-model charges from the kernel outcome,
+                       applied in exactly the original order)
+
+with the kernel either run inline (thread backend, or any fallback) or
+shipped to a per-place worker process as a picklable envelope
+(:mod:`repro.lifecycle.envelopes`) — identical outputs, counters and
+simulated seconds either way.
 """
 
 from __future__ import annotations
 
 import copy
+import functools
 from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
 
 from repro.api.conf import (
@@ -32,27 +50,35 @@ from repro.api.conf import (
     JobConf,
     conf_bool,
 )
-from repro.api.counters import JobCounter, TaskCounter
+from repro.api.counters import JobCounter
 from repro.api.extensions import is_immutable_output, is_temporary_output
 from repro.api.formats import FileOutputFormat
 from repro.api.mapred import Reporter
 from repro.api.multiple_io import TASK_FS_KEY, TASK_PARTITION_KEY
 from repro.api.splits import InputSplit
 from repro.engine_common import (
-    BatchingReader,
-    CollectorSink,
-    CountingReader,
-    InMapperCombineSink,
     MaterializedReader,
     PartitionBuffer,
     batch_size_for,
     bounded_task_fn,
     imc_armed,
     imc_max_entries_for,
-    run_combiner_if_any,
 )
 from repro.fs.instrumented import FsTally, InstrumentedFileSystem
 from repro.hadoop_engine.scheduler import SlotLanes
+from repro.lifecycle.envelopes import (
+    MapKernelEnvelope,
+    ReduceKernelEnvelope,
+    TaskContext,
+    dispatch_kernel,
+    make_task_reader,
+    map_kernel_eligible,
+    merge_counter_groups,
+    reduce_kernel_eligible,
+    run_map_kernel,
+    run_reduce_kernel,
+    wire_task_conf,
+)
 from repro.lifecycle.pipeline import JobContext, StageFn, StageProvider
 from repro.lifecycle.subscriptions import (
     GovernorSubscription,
@@ -63,7 +89,7 @@ from repro.shuffle import ShuffleExecutor, ShuffleInput
 from repro.x10.runtime import ActivityError
 from repro.x10.serializer import FALLBACK_TALLY
 
-__all__ = ["M3RStageProvider"]
+__all__ = ["M3RStageProvider", "run_m3r_map_task", "run_m3r_reduce_task"]
 
 
 class M3RStageProvider(StageProvider):
@@ -85,29 +111,35 @@ class M3RStageProvider(StageProvider):
         return (GovernorSubscription(self.engine, ctx), SanitizerSubscription(ctx))
 
     def stages(self, ctx: JobContext) -> Iterable[Tuple[str, StageFn]]:
+        # Partials, not lambdas: stage thunks must not be closures over
+        # this method (the portability inventory counts every capture).
         st: Dict[str, Any] = {}
         reuse = restore.restore_enabled(ctx.conf)
         if reuse:
             # Admission runs before any stage touches the filesystem; the
             # generator resumes after the pipeline executed it, so a hit
             # replaces the whole stage list with one serve stage.
-            yield "admission", lambda: restore.admit(ctx, self.engine, st)
+            yield "admission", functools.partial(restore.admit, ctx, self.engine, st)
             if st.get(restore.HIT_KEY) is not None:
-                yield "serve", lambda: restore.serve_m3r(ctx, self.engine, st)
+                yield "serve", functools.partial(
+                    restore.serve_m3r, ctx, self.engine, st
+                )
                 return
-        yield "setup", lambda: self._setup(ctx, st)
-        yield "plan_splits", lambda: self._plan_splits(ctx, st)
-        yield "map", lambda: self._map_stage(ctx, st)
+        yield "setup", functools.partial(self._setup, ctx, st)
+        yield "plan_splits", functools.partial(self._plan_splits, ctx, st)
+        yield "map", functools.partial(self._map_stage, ctx, st)
         if ctx.spec.is_map_only:
-            yield "commit", lambda: self._commit_map_only(ctx, st)
+            yield "commit", functools.partial(self._commit_map_only, ctx, st)
         else:
-            yield "shuffle", lambda: self._shuffle_stage(ctx, st)
-            yield "reduce", lambda: self._reduce_stage(ctx, st)
-            yield "commit", lambda: self._commit(ctx, st)
-        yield "cache-admit", lambda: self._cache_admit(ctx)
-        yield "teardown", lambda: self._teardown(ctx, st)
+            yield "shuffle", functools.partial(self._shuffle_stage, ctx, st)
+            yield "reduce", functools.partial(self._reduce_stage, ctx, st)
+            yield "commit", functools.partial(self._commit, ctx, st)
+        yield "cache-admit", functools.partial(self._cache_admit, ctx)
+        yield "teardown", functools.partial(self._teardown, ctx, st)
         if reuse:
-            yield "restore-record", lambda: restore.record(ctx, self.engine, st)
+            yield "restore-record", functools.partial(
+                restore.record, ctx, self.engine, st
+            )
 
     # ------------------------------------------------------------------ #
     # stages
@@ -155,12 +187,11 @@ class M3RStageProvider(StageProvider):
         splits: List[InputSplit] = st["splits"]
         placements: List[int] = st["placements"]
 
-        def map_task(index: int) -> Tuple[float, List[PartitionBuffer]]:
-            return self._run_map_task(
-                ctx, splits[index], index, placements[index]
-            )
-
-        map_results = self._run_phase(ctx.conf, placements, map_task)
+        tctx = TaskContext(ctx, engine, st)
+        map_results = run_m3r_phase(
+            engine, ctx.conf, placements,
+            functools.partial(run_m3r_map_task, tctx),
+        )
         # Virtual-clock accounting happens after the finish joins, in
         # task-index order, so the makespan is identical to the serial path
         # no matter how the worker threads interleaved.
@@ -209,19 +240,17 @@ class M3RStageProvider(StageProvider):
         model = engine.cost_model
         spec = ctx.spec
         reduce_inputs: List[ShuffleInput] = st["reduce_inputs"]
-        temp_output = st["job_is_temp"]
         reduce_places = [
             engine.partition_place(partition)
             for partition in range(spec.num_reducers)
         ]
+        st["reduce_places"] = reduce_places  # noqa: M3R001 - driver-thread stage scratch
 
-        def reduce_task(partition: int) -> float:
-            return self._run_reduce_task(
-                ctx, partition, reduce_places[partition],
-                reduce_inputs[partition], temp_output,
-            )
-
-        durations = self._run_phase(ctx.conf, reduce_places, reduce_task)
+        tctx = TaskContext(ctx, engine, st)
+        durations = run_m3r_phase(
+            engine, ctx.conf, reduce_places,
+            functools.partial(run_m3r_reduce_task, tctx),
+        )
         reduce_lanes = SlotLanes(engine.num_places, engine.workers_per_place)
         for partition, duration in enumerate(durations):
             reduce_lanes.add_task(reduce_places[partition], duration)
@@ -259,287 +288,6 @@ class M3RStageProvider(StageProvider):
             "serializer_fallbacks",
             FALLBACK_TALLY.snapshot() - st["fallbacks_before"],
         )
-
-    # ------------------------------------------------------------------ #
-    # phase running
-    # ------------------------------------------------------------------ #
-
-    def _use_real_threads(self, conf: JobConf) -> bool:
-        """Real threaded execution, unless the knob (or a single worker)
-        forces the serial debugging path."""
-        return self.engine.workers_per_place > 1 and conf_bool(
-            conf, REAL_THREADS_KEY, default=True
-        )
-
-    def _run_phase(
-        self,
-        conf: JobConf,
-        placements: Sequence[int],
-        task_fn: Callable[[int], Any],
-    ) -> List[Any]:
-        """Run one barrier-delimited phase: ``task_fn(i)`` at place
-        ``placements[i]`` for every task index.
-
-        In real-threads mode this is one ``finish`` block spawning one
-        ``async`` activity per task at its place, with a per-place semaphore
-        bounding concurrency to ``workers_per_place``.  Results come back in
-        task-index order either way, and the first task exception is
-        re-raised exactly as the serial loop would raise it (unwrapped from
-        :class:`ActivityError`), preserving the fail-fast "no resilience"
-        semantics — a :class:`JobFailedError` from a task still reaches
-        the pipeline as a :class:`JobFailedError`.
-        """
-        engine = self.engine
-        if len(placements) <= 1 or not self._use_real_threads(conf):
-            return [task_fn(index) for index in range(len(placements))]
-        bounded = bounded_task_fn(placements, engine.workers_per_place, task_fn)
-
-        def spawn(scope: Any) -> None:
-            for index, place_id in enumerate(placements):
-                scope.async_at(engine.runtime.place(place_id), bounded, index)
-
-        try:
-            return engine.runtime.finish_collect(spawn)
-        except ActivityError as error:
-            raise error.first from error
-
-    # ------------------------------------------------------------------ #
-    # map tasks
-    # ------------------------------------------------------------------ #
-
-    def _run_map_task(
-        self,
-        ctx: JobContext,
-        split: InputSplit,
-        task_index: int,
-        place: int,
-    ) -> Tuple[float, List[PartitionBuffer]]:
-        # The cached input (if any) is pinned for the task's duration — a
-        # concurrent task's eviction wave must not spill the sequence this
-        # task is actively reading.
-        pinned: List[str] = []
-        try:
-            return self._map_task_body(ctx, split, task_index, place, pinned)
-        finally:
-            for name in pinned:
-                self.engine.cache.unpin(name)
-
-    def _map_task_body(
-        self,
-        ctx: JobContext,
-        split: InputSplit,
-        task_index: int,
-        place: int,
-        pinned: List[str],
-    ) -> Tuple[float, List[PartitionBuffer]]:
-        engine = self.engine
-        model = engine.cost_model
-        spec, conf = ctx.spec, ctx.conf
-        counters, metrics = ctx.counters, ctx.metrics
-        duration = 0.0
-        node = engine.place_node(place)
-
-        tally = FsTally()
-        task_fs = InstrumentedFileSystem(engine.filesystem, tally, at_node=node)
-        task_conf = JobConf(conf)
-        task_conf.set(TASK_FS_KEY, task_fs)
-        task_conf.set(TASK_PARTITION_KEY, task_index)
-        reporter = Reporter(counters)
-
-        mapper_class = spec.resolve_mapper_class(split)
-        mapper_immutable = is_immutable_output(mapper_class)
-
-        batch_size = batch_size_for(conf)
-        use_batched = batch_size > 0 and spec.supports_batched_map(split)
-        use_imc = use_batched and imc_armed(spec, conf)
-
-        def make_reader(inner: Any) -> Any:
-            if use_batched:
-                return BatchingReader(inner, counters, batch_size)
-            return CountingReader(inner, counters)
-
-        # --- input: cache, or filesystem + cache insert ------------------- #
-        entry = engine._cache_lookup(split, pin=True)
-        if entry is not None:
-            pinned.append(entry.name)  # noqa: M3R001 - per-task private list
-            metrics.incr("cache_hits")
-            pairs = entry.pairs
-            nbytes = entry.nbytes
-            if entry.place_id != place:
-                # A PlacedSplit overrode the cache's location: the sequence
-                # crosses places once, with full serialization cost.
-                wire = engine.runtime.serializer.measure_pairs(pairs)
-                cost = (
-                    model.serialize_time(wire.wire_bytes, len(pairs))
-                    + model.net_transfer_time(wire.wire_bytes)
-                    + model.deserialize_time(wire.wire_bytes, len(pairs))
-                )
-                metrics.time.charge("network", cost)
-                duration += cost
-                pairs = copy.deepcopy(pairs)
-            if mapper_immutable:
-                feed = model.handoff_time(len(pairs))
-                metrics.time.charge("framework", feed)
-            else:
-                feed = model.clone_time(nbytes, len(pairs))
-                metrics.time.charge("clone", feed)
-                metrics.incr("cloned_records", len(pairs))
-            duration += feed
-            reader = make_reader(
-                MaterializedReader(pairs, clone=not mapper_immutable)
-            )
-        else:
-            metrics.incr("cache_misses")
-            raw_reader = spec.input_format.get_record_reader(
-                task_fs, split, task_conf, reporter
-            )
-            identity = engine._split_cache_identity(split)
-            if identity is not None and engine.enable_cache:
-                pairs = [pair for pair in iter(raw_reader.next_pair, None)]
-                nbytes = tally.bytes_read
-                engine._cache_insert(identity, place, pairs, nbytes)
-                metrics.incr("cache_inserts")
-                if mapper_immutable:
-                    feed = model.handoff_time(len(pairs))
-                    metrics.time.charge("framework", feed)
-                else:
-                    feed = model.clone_time(nbytes, len(pairs))
-                    metrics.time.charge("clone", feed)
-                    metrics.incr("cloned_records", len(pairs))
-                duration += feed
-                reader = make_reader(
-                    MaterializedReader(pairs, clone=not mapper_immutable)
-                )
-            else:
-                # Unknown split type (or cache disabled): stream straight
-                # through without caching.
-                reader = make_reader(raw_reader)
-            read_time = model.disk_read_time(
-                tally.bytes_read, seeks=max(1, tally.read_ops)
-            )
-            metrics.time.charge("disk_read", read_time)
-            duration += read_time
-            if not engine._is_local_read(split, node) and tally.bytes_read:
-                net = model.net_transfer_time(tally.bytes_read)
-                metrics.time.charge("network", net)
-                duration += net
-                metrics.incr("remote_map_reads")
-
-        # --- run the user code ------------------------------------------- #
-        policy = (
-            "alias" if spec.map_output_immutable(split, fresh_runner=True) else "clone"
-        )
-        if spec.is_map_only:
-            collector = CollectorSink(
-                num_partitions=1,
-                partitioner=None,
-                counters=counters,
-                record_policy=policy,
-                deferred_counters=use_batched,
-            )
-        elif use_imc:
-            collector = InMapperCombineSink(
-                spec,
-                num_partitions=spec.num_reducers,
-                counters=counters,
-                record_policy=policy,
-                max_entries=imc_max_entries_for(conf),
-                task_conf=task_conf,
-            )
-        else:
-            collector = CollectorSink(
-                num_partitions=spec.num_reducers,
-                partitioner=spec.partitioner,
-                counters=counters,
-                record_policy=policy,
-                deferred_counters=use_batched,
-            )
-        if use_batched:
-            spec.run_map_task_batched(
-                split, reader, collector, reporter, task_conf, fresh_runner=True
-            )
-            metrics.incr("batch_batches", reader.batches)
-            metrics.incr("batch_records", reader.records)
-            if not use_imc:
-                collector.flush_counters()
-        else:
-            spec.run_map_task(
-                split, reader, collector, reporter, task_conf, fresh_runner=True
-            )
-
-        # Deserialization is paid only when records actually came off the
-        # filesystem; cache hits skip it entirely (the paper's point).
-        if entry is None:
-            deser = model.deserialize_time(tally.bytes_read, reader.records)
-            metrics.time.charge("deserialize", deser)
-            duration += deser
-            nn = model.namenode_op * max(1, tally.metadata_ops)
-            metrics.time.charge("namenode", nn)
-            duration += nn
-
-        compute = reporter.consume_compute_seconds()
-        metrics.time.charge("map_compute", compute)
-        duration += compute
-        framework = model.map_framework_time(reader.records)
-        metrics.time.charge("framework", framework)
-        duration += framework
-        if mapper_immutable:
-            alloc = model.alloc_time(collector.records) + model.gc_churn_time(
-                collector.records
-            )
-            metrics.time.charge("alloc", alloc)
-            duration += alloc
-        if collector.copied_records:
-            clone = model.clone_time(collector.copied_bytes, collector.copied_records)
-            metrics.time.charge("clone", clone)
-            metrics.incr("cloned_records", collector.copied_records)
-            duration += clone
-
-        if spec.is_map_only:
-            part_path = FileOutputFormat.part_path(conf, task_index)
-            temp = spec.output_path is not None and is_temporary_output(
-                spec.output_path, conf
-            )
-            duration += self._emit_output(
-                ctx, task_conf, part_path, task_index, place,
-                collector.partitions[0].pairs, collector.partitions[0].bytes,
-                temp, reporter,
-            )
-            return duration, []
-
-        if use_imc:
-            # The hash aggregate replaced buffer-sort-combine, but the
-            # simulated cost of the avoided sort is still charged from the
-            # same pre-combine totals — identical simulated seconds, the
-            # win is wall-clock only (DESIGN.md §14).
-            sort_time = model.sort_time(collector.records, collector.bytes)
-            metrics.time.charge("sort", sort_time)
-            duration += sort_time
-            buffers = collector.finish()
-            compute = reporter.consume_compute_seconds()
-            metrics.time.charge("map_compute", compute)
-            duration += compute
-            metrics.incr("imc_input_records", collector.records)
-            metrics.incr("imc_output_records", collector.output_records)
-            metrics.incr("imc_folded_records", collector.imc_folds)
-            metrics.incr("imc_spills", collector.imc_spills)
-            return duration, buffers
-
-        buffers = collector.partitions
-        if spec.combiner_class is not None:
-            pre_records = sum(len(b.pairs) for b in buffers)
-            pre_bytes = sum(b.bytes for b in buffers)
-            sort_time = model.sort_time(pre_records, pre_bytes)
-            metrics.time.charge("sort", sort_time)
-            duration += sort_time
-            buffers = [
-                run_combiner_if_any(spec, buffer, counters, reporter, policy)
-                for buffer in buffers
-            ]
-            compute = reporter.consume_compute_seconds()
-            metrics.time.charge("map_compute", compute)
-            duration += compute
-        return duration, buffers
 
     # ------------------------------------------------------------------ #
     # shuffle
@@ -599,153 +347,424 @@ class M3RStageProvider(StageProvider):
         )
         return seconds, reduce_inputs
 
-    # ------------------------------------------------------------------ #
-    # reduce tasks
-    # ------------------------------------------------------------------ #
 
-    def _run_reduce_task(
-        self,
-        ctx: JobContext,
-        partition: int,
-        place: int,
-        shuffle_input: ShuffleInput,
-        temp_output: bool,
-    ) -> float:
-        engine = self.engine
-        model = engine.cost_model
-        spec, conf = ctx.spec, ctx.conf
-        counters, metrics = ctx.counters, ctx.metrics
-        duration = 0.0
-        node = engine.place_node(place)
+# ---------------------------------------------------------------------- #
+# phase running
+# ---------------------------------------------------------------------- #
 
-        tally = FsTally()
-        task_fs = InstrumentedFileSystem(engine.filesystem, tally, at_node=node)
-        task_conf = JobConf(conf)
-        task_conf.set(TASK_FS_KEY, task_fs)
-        task_conf.set(TASK_PARTITION_KEY, partition)
-        reporter = Reporter(counters)
 
-        # Bytes and records were accounted while the runs accumulated — no
-        # re-walk of the pairs through the size estimator here.
-        records = shuffle_input.records
-        nbytes = shuffle_input.bytes
-        if shuffle_input.sorted_runs:
-            # Runs arrived pre-sorted: stream a k-way merge instead of
-            # re-sorting the concatenation.  heapq.merge is stable and runs
-            # are merged in map-index order, so the output order matches a
-            # stable sort of the concatenated input exactly.
-            merge_t = model.merge_time(records, nbytes, len(shuffle_input.runs))
-            metrics.time.charge("merge", merge_t)
-            duration += merge_t
-            ordered = shuffle_input.merged(spec.sort_key())
-        else:
-            sort_time = model.sort_time(records, nbytes)
-            metrics.time.charge("sort", sort_time)
-            duration += sort_time
-            ordered = sorted(shuffle_input.concatenated(), key=spec.sort_key())
-        groups = list(spec.group_sorted_pairs(ordered))
-        counters.increment(TaskCounter.REDUCE_INPUT_GROUPS, len(groups))
-        counters.increment(TaskCounter.REDUCE_INPUT_RECORDS, records)
+def _m3r_use_real_threads(engine: Any, conf: JobConf) -> bool:
+    """Real threaded execution, unless the knob (or a single worker)
+    forces the serial debugging path."""
+    return engine.workers_per_place > 1 and conf_bool(
+        conf, REAL_THREADS_KEY, default=True
+    )
 
-        policy = "alias" if spec.reduce_output_immutable() else "clone"
-        deferred = batch_size_for(conf) > 0
-        sink = CollectorSink(
-            num_partitions=1,
-            partitioner=None,
-            counters=counters,
-            record_policy=policy,
-            output_counter=TaskCounter.REDUCE_OUTPUT_RECORDS,
-            deferred_counters=deferred,
-        )
-        spec.run_reduce_task(groups, sink, reporter, task_conf)
-        if deferred:
-            sink.flush_counters()
 
-        compute = reporter.consume_compute_seconds()
-        metrics.time.charge("reduce_compute", compute)
-        duration += compute
-        framework = model.reduce_framework_time(records)
-        metrics.time.charge("framework", framework)
-        duration += framework
-        if spec.reduce_output_immutable():
-            alloc = model.alloc_time(sink.records) + model.gc_churn_time(sink.records)
-            metrics.time.charge("alloc", alloc)
-            duration += alloc
-        if sink.copied_records:
-            clone = model.clone_time(sink.copied_bytes, sink.copied_records)
-            metrics.time.charge("clone", clone)
-            metrics.incr("cloned_records", sink.copied_records)
-            duration += clone
+def run_m3r_phase(
+    engine: Any,
+    conf: JobConf,
+    placements: Sequence[int],
+    task_fn: Callable[[int], Any],
+) -> List[Any]:
+    """Run one barrier-delimited phase: ``task_fn(i)`` at place
+    ``placements[i]`` for every task index.
 
-        # Filesystem writes made directly by user code during the reduce
-        # (e.g. MultipleOutputs) are charged at disk rate.  Snapshot before
-        # _emit_output so the part-file flush is not double-counted.
-        user_bytes_written = tally.bytes_written
-        if user_bytes_written:
-            write = model.disk_write_time(user_bytes_written, seeks=1)
-            metrics.time.charge("disk_write", write)
-            duration += write
+    In real-threads mode this is one ``finish`` block spawning one
+    ``async`` activity per task at its place, with a per-place semaphore
+    bounding concurrency to ``workers_per_place``.  Results come back in
+    task-index order either way, and the first task exception is
+    re-raised exactly as the serial loop would raise it (unwrapped from
+    :class:`ActivityError`), preserving the fail-fast "no resilience"
+    semantics — a :class:`JobFailedError` from a task still reaches
+    the pipeline as a :class:`JobFailedError`.
+    """
+    if len(placements) <= 1 or not _m3r_use_real_threads(engine, conf):
+        return [task_fn(index) for index in range(len(placements))]
+    bounded = bounded_task_fn(placements, engine.workers_per_place, task_fn)
 
-        part_path = FileOutputFormat.part_path(conf, partition)
-        duration += self._emit_output(
-            ctx, task_conf, part_path, partition, place,
-            sink.partitions[0].pairs, sink.partitions[0].bytes,
-            temp_output, reporter,
-        )
-        return duration
+    def spawn(scope: Any) -> None:
+        for index, place_id in enumerate(placements):
+            scope.async_at(engine.runtime.place(place_id), bounded, index)
 
-    # ------------------------------------------------------------------ #
-    # output
-    # ------------------------------------------------------------------ #
+    try:
+        return engine.runtime.finish_collect(spawn)
+    except ActivityError as error:
+        raise error.first from error
 
-    def _emit_output(
-        self,
-        ctx: JobContext,
-        task_conf: JobConf,
-        part_path: str,
-        partition: int,
-        place: int,
-        pairs: List[Tuple[Any, Any]],
-        nbytes: int,
-        temp_output: bool,
-        reporter: Reporter,
-    ) -> float:
-        """Cache the output at this place; flush to the filesystem unless
-        the output is temporary.  Returns the simulated cost."""
-        engine = self.engine
-        model = engine.cost_model
-        metrics = ctx.metrics
-        duration = 0.0
-        if not (temp_output and engine.enable_cache):
-            # Flush to the real filesystem first: writing through the
-            # M3RFileSystem invalidates any cache entry for the path, so the
-            # cache insert must come after the flush.
-            writer = ctx.spec.output_format.get_record_writer(
-                task_conf.get(TASK_FS_KEY), task_conf,
-                FileOutputFormat.part_name(partition), reporter,
+
+# ---------------------------------------------------------------------- #
+# map task bodies
+# ---------------------------------------------------------------------- #
+
+
+def run_m3r_map_task(
+    tctx: TaskContext, index: int
+) -> Tuple[float, List[PartitionBuffer]]:
+    """One map task at its planned place.  The cached input (if any) is
+    pinned for the task's duration — a concurrent task's eviction wave
+    must not spill the sequence this task is actively reading."""
+    split = tctx.st["splits"][index]
+    place = tctx.st["placements"][index]
+    pinned: List[str] = []
+    try:
+        return _m3r_map_task_body(tctx, split, index, place, pinned)
+    finally:
+        for name in pinned:
+            tctx.engine.cache.unpin(name)
+
+
+def _m3r_map_task_body(
+    tctx: TaskContext,
+    split: InputSplit,
+    task_index: int,
+    place: int,
+    pinned: List[str],
+) -> Tuple[float, List[PartitionBuffer]]:
+    ctx, engine = tctx.ctx, tctx.engine
+    model = engine.cost_model
+    spec, conf = ctx.spec, ctx.conf
+    counters, metrics = ctx.counters, ctx.metrics
+    duration = 0.0
+    node = engine.place_node(place)
+
+    tally = FsTally()
+    task_fs = InstrumentedFileSystem(engine.filesystem, tally, at_node=node)
+    task_conf = JobConf(conf)
+    task_conf.set(TASK_FS_KEY, task_fs)
+    task_conf.set(TASK_PARTITION_KEY, task_index)
+    reporter = Reporter(counters)
+
+    mapper_class = spec.resolve_mapper_class(split)
+    mapper_immutable = is_immutable_output(mapper_class)
+
+    batch_size = batch_size_for(conf)
+    use_batched = batch_size > 0 and spec.supports_batched_map(split)
+    use_imc = use_batched and imc_armed(spec, conf)
+
+    # --- input: cache, or filesystem + cache insert ------------------- #
+    # ``pairs`` set (materialized input) means the kernel can run in a
+    # place worker; a streaming reader pins the kernel to the driver.
+    pairs = None
+    inner_reader = None
+    entry = engine._cache_lookup(split, pin=True)
+    if entry is not None:
+        pinned.append(entry.name)  # noqa: M3R001 - per-task private list
+        metrics.incr("cache_hits")
+        pairs = entry.pairs
+        nbytes = entry.nbytes
+        if entry.place_id != place:
+            # A PlacedSplit overrode the cache's location: the sequence
+            # crosses places once, with full serialization cost.
+            wire = engine.runtime.serializer.measure_pairs(pairs)
+            cost = (
+                model.serialize_time(wire.wire_bytes, len(pairs))
+                + model.net_transfer_time(wire.wire_bytes)
+                + model.deserialize_time(wire.wire_bytes, len(pairs))
             )
-            write = writer.write
-            for key, value in pairs:
-                write(key, value)
-            writer.close()
-            ser = model.serialize_time(nbytes, len(pairs))
-            metrics.time.charge("serialize", ser)
-            duration += ser
-            duration += engine._charge_fs_write(nbytes, metrics)
-            nn = model.namenode_op
-            metrics.time.charge("namenode", nn)
-            duration += nn
-        else:
-            metrics.incr("temp_outputs_skipped")
-        if engine.enable_cache:
-            # A temp output exists ONLY here — mark it non-durable so
-            # eviction must spill it (never drop it).
-            engine.cache.put_file(
-                part_path, place, pairs, nbytes, durable=not temp_output
-            )
-            cost = model.handoff_time(len(pairs))
-            metrics.time.charge("framework", cost)
+            metrics.time.charge("network", cost)
             duration += cost
-            metrics.incr("cache_outputs")
-        duration += engine._replicate_output(part_path, place, pairs, nbytes, metrics)
-        return duration
+            pairs = copy.deepcopy(pairs)
+        if mapper_immutable:
+            feed = model.handoff_time(len(pairs))
+            metrics.time.charge("framework", feed)
+        else:
+            feed = model.clone_time(nbytes, len(pairs))
+            metrics.time.charge("clone", feed)
+            metrics.incr("cloned_records", len(pairs))
+        duration += feed
+    else:
+        metrics.incr("cache_misses")
+        raw_reader = spec.input_format.get_record_reader(
+            task_fs, split, task_conf, reporter
+        )
+        identity = engine._split_cache_identity(split)
+        if identity is not None and engine.enable_cache:
+            pairs = [pair for pair in iter(raw_reader.next_pair, None)]
+            nbytes = tally.bytes_read
+            engine._cache_insert(identity, place, pairs, nbytes)
+            metrics.incr("cache_inserts")
+            if mapper_immutable:
+                feed = model.handoff_time(len(pairs))
+                metrics.time.charge("framework", feed)
+            else:
+                feed = model.clone_time(nbytes, len(pairs))
+                metrics.time.charge("clone", feed)
+                metrics.incr("cloned_records", len(pairs))
+            duration += feed
+        else:
+            # Unknown split type (or cache disabled): stream straight
+            # through without caching.
+            inner_reader = raw_reader
+        read_time = model.disk_read_time(
+            tally.bytes_read, seeks=max(1, tally.read_ops)
+        )
+        metrics.time.charge("disk_read", read_time)
+        duration += read_time
+        if not engine._is_local_read(split, node) and tally.bytes_read:
+            net = model.net_transfer_time(tally.bytes_read)
+            metrics.time.charge("network", net)
+            duration += net
+            metrics.incr("remote_map_reads")
+
+    # --- run the user code (the kernel: worker process, or inline) ---- #
+    policy = (
+        "alias" if spec.map_output_immutable(split, fresh_runner=True) else "clone"
+    )
+    imc_entries = imc_max_entries_for(conf)
+    outcome = None
+    if pairs is not None and map_kernel_eligible(engine, conf, spec, mapper_class):
+        envelope = MapKernelEnvelope(
+            wire_task_conf(task_conf),
+            split,
+            pairs,
+            clone_input=not mapper_immutable,
+            use_batched=use_batched,
+            batch_size=batch_size,
+            use_imc=use_imc,
+            imc_max_entries=imc_entries,
+            policy=policy,
+            map_only=spec.is_map_only,
+        )
+        outcome = dispatch_kernel(engine, place, envelope)
+        if outcome is not None:
+            merge_counter_groups(counters, outcome.counter_groups)
+            if outcome.error is not None:
+                raise outcome.error
+    if outcome is None:
+        inner = (
+            inner_reader
+            if inner_reader is not None
+            else MaterializedReader(pairs, clone=not mapper_immutable)
+        )
+        reader = make_task_reader(inner, counters, use_batched, batch_size)
+        outcome = run_map_kernel(
+            spec, split, reader, counters, reporter, task_conf,
+            use_batched=use_batched,
+            use_imc=use_imc,
+            imc_max_entries=imc_entries,
+            policy=policy,
+            map_only=spec.is_map_only,
+        )
+    if use_batched:
+        metrics.incr("batch_batches", outcome.reader_batches)
+        metrics.incr("batch_records", outcome.reader_records)
+
+    # Deserialization is paid only when records actually came off the
+    # filesystem; cache hits skip it entirely (the paper's point).
+    if entry is None:
+        deser = model.deserialize_time(tally.bytes_read, outcome.reader_records)
+        metrics.time.charge("deserialize", deser)
+        duration += deser
+        nn = model.namenode_op * max(1, tally.metadata_ops)
+        metrics.time.charge("namenode", nn)
+        duration += nn
+
+    compute = outcome.compute_user
+    metrics.time.charge("map_compute", compute)
+    duration += compute
+    framework = model.map_framework_time(outcome.reader_records)
+    metrics.time.charge("framework", framework)
+    duration += framework
+    if mapper_immutable:
+        alloc = model.alloc_time(outcome.records) + model.gc_churn_time(
+            outcome.records
+        )
+        metrics.time.charge("alloc", alloc)
+        duration += alloc
+    if outcome.copied_records:
+        clone = model.clone_time(outcome.copied_bytes, outcome.copied_records)
+        metrics.time.charge("clone", clone)
+        metrics.incr("cloned_records", outcome.copied_records)
+        duration += clone
+
+    if spec.is_map_only:
+        part_path = FileOutputFormat.part_path(conf, task_index)
+        temp = spec.output_path is not None and is_temporary_output(
+            spec.output_path, conf
+        )
+        buffer = outcome.buffers[0]
+        duration += emit_m3r_output(
+            tctx, task_conf, part_path, task_index, place,
+            buffer.pairs, buffer.bytes, temp, reporter,
+        )
+        return duration, []
+
+    if use_imc:
+        # The hash aggregate replaced buffer-sort-combine, but the
+        # simulated cost of the avoided sort is still charged from the
+        # same pre-combine totals — identical simulated seconds, the
+        # win is wall-clock only (DESIGN.md §14).
+        sort_time = model.sort_time(outcome.records, outcome.bytes)
+        metrics.time.charge("sort", sort_time)
+        duration += sort_time
+        compute = outcome.compute_finish
+        metrics.time.charge("map_compute", compute)
+        duration += compute
+        metrics.incr("imc_input_records", outcome.records)
+        metrics.incr("imc_output_records", outcome.output_records)
+        metrics.incr("imc_folded_records", outcome.imc_folds)
+        metrics.incr("imc_spills", outcome.imc_spills)
+        return duration, outcome.buffers
+
+    if spec.combiner_class is not None:
+        sort_time = model.sort_time(outcome.records, outcome.bytes)
+        metrics.time.charge("sort", sort_time)
+        duration += sort_time
+        compute = outcome.compute_finish
+        metrics.time.charge("map_compute", compute)
+        duration += compute
+    return duration, outcome.buffers
+
+
+# ---------------------------------------------------------------------- #
+# reduce task bodies
+# ---------------------------------------------------------------------- #
+
+
+def run_m3r_reduce_task(tctx: TaskContext, partition: int) -> float:
+    ctx, engine, st = tctx.ctx, tctx.engine, tctx.st
+    model = engine.cost_model
+    spec, conf = ctx.spec, ctx.conf
+    counters, metrics = ctx.counters, ctx.metrics
+    place = st["reduce_places"][partition]
+    shuffle_input: ShuffleInput = st["reduce_inputs"][partition]
+    temp_output = st["job_is_temp"]
+    duration = 0.0
+    node = engine.place_node(place)
+
+    tally = FsTally()
+    task_fs = InstrumentedFileSystem(engine.filesystem, tally, at_node=node)
+    task_conf = JobConf(conf)
+    task_conf.set(TASK_FS_KEY, task_fs)
+    task_conf.set(TASK_PARTITION_KEY, partition)
+    reporter = Reporter(counters)
+
+    # Bytes and records were accounted while the runs accumulated — no
+    # re-walk of the pairs through the size estimator here.  The charge
+    # needs only the counts, so it lands before the kernel does the
+    # actual merge (or sort).
+    records = shuffle_input.records
+    nbytes = shuffle_input.bytes
+    if shuffle_input.sorted_runs:
+        # Runs arrived pre-sorted: stream a k-way merge instead of
+        # re-sorting the concatenation.  heapq.merge is stable and runs
+        # are merged in map-index order, so the output order matches a
+        # stable sort of the concatenated input exactly.
+        merge_t = model.merge_time(records, nbytes, len(shuffle_input.runs))
+        metrics.time.charge("merge", merge_t)
+        duration += merge_t
+    else:
+        sort_time = model.sort_time(records, nbytes)
+        metrics.time.charge("sort", sort_time)
+        duration += sort_time
+
+    policy = "alias" if spec.reduce_output_immutable() else "clone"
+    deferred = batch_size_for(conf) > 0
+    outcome = None
+    if reduce_kernel_eligible(engine, conf, spec):
+        envelope = ReduceKernelEnvelope(
+            wire_task_conf(task_conf), shuffle_input,
+            policy=policy, deferred=deferred,
+        )
+        outcome = dispatch_kernel(engine, place, envelope)
+        if outcome is not None:
+            merge_counter_groups(counters, outcome.counter_groups)
+            if outcome.error is not None:
+                raise outcome.error
+    if outcome is None:
+        outcome = run_reduce_kernel(
+            spec, shuffle_input, counters, reporter, task_conf,
+            policy=policy, deferred=deferred,
+        )
+
+    compute = outcome.compute_user
+    metrics.time.charge("reduce_compute", compute)
+    duration += compute
+    framework = model.reduce_framework_time(records)
+    metrics.time.charge("framework", framework)
+    duration += framework
+    if spec.reduce_output_immutable():
+        alloc = model.alloc_time(outcome.records) + model.gc_churn_time(
+            outcome.records
+        )
+        metrics.time.charge("alloc", alloc)
+        duration += alloc
+    if outcome.copied_records:
+        clone = model.clone_time(outcome.copied_bytes, outcome.copied_records)
+        metrics.time.charge("clone", clone)
+        metrics.incr("cloned_records", outcome.copied_records)
+        duration += clone
+
+    # Filesystem writes made directly by user code during the reduce
+    # (e.g. MultipleOutputs) are charged at disk rate.  Snapshot before
+    # emit_m3r_output so the part-file flush is not double-counted.
+    user_bytes_written = tally.bytes_written
+    if user_bytes_written:
+        write = model.disk_write_time(user_bytes_written, seeks=1)
+        metrics.time.charge("disk_write", write)
+        duration += write
+
+    part_path = FileOutputFormat.part_path(conf, partition)
+    duration += emit_m3r_output(
+        tctx, task_conf, part_path, partition, place,
+        outcome.pairs, outcome.bytes, temp_output, reporter,
+    )
+    return duration
+
+
+# ---------------------------------------------------------------------- #
+# output
+# ---------------------------------------------------------------------- #
+
+
+def emit_m3r_output(
+    tctx: TaskContext,
+    task_conf: JobConf,
+    part_path: str,
+    partition: int,
+    place: int,
+    pairs: List[Tuple[Any, Any]],
+    nbytes: int,
+    temp_output: bool,
+    reporter: Reporter,
+) -> float:
+    """Cache the output at this place; flush to the filesystem unless
+    the output is temporary.  Returns the simulated cost."""
+    ctx, engine = tctx.ctx, tctx.engine
+    model = engine.cost_model
+    metrics = ctx.metrics
+    duration = 0.0
+    if not (temp_output and engine.enable_cache):
+        # Flush to the real filesystem first: writing through the
+        # M3RFileSystem invalidates any cache entry for the path, so the
+        # cache insert must come after the flush.
+        writer = ctx.spec.output_format.get_record_writer(
+            task_conf.get(TASK_FS_KEY), task_conf,
+            FileOutputFormat.part_name(partition), reporter,
+        )
+        write = writer.write
+        for key, value in pairs:
+            write(key, value)
+        writer.close()
+        ser = model.serialize_time(nbytes, len(pairs))
+        metrics.time.charge("serialize", ser)
+        duration += ser
+        duration += engine._charge_fs_write(nbytes, metrics)
+        nn = model.namenode_op
+        metrics.time.charge("namenode", nn)
+        duration += nn
+    else:
+        metrics.incr("temp_outputs_skipped")
+    if engine.enable_cache:
+        # A temp output exists ONLY here — mark it non-durable so
+        # eviction must spill it (never drop it).
+        engine.cache.put_file(
+            part_path, place, pairs, nbytes, durable=not temp_output
+        )
+        cost = model.handoff_time(len(pairs))
+        metrics.time.charge("framework", cost)
+        duration += cost
+        metrics.incr("cache_outputs")
+    duration += engine._replicate_output(part_path, place, pairs, nbytes, metrics)
+    return duration

@@ -22,6 +22,7 @@ from repro.api.formats import (
     TextInputFormat,
 )
 from repro.api.mapred import Mapper, Reducer
+from repro.api.portable import ProcessPortable
 from repro.api.vectorized import AssociativeReducer
 from repro.api.writables import IntWritable, Text
 from repro.apps import matvec
@@ -121,7 +122,7 @@ def seeded_histogram_dataset(seed: int) -> Tuple[List[Tuple[Any, Any]], Dict[str
 # --------------------------------------------------------------------- #
 
 
-class ToOneMapper(Mapper):
+class ToOneMapper(Mapper, ProcessPortable):
     """(key, anything) → (key, 1); with SumValuesReducer this is a
     combiner-safe key histogram."""
 
@@ -129,7 +130,7 @@ class ToOneMapper(Mapper):
         output.collect(key, IntWritable(1))
 
 
-class SumValuesReducer(Reducer, AssociativeReducer):
+class SumValuesReducer(Reducer, AssociativeReducer, ProcessPortable):
     """Integer sum — marked associative, so the IMC suites exercise the
     opt-in marker path (the stock SumReducers exercise the allowlist)."""
 
@@ -137,7 +138,7 @@ class SumValuesReducer(Reducer, AssociativeReducer):
         output.collect(key, IntWritable(sum(v.get() for v in values)))
 
 
-class WordStressMapper(Mapper):
+class WordStressMapper(Mapper, ProcessPortable):
     """Word splitter with a per-record user counter (lost updates under
     concurrent increments would show up as an inexact total)."""
 
@@ -148,7 +149,7 @@ class WordStressMapper(Mapper):
             output.collect(Text(word), IntWritable(1))
 
 
-class PoisonedMapper(Mapper):
+class PoisonedMapper(Mapper, ProcessPortable):
     """Raises mid-phase when it encounters the poisoned record."""
 
     exception: type = ValueError
@@ -233,16 +234,20 @@ def run_both(build_job, datasets, reducers=4, jobs=1):
     outputs = {}
     for kind, factory in (("hadoop", make_hadoop), ("m3r", make_m3r)):
         engine = factory()
-        for path, pairs in datasets.items():
-            chunks = defaultdict(list)
-            for index, pair in enumerate(pairs):
-                chunks[index % 2].append(pair)
-            for part, chunk in chunks.items():
-                engine.filesystem.write_pairs(f"{path}/part-{part:05d}", chunk)
-        build_job(engine)
-        outputs[kind] = sorted(
-            (repr(k), repr(v)) for k, v in engine.filesystem.read_kv_pairs("/out")
-        )
+        try:
+            for path, pairs in datasets.items():
+                chunks = defaultdict(list)
+                for index, pair in enumerate(pairs):
+                    chunks[index % 2].append(pair)
+                for part, chunk in chunks.items():
+                    engine.filesystem.write_pairs(f"{path}/part-{part:05d}", chunk)
+            build_job(engine)
+            outputs[kind] = sorted(
+                (repr(k), repr(v)) for k, v in engine.filesystem.read_kv_pairs("/out")
+            )
+        finally:
+            if hasattr(engine, "shutdown"):
+                engine.shutdown()
     return outputs
 
 
